@@ -1,0 +1,70 @@
+// Command nshd-info inspects the model zoo: per-model unit indices, the
+// feature dimension and inference cost of every possible cut point, and the
+// paper's chosen cut layers.
+//
+//	nshd-info                 # summary of all models
+//	nshd-info -model vgg16    # per-layer detail
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nshd"
+)
+
+func main() {
+	model := flag.String("model", "", "show per-layer detail for one model")
+	classes := flag.Int("classes", 10, "class count (affects head size)")
+	flag.Parse()
+
+	if *model != "" {
+		if err := detail(*model, *classes); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Printf("%-12s %8s %12s %12s %s\n", "model", "units", "params", "MACs", "paper cut layers")
+	for _, name := range nshd.ModelNames() {
+		m, err := nshd.BuildModel(name, 1, *classes)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		s := m.FullStats()
+		fmt.Printf("%-12s %8d %12d %12d %v\n", name, len(m.Units), s.Params, s.MACs, nshd.PaperLayers(name))
+	}
+}
+
+func detail(name string, classes int) error {
+	m, err := nshd.BuildModel(name, 1, classes)
+	if err != nil {
+		return err
+	}
+	paper := map[int]bool{}
+	for _, l := range nshd.PaperLayers(name) {
+		paper[l] = true
+	}
+	fmt.Printf("%s (input %v, %d classes)\n", name, m.InShape, classes)
+	fmt.Printf("%6s  %-26s %10s %12s %12s %6s\n", "index", "unit", "features", "cut params", "cut MACs", "paper")
+	for _, u := range m.Units {
+		f, err := m.FeatureDim(u.Index)
+		if err != nil {
+			return err
+		}
+		cs, err := m.CutStats(u.Index)
+		if err != nil {
+			return err
+		}
+		mark := ""
+		if paper[u.Index] {
+			mark = "*"
+		}
+		fmt.Printf("%6d  %-26s %10d %12d %12d %6s\n", u.Index, u.Label, f, cs.Params, cs.MACs, mark)
+	}
+	full := m.FullStats()
+	fmt.Printf("%6s  %-26s %10s %12d %12d\n", "", "full model (teacher)", "-", full.Params, full.MACs)
+	return nil
+}

@@ -1,0 +1,77 @@
+// Distillation: demonstrates Algorithm 1's knowledge transfer. An NSHD
+// student cut at an early, weak layer is trained twice — once with plain
+// MASS retraining and once with the teacher's softened predictions blended
+// in — and the example sweeps a small α×T grid, mirroring Fig. 8/9.
+//
+//	go run ./examples/distillation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nshd"
+	"nshd/internal/nn"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	dcfg := nshd.DefaultSynthConfig()
+	dcfg.Train, dcfg.Test = 256, 128
+	train, test := nshd.SynthCIFAR(dcfg)
+	means, stds := train.Normalize()
+	test.ApplyNormalization(means, stds)
+
+	zoo, err := nshd.BuildModel("effnetb0", 1, train.Classes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pcfg := nshd.DefaultPretrainConfig()
+	pcfg.CacheDir = ".cache"
+	fmt.Println("pretraining effnetb0 teacher...")
+	if _, _, err := nshd.Pretrain(zoo, train, pcfg, nshd.NewRNG(7)); err != nil {
+		log.Fatal(err)
+	}
+	cnnAcc := nn.Evaluate(zoo.Full(), test.Images, test.Labels, 32)
+
+	// Cut at an early stage: the student sees weaker features, so the
+	// teacher's knowledge matters (the Fig. 8 setting).
+	const layer = 5
+
+	run := func(mutate func(*nshd.Config)) float64 {
+		cfg := nshd.DefaultConfig(layer, train.Classes)
+		cfg.Epochs = 8
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		p, err := nshd.New(zoo, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := p.Train(train, nil); err != nil {
+			log.Fatal(err)
+		}
+		return p.Accuracy(test)
+	}
+
+	noKD := run(func(c *nshd.Config) { c.UseKD = false })
+	withKD := run(nil)
+	fmt.Printf("cut layer %d: no-KD %.3f | KD %.3f | CNN %.3f\n", layer, noKD, withKD, cnnAcc)
+
+	fmt.Println("\nmini hyperparameter grid (test accuracy), cf. Fig. 9:")
+	fmt.Printf("%8s", "alpha\\T")
+	temps := []float64{12, 15, 17}
+	for _, t := range temps {
+		fmt.Printf("%8.0f", t)
+	}
+	fmt.Println()
+	for _, a := range []float64{0, 0.3, 0.5, 0.7, 0.9} {
+		fmt.Printf("%8.1f", a)
+		for _, t := range temps {
+			acc := run(func(c *nshd.Config) { c.Alpha, c.Temp = a, t })
+			fmt.Printf("%8.3f", acc)
+		}
+		fmt.Println()
+	}
+}

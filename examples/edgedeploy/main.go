@@ -1,0 +1,68 @@
+// Edgedeploy: estimates what deploying NSHD buys on edge hardware — the
+// Xavier-class energy model (Fig. 4), the ZCU104 DPU resource/throughput
+// model (Table I / Fig. 6), and the int8 quantization the FPGA flow applies
+// (Sec. VI-B) — for every zoo model without any training.
+//
+//	go run ./examples/edgedeploy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nshd"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	dpu := nshd.DefaultDPU()
+	em := nshd.XavierModel()
+
+	// Table I: the accelerator's footprint at D=3000.
+	rep := dpu.Resources(3000)
+	fmt.Println("ZCU104 programmable-logic utilization (DPU core + HD unit, D=3000):")
+	for _, r := range rep.Rows {
+		fmt.Printf("  %-5s %7d / %7d  (%.2f%%)\n", r.Name, r.Used, r.Available, r.Utilization)
+	}
+	fmt.Printf("  clock %.0f MHz, power %.2f W\n\n", rep.FreqMHz, rep.Watts)
+
+	fmt.Printf("%-12s %6s  %10s %10s %8s  %9s %9s %8s\n",
+		"model", "layer", "CNN uJ", "NSHD uJ", "saved", "CNN FPS", "NSHD FPS", "speedup")
+	for _, name := range nshd.ModelNames() {
+		layers := nshd.PaperLayers(name)
+		zoo, err := nshd.BuildModel(name, 1, 10)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, layer := range layers[:2] {
+			cfg := nshd.DefaultConfig(layer, 10)
+			p, err := nshd.New(zoo, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			costs := p.Costs()
+			cnnE := em.CNNEnergyPJ(zoo.FullStats())
+			nshdE := em.NSHDEnergyPJ(costs, p.CutStats())
+			cnnFPS := dpu.CNNFPS(zoo.FullStats().MACs)
+			nshdFPS := dpu.NSHDFPS(costs)
+			fmt.Printf("%-12s %6d  %10.1f %10.1f %7.1f%%  %9.0f %9.0f %+7.1f%%\n",
+				name, layer, cnnE/1e6, nshdE/1e6, 100*(1-nshdE/cnnE),
+				cnnFPS, nshdFPS, 100*(nshdFPS/cnnFPS-1))
+		}
+	}
+
+	fmt.Println("\ndimension sweep (mobilenetv2 @ layer 14):")
+	zoo, _ := nshd.BuildModel("mobilenetv2", 1, 10)
+	fmt.Printf("%8s %12s %12s %12s\n", "D", "NSHD FPS", "proj bytes", "class bytes")
+	for _, d := range []int{1000, 3000, 10000} {
+		cfg := nshd.DefaultConfig(14, 10)
+		cfg.D = d
+		p, err := nshd.New(zoo, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c := p.Costs()
+		fmt.Printf("%8d %12.0f %12d %12d\n", d, dpu.NSHDFPS(c), c.ProjectionBytes, c.ClassHVBytes)
+	}
+}

@@ -1,0 +1,108 @@
+// Explainability: reproduces the Fig. 11 analysis — t-SNE projections of
+// query hypervectors before and after NSHD training, rendered as an ASCII
+// scatter plot with per-class glyphs, plus the kNN purity metric that
+// quantifies cluster formation.
+//
+//	go run ./examples/explainability
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nshd"
+)
+
+const glyphs = "0123456789"
+
+func main() {
+	log.SetFlags(0)
+
+	dcfg := nshd.DefaultSynthConfig()
+	dcfg.Classes = 4 // few classes keep the ASCII plot readable
+	dcfg.Train, dcfg.Test = 160, 96
+	train, test := nshd.SynthCIFAR(dcfg)
+	means, stds := train.Normalize()
+	test.ApplyNormalization(means, stds)
+
+	zoo, err := nshd.BuildModel("mobilenetv2", 1, train.Classes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pcfg := nshd.DefaultPretrainConfig()
+	pcfg.CacheDir = ".cache"
+	fmt.Println("pretraining teacher...")
+	if _, _, err := nshd.Pretrain(zoo, train, pcfg, nshd.NewRNG(7)); err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := nshd.DefaultConfig(17, train.Classes)
+	cfg.FHat = 32
+	p, err := nshd.New(zoo, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tcfg := nshd.DefaultTSNEConfig()
+	tcfg.Perplexity = 12
+
+	embed := func(stage string) {
+		hvs := p.QueryHVs(test.Images)
+		y, err := nshd.TSNEEmbed(hvs, tcfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		purity := nshd.KNNPurity(y, test.Labels, 8)
+		fmt.Printf("\n%s — kNN purity %.3f (chance %.3f)\n", stage, purity, 1.0/float64(train.Classes))
+		scatter(y, test.Labels)
+	}
+
+	embed("hypervectors at the first iteration")
+	fmt.Println("\ntraining NSHD...")
+	if _, err := p.Train(train, nil); err != nil {
+		log.Fatal(err)
+	}
+	embed("hypervectors after training")
+}
+
+// scatter renders a [N, 2] embedding as a 60x24 character grid.
+func scatter(y *nshd.Tensor, labels []int) {
+	const w, h = 60, 24
+	minX, maxX := y.At(0, 0), y.At(0, 0)
+	minY, maxY := y.At(0, 1), y.At(0, 1)
+	n := y.Shape[0]
+	for i := 0; i < n; i++ {
+		if v := y.At(i, 0); v < minX {
+			minX = v
+		} else if v > maxX {
+			maxX = v
+		}
+		if v := y.At(i, 1); v < minY {
+			minY = v
+		} else if v > maxY {
+			maxY = v
+		}
+	}
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = make([]byte, w)
+		for c := range grid[r] {
+			grid[r][c] = ' '
+		}
+	}
+	spanX, spanY := maxX-minX, maxY-minY
+	if spanX == 0 {
+		spanX = 1
+	}
+	if spanY == 0 {
+		spanY = 1
+	}
+	for i := 0; i < n; i++ {
+		c := int((y.At(i, 0) - minX) / spanX * (w - 1))
+		r := int((y.At(i, 1) - minY) / spanY * (h - 1))
+		grid[r][c] = glyphs[labels[i]%len(glyphs)]
+	}
+	for _, row := range grid {
+		fmt.Println(string(row))
+	}
+}

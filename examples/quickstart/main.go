@@ -1,0 +1,76 @@
+// Quickstart: train a CNN teacher on the synthetic image workload, cut it
+// into an NSHD feature extractor, distill into the HD model, and compare
+// accuracy and inference cost against the original CNN.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"nshd"
+	"nshd/internal/nn"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. A CIFAR-shaped synthetic workload (see internal/dataset for why
+	//    this stands in for CIFAR-10 in an offline build).
+	dcfg := nshd.DefaultSynthConfig()
+	dcfg.Classes = 10
+	dcfg.Train, dcfg.Test = 256, 128
+	train, test := nshd.SynthCIFAR(dcfg)
+	means, stds := train.Normalize()
+	test.ApplyNormalization(means, stds)
+	fmt.Printf("workload: %d train / %d test samples, %d classes\n",
+		train.Len(), test.Len(), train.Classes)
+
+	// 2. Pretrain the teacher CNN (cached under .cache on re-runs).
+	zoo, err := nshd.BuildModel("effnetb0", 1, train.Classes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pcfg := nshd.DefaultPretrainConfig()
+	pcfg.CacheDir = ".cache"
+	fmt.Println("pretraining effnetb0 teacher (first run takes a few minutes)...")
+	trainAcc, cached, err := nshd.Pretrain(zoo, train, pcfg, nshd.NewRNG(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cnnTestAcc := nn.Evaluate(zoo.Full(), test.Images, test.Labels, 32)
+	fmt.Printf("teacher: train acc %.3f, test acc %.3f (cached=%v)\n", trainAcc, cnnTestAcc, cached)
+
+	// 3. Assemble NSHD: cut at layer 7 (a paper cut point), D=3000, F̂=100.
+	cfg := nshd.DefaultConfig(7, train.Classes)
+	model, err := nshd.New(zoo, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := model.Train(train, os.Stderr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("NSHD: teacher-on-train %.3f, final HD train acc %.3f\n",
+		report.TeacherTrainAccuracy, report.FinalTrainAccuracy)
+	fmt.Printf("NSHD test accuracy: %.3f (CNN: %.3f)\n", model.Accuracy(test), cnnTestAcc)
+
+	// 4. Inference cost side-by-side.
+	costs := model.Costs()
+	cnnMACs, cnnBytes := model.CNNCosts()
+	fmt.Printf("cost per inference: NSHD %d MACs vs CNN %d MACs (%.1f%% saved)\n",
+		costs.TotalMACs(), cnnMACs, 100*(1-float64(costs.TotalMACs())/float64(cnnMACs)))
+	fmt.Printf("model size: NSHD %d bytes vs CNN %d bytes\n", costs.TotalBytes(), cnnBytes)
+
+	// 5. Persist and reload.
+	if err := model.Save(".cache/quickstart-nshd.gob"); err != nil {
+		log.Fatal(err)
+	}
+	reloaded, err := nshd.LoadPipeline(".cache/quickstart-nshd.gob")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reloaded model test accuracy: %.3f\n", reloaded.Accuracy(test))
+}

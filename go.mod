@@ -1,0 +1,3 @@
+module nshd
+
+go 1.22

@@ -1,0 +1,117 @@
+package cnn
+
+import (
+	"fmt"
+
+	"nshd/internal/nn"
+	"nshd/internal/tensor"
+)
+
+// mbconv builds one EfficientNet MBConv block: 1×1 expansion → k×k depthwise
+// (stride s) → squeeze-and-excitation → 1×1 linear projection, with
+// BatchNorm everywhere and SiLU on the non-linear stages; identity skip when
+// shape is preserved.
+func mbconv(rng *tensor.RNG, inC, outC, k, stride, expand int) nn.Layer {
+	var layers []nn.Layer
+	hidden := inC * expand
+	if expand != 1 {
+		layers = append(layers,
+			nn.NewConv2D(rng, inC, hidden, 1, 1, 0, false),
+			nn.NewBatchNorm2D(hidden),
+			nn.NewSiLU(),
+		)
+	}
+	layers = append(layers,
+		nn.NewDepthwiseConv2D(rng, hidden, k, stride, k/2),
+		nn.NewBatchNorm2D(hidden),
+		nn.NewSiLU(),
+		nn.NewSEBlock(rng, hidden, 4*expand),
+		nn.NewConv2D(rng, hidden, outC, 1, 1, 0, false),
+		nn.NewBatchNorm2D(outC),
+	)
+	body := nn.NewSequential(fmt.Sprintf("mbconv%d(%d→%d,s%d,t%d)", k, inC, outC, stride, expand), layers...)
+	if stride == 1 && inC == outC {
+		return nn.NewResidual(body, nil)
+	}
+	return body
+}
+
+// effStage describes one EfficientNet stage: expansion ratio, output
+// channels, repeats, first-block stride, depthwise kernel.
+type effStage struct{ t, c, n, s, k int }
+
+// buildEfficientNet assembles an EfficientNet variant. Units are indexed "by
+// blocks" as the paper describes: index 0 is the stem, 1..7 the seven MBConv
+// stages, 8 the head convolution — so the paper's cut layers 5..8 select
+// stages 5..7 and the head.
+func buildEfficientNet(name string, rng *tensor.RNG, classes, stem, headC int, plan []effStage) *Model {
+	m := &Model{Name: name, InShape: []int{3, 32, 32}, Classes: classes}
+	m.Units = append(m.Units, Unit{
+		Index: 0, Label: fmt.Sprintf("stem conv3x3(%d)", stem),
+		Layers: []nn.Layer{
+			nn.NewConv2D(rng, 3, stem, 3, 1, 1, false),
+			nn.NewBatchNorm2D(stem),
+			nn.NewSiLU(),
+		},
+	})
+	inC := stem
+	for si, st := range plan {
+		var layers []nn.Layer
+		for rep := 0; rep < st.n; rep++ {
+			stride := st.s
+			if rep > 0 {
+				stride = 1
+			}
+			layers = append(layers, mbconv(rng, inC, st.c, st.k, stride, st.t))
+			inC = st.c
+		}
+		m.Units = append(m.Units, Unit{
+			Index: si + 1, Label: fmt.Sprintf("stage%d(%d,×%d)", si+1, st.c, st.n),
+			Layers: layers,
+		})
+	}
+	m.Units = append(m.Units, Unit{
+		Index: len(plan) + 1, Label: fmt.Sprintf("head conv1x1(%d)", headC),
+		Layers: []nn.Layer{
+			nn.NewConv2D(rng, inC, headC, 1, 1, 0, false),
+			nn.NewBatchNorm2D(headC),
+			nn.NewSiLU(),
+		},
+	})
+	m.Head = []nn.Layer{
+		nn.NewGlobalAvgPool2D(),
+		nn.NewLinear(rng, headC, classes, true),
+	}
+	return m.Finish()
+}
+
+// NewEfficientNetB0 builds the CIFAR-scaled EfficientNet-B0: the original's
+// seven stages with widths halved and early strides flattened for 32×32.
+func NewEfficientNetB0(rng *tensor.RNG, classes int) *Model {
+	plan := []effStage{
+		{1, 4, 1, 1, 3},
+		{6, 6, 2, 1, 3},
+		{6, 10, 2, 2, 5},
+		{6, 20, 3, 2, 3},
+		{6, 28, 3, 1, 5},
+		{6, 48, 4, 2, 5},
+		{6, 80, 1, 1, 3},
+	}
+	return buildEfficientNet("effnetb0", rng, classes, 8, 320, plan)
+}
+
+// NewEfficientNetB7 builds the CIFAR-scaled EfficientNet-B7: wider and
+// deeper than B0 with the same stage structure (the compound-scaling ratio is
+// reduced to stay CPU-trainable, but the B7 ≫ B0 cost ordering holds).
+func NewEfficientNetB7(rng *tensor.RNG, classes int) *Model {
+	plan := []effStage{
+		{1, 6, 2, 1, 3},
+		{6, 10, 2, 1, 3},
+		{6, 16, 3, 2, 5},
+		{6, 32, 3, 2, 3},
+		{6, 44, 3, 1, 5},
+		{6, 72, 4, 2, 5},
+		{6, 120, 1, 1, 3},
+	}
+	return buildEfficientNet("effnetb7", rng, classes, 12, 480, plan)
+}

@@ -1,0 +1,95 @@
+package cnn
+
+import (
+	"fmt"
+
+	"nshd/internal/nn"
+	"nshd/internal/tensor"
+)
+
+// invertedResidual builds one MobileNetV2 block: 1×1 expansion (ratio t) →
+// 3×3 depthwise (stride s) → 1×1 linear projection, each with BatchNorm,
+// ReLU6 on the non-linear stages, and an identity skip when the block
+// preserves shape.
+func invertedResidual(rng *tensor.RNG, inC, outC, stride, expand int) nn.Layer {
+	var layers []nn.Layer
+	hidden := inC * expand
+	if expand != 1 {
+		layers = append(layers,
+			nn.NewConv2D(rng, inC, hidden, 1, 1, 0, false),
+			nn.NewBatchNorm2D(hidden),
+			nn.NewReLU6(),
+		)
+	}
+	layers = append(layers,
+		nn.NewDepthwiseConv2D(rng, hidden, 3, stride, 1),
+		nn.NewBatchNorm2D(hidden),
+		nn.NewReLU6(),
+		nn.NewConv2D(rng, hidden, outC, 1, 1, 0, false),
+		nn.NewBatchNorm2D(outC),
+	)
+	body := nn.NewSequential(fmt.Sprintf("invres(%d→%d,s%d,t%d)", inC, outC, stride, expand), layers...)
+	if stride == 1 && inC == outC {
+		return nn.NewResidual(body, nil)
+	}
+	return body
+}
+
+// NewMobileNetV2 builds the CIFAR-scaled MobileNetV2. Units are indexed "by
+// operators" as in torchvision: index 0 is the stem convolution, 1..17 the
+// seventeen inverted-residual blocks, 18 the final 1×1 convolution — so the
+// paper's cut layers 14 and 17 select the same operators as in the original.
+func NewMobileNetV2(rng *tensor.RNG, classes int) *Model {
+	m := &Model{Name: "mobilenetv2", InShape: []int{3, 32, 32}, Classes: classes}
+	// (expand, outC, repeats, stride) — torchvision plan with widths halved
+	// and the stem/early strides set to 1 for 32×32 inputs.
+	type stage struct{ t, c, n, s int }
+	plan := []stage{
+		{1, 4, 1, 1},
+		{6, 6, 2, 1},
+		{6, 8, 3, 2},
+		{6, 16, 4, 2},
+		{6, 24, 3, 1},
+		{6, 40, 3, 2},
+		{6, 80, 1, 1},
+	}
+	stem := 8
+	m.Units = append(m.Units, Unit{
+		Index: 0, Label: fmt.Sprintf("stem conv3x3(%d)", stem),
+		Layers: []nn.Layer{
+			nn.NewConv2D(rng, 3, stem, 3, 1, 1, false),
+			nn.NewBatchNorm2D(stem),
+			nn.NewReLU6(),
+		},
+	})
+	idx := 1
+	inC := stem
+	for _, st := range plan {
+		for rep := 0; rep < st.n; rep++ {
+			stride := st.s
+			if rep > 0 {
+				stride = 1
+			}
+			m.Units = append(m.Units, Unit{
+				Index: idx, Label: fmt.Sprintf("invres(%d→%d,s%d)", inC, st.c, stride),
+				Layers: []nn.Layer{invertedResidual(rng, inC, st.c, stride, st.t)},
+			})
+			inC = st.c
+			idx++
+		}
+	}
+	lastC := 320 // 4x the last stage width, matching the original 320->1280 ratio
+	m.Units = append(m.Units, Unit{
+		Index: idx, Label: fmt.Sprintf("conv1x1(%d)", lastC),
+		Layers: []nn.Layer{
+			nn.NewConv2D(rng, inC, lastC, 1, 1, 0, false),
+			nn.NewBatchNorm2D(lastC),
+			nn.NewReLU6(),
+		},
+	})
+	m.Head = []nn.Layer{
+		nn.NewGlobalAvgPool2D(),
+		nn.NewLinear(rng, lastC, classes, true),
+	}
+	return m.Finish()
+}

@@ -1,0 +1,88 @@
+package cnn
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"nshd/internal/dataset"
+	"nshd/internal/nn"
+	"nshd/internal/tensor"
+)
+
+// PretrainConfig controls teacher pretraining. The paper uses off-the-shelf
+// pretrained CNNs; in this reproduction we pretrain once on the synthetic
+// workload and cache the weights on disk, so every experiment afterwards
+// consumes the teacher exactly as the paper does — forward-only.
+type PretrainConfig struct {
+	Epochs    int
+	BatchSize int
+	LR        float64
+	Momentum  float64
+	// CacheDir, when non-empty, enables snapshot reuse keyed by model,
+	// dataset and schedule.
+	CacheDir string
+	Log      io.Writer
+}
+
+// DefaultPretrainConfig returns the schedule used by the experiment harness.
+func DefaultPretrainConfig() PretrainConfig {
+	return PretrainConfig{Epochs: 12, BatchSize: 32, LR: 0.05, Momentum: 0.9}
+}
+
+// cachePath derives a deterministic snapshot name for the configuration.
+func (c PretrainConfig) cachePath(m *Model, d *dataset.Dataset) string {
+	return filepath.Join(c.CacheDir,
+		fmt.Sprintf("%s_%s_%dc_%dn_%de.gob", m.Name, sanitize(d.Name), m.Classes, d.Len(), c.Epochs))
+}
+
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+// Pretrain trains (or restores from cache) the full CNN on the training
+// split, returning the final training accuracy. After Pretrain the model is
+// ready to serve both as the distillation teacher and, through Cut, as the
+// NSHD feature extractor.
+func Pretrain(m *Model, train *dataset.Dataset, cfg PretrainConfig, rng *tensor.RNG) (float64, bool, error) {
+	if cfg.CacheDir != "" {
+		path := cfg.cachePath(m, train)
+		if _, err := os.Stat(path); err == nil {
+			if err := nn.LoadModel(m.Full(), path); err != nil {
+				return 0, false, fmt.Errorf("cnn: restore cached teacher: %w", err)
+			}
+			acc := nn.Evaluate(m.Full(), train.Images, train.Labels, cfg.BatchSize)
+			return acc, true, nil
+		}
+	}
+	tr := &nn.Trainer{
+		Epochs:     cfg.Epochs,
+		BatchSize:  cfg.BatchSize,
+		Opt:        nn.NewSGD(cfg.LR, cfg.Momentum, 1e-4),
+		ClipNorm:   5,
+		Log:        cfg.Log,
+		Augment:    dataset.ShiftAugment(4),
+		LRSchedule: nn.StepDecay(cfg.LR, 0.5, cfg.Epochs/3+1),
+	}
+	hist := tr.Fit(m.Full(), train.Images, train.Labels, rng)
+	acc := hist[len(hist)-1].Accuracy
+	if cfg.CacheDir != "" {
+		if err := os.MkdirAll(cfg.CacheDir, 0o755); err != nil {
+			return acc, false, fmt.Errorf("cnn: create cache dir: %w", err)
+		}
+		if err := nn.SaveModel(m.Full(), cfg.cachePath(m, train)); err != nil {
+			return acc, false, fmt.Errorf("cnn: cache teacher: %w", err)
+		}
+	}
+	return acc, false, nil
+}

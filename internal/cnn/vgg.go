@@ -1,0 +1,55 @@
+package cnn
+
+import (
+	"fmt"
+
+	"nshd/internal/nn"
+	"nshd/internal/tensor"
+)
+
+// vggWidth scales the torchvision VGG16 channel plan down to CIFAR/CPU
+// scale. Topology and layer indexing are preserved exactly: the features
+// section has indices 0..30 where every convolution, ReLU and max-pool is
+// its own index, so the paper's cut layers 27 and 29 land on the activations
+// after the 12th and 13th convolutions, just as in torchvision.
+const vggWidth = 4 // divide torchvision widths by this
+
+// NewVGG16 builds the CIFAR-scaled VGG16. The configuration is torchvision
+// "D": 64,64,M,128,128,M,256,256,256,M,512,512,512,M,512,512,512,M.
+func NewVGG16(rng *tensor.RNG, classes int) *Model {
+	plan := []int{64, 64, -1, 128, 128, -1, 256, 256, 256, -1, 512, 512, 512, -1, 512, 512, 512, -1}
+	m := &Model{Name: "vgg16", InShape: []int{3, 32, 32}, Classes: classes}
+	idx := 0
+	inC := 3
+	for _, p := range plan {
+		if p == -1 {
+			m.Units = append(m.Units, Unit{
+				Index: idx, Label: "maxpool", Layers: []nn.Layer{nn.NewMaxPool2D(2)},
+			})
+			idx++
+			continue
+		}
+		outC := p / vggWidth
+		m.Units = append(m.Units,
+			Unit{Index: idx, Label: fmt.Sprintf("conv3x3(%d)", outC),
+				Layers: []nn.Layer{nn.NewConv2D(rng, inC, outC, 3, 1, 1, true)}},
+			Unit{Index: idx + 1, Label: "relu", Layers: []nn.Layer{nn.NewReLU()}},
+		)
+		idx += 2
+		inC = outC
+	}
+	// Head: 32/2^5 = 1, so features flatten to inC values. The classifier
+	// mirrors VGG's two 4096-wide FC layers at 4096/vggWidth — VGG's
+	// parameter mass lives here, which is exactly what NSHD skips when it
+	// cuts at layer 27/29 (the source of the paper's 64% energy saving).
+	hidden := 4096 / vggWidth
+	m.Head = []nn.Layer{
+		nn.NewFlatten(),
+		nn.NewLinear(rng, inC, hidden, true),
+		nn.NewReLU(),
+		nn.NewLinear(rng, hidden, hidden, true),
+		nn.NewReLU(),
+		nn.NewLinear(rng, hidden, classes, true),
+	}
+	return m.Finish()
+}

@@ -1,0 +1,364 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"nshd/internal/cnn"
+	"nshd/internal/dataset"
+	"nshd/internal/hdc"
+	"nshd/internal/hdlearn"
+	"nshd/internal/manifold"
+	"nshd/internal/metrics"
+	"nshd/internal/nn"
+	"nshd/internal/tensor"
+)
+
+// Pipeline is a fully assembled NSHD model.
+//
+// Symbolization (Sec. IV): H = Φ_P(Ψ(conv(x))) — the cut CNN extracts
+// features, the manifold learner compresses them to F̂ values, and the
+// binary random projection encodes them into a D-dimensional hypervector.
+// Classification compares H against the class hypervectors.
+type Pipeline struct {
+	Cfg Config
+	// Zoo is the full CNN; it is the distillation teacher and shares its
+	// pretrained weights with the extractor.
+	Zoo *cnn.Model
+	// Extractor is the cut prefix conv(·).
+	Extractor *nn.Sequential
+	// FeatShape is the per-sample extractor output shape [C, H, W].
+	FeatShape []int
+	// Manifold is Ψ; nil when Cfg.UseManifold is false (BaselineHD).
+	Manifold *manifold.Learner
+	// LSH holds BaselineHD's random hyperplanes ([F, LSHDim] bipolar); nil
+	// unless the manifold is disabled and Cfg.LSHDim > 0.
+	LSH *hdc.Projection
+	// Proj is the binary random projection Φ_P.
+	Proj *hdc.Projection
+	// HD holds the class hypervectors.
+	HD *hdlearn.Model
+
+	rng *tensor.RNG
+}
+
+// New assembles an NSHD pipeline over a (pretrained) zoo model.
+func New(zoo *cnn.Model, cfg Config) (*Pipeline, error) {
+	if cfg.Classes == 0 {
+		cfg.Classes = zoo.Classes
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if zoo.Classes != cfg.Classes {
+		return nil, fmt.Errorf("core: zoo model has %d classes, config wants %d", zoo.Classes, cfg.Classes)
+	}
+	extractor, err := zoo.Cut(cfg.CutLayer)
+	if err != nil {
+		return nil, err
+	}
+	featShape := extractor.OutShape(zoo.InShape)
+	if len(featShape) != 3 {
+		return nil, fmt.Errorf("core: extractor output shape %v, want [C H W]", featShape)
+	}
+	rng := tensor.NewRNG(cfg.Seed)
+	p := &Pipeline{
+		Cfg:       cfg,
+		Zoo:       zoo,
+		Extractor: extractor,
+		FeatShape: featShape,
+		HD:        hdlearn.NewModel(cfg.Classes, cfg.D),
+		rng:       rng,
+	}
+	encF := featShape[0] * featShape[1] * featShape[2]
+	switch {
+	case cfg.UseManifold:
+		ml, err := manifold.New(rng.Fork(), featShape, cfg.FHat)
+		if err != nil {
+			return nil, err
+		}
+		if err := ml.CheckClasses(cfg.Classes); err != nil {
+			return nil, err
+		}
+		p.Manifold = ml
+		encF = cfg.FHat
+	case cfg.LSHDim > 0:
+		// BaselineHD's reduction [9]: sign projections onto LSHDim random
+		// hyperplanes (bipolar, so the hash is add/sub only).
+		l := cfg.LSHDim
+		if l > encF {
+			l = encF
+		}
+		p.LSH = hdc.NewProjection(rng.Fork(), encF, l)
+		encF = l
+	}
+	p.Proj = hdc.NewProjection(rng.Fork(), encF, cfg.D)
+	return p, nil
+}
+
+// NewBaselineHD assembles the prior-work comparison model [9]: the same cut
+// feature extractor, an LSH random-hyperplane reduction in place of the
+// manifold learner, and plain MASS retraining without knowledge
+// distillation.
+func NewBaselineHD(zoo *cnn.Model, cfg Config) (*Pipeline, error) {
+	cfg.UseManifold = false
+	cfg.UseKD = false
+	if cfg.LSHDim == 0 {
+		cfg.LSHDim = 1024
+	}
+	return New(zoo, cfg)
+}
+
+// ExtractFeatures runs the frozen extractor over images in batches,
+// returning the [N, C, H, W] feature tensor.
+func (p *Pipeline) ExtractFeatures(images *tensor.Tensor) *tensor.Tensor {
+	n := images.Shape[0]
+	bs := p.Cfg.BatchSize
+	sampleLen := images.Len() / n
+	var out *tensor.Tensor
+	featLen := p.FeatShape[0] * p.FeatShape[1] * p.FeatShape[2]
+	for start := 0; start < n; start += bs {
+		end := start + bs
+		if end > n {
+			end = n
+		}
+		batchShape := append([]int{end - start}, images.Shape[1:]...)
+		bx := tensor.FromSlice(images.Data[start*sampleLen:end*sampleLen], batchShape...)
+		feats := p.Extractor.Forward(bx, false)
+		if out == nil {
+			out = tensor.New(append([]int{n}, p.FeatShape...)...)
+		}
+		copy(out.Data[start*featLen:end*featLen], feats.Data)
+	}
+	return out
+}
+
+// Symbolize maps a feature batch to query hypervectors: raw (pre-sign) and
+// signed bipolar, via the manifold (when enabled) and the projection.
+// Set train to cache manifold intermediates for a following backward pass.
+func (p *Pipeline) Symbolize(feats *tensor.Tensor, train bool) (v, raw, signed *tensor.Tensor) {
+	switch {
+	case p.Manifold != nil:
+		v = p.Manifold.Forward(feats, train)
+	case p.LSH != nil:
+		flat := feats.Reshape(feats.Shape[0], -1)
+		_, v = p.LSH.EncodeBatch(flat)
+	default:
+		v = feats.Reshape(feats.Shape[0], -1)
+	}
+	raw, signed = p.Proj.EncodeBatch(v)
+	return v, raw, signed
+}
+
+// TrainReport records the outcome of Pipeline.Train.
+type TrainReport struct {
+	// TeacherTrainAccuracy is the full CNN's accuracy on the training split
+	// (context for distillation quality).
+	TeacherTrainAccuracy float64
+	// Epochs holds HD train accuracy per retraining epoch.
+	Epochs []hdlearn.EpochStats
+	// FinalTrainAccuracy is the HD model's accuracy after retraining.
+	FinalTrainAccuracy float64
+}
+
+// Train runs the NSHD training procedure on a labelled dataset:
+//
+//  1. extract features once with the frozen CNN prefix;
+//  2. compute the teacher's logits once with the frozen full CNN;
+//  3. initialize class hypervectors by single-pass bundling;
+//  4. for each epoch, per batch: symbolize, compute Algorithm 1's update
+//     matrix U, bundle λ·Uᵀ·H into the class hypervectors, and — when the
+//     manifold is enabled — decode the query-side error through the HD
+//     encoder (straight-through estimator across sign) and backpropagate it
+//     into the manifold FC layer.
+func (p *Pipeline) Train(train *dataset.Dataset, log io.Writer) (*TrainReport, error) {
+	if err := train.Validate(); err != nil {
+		return nil, err
+	}
+	if train.Classes != p.Cfg.Classes {
+		return nil, fmt.Errorf("core: dataset has %d classes, pipeline %d", train.Classes, p.Cfg.Classes)
+	}
+	feats := p.ExtractFeatures(train.Images)
+	var teacherLogits *tensor.Tensor
+	if p.Cfg.UseKD {
+		teacherLogits = nn.PredictLogits(p.Zoo.Full(), train.Images, p.Cfg.BatchSize)
+	}
+	return p.TrainOnFeatures(feats, train.Labels, teacherLogits, log)
+}
+
+// TrainOnFeatures runs the HD retraining loop on precomputed extractor
+// features (and teacher logits when KD is enabled). Hyperparameter sweeps
+// use it to share the expensive CNN passes across dozens of retrainings.
+func (p *Pipeline) TrainOnFeatures(feats *tensor.Tensor, labels []int, teacherLogits *tensor.Tensor, log io.Writer) (*TrainReport, error) {
+	if feats.Shape[0] != len(labels) {
+		return nil, fmt.Errorf("core: %d feature rows but %d labels", feats.Shape[0], len(labels))
+	}
+	if p.Cfg.UseKD {
+		if teacherLogits == nil {
+			return nil, fmt.Errorf("core: KD enabled but no teacher logits supplied")
+		}
+		if teacherLogits.Shape[0] != len(labels) || teacherLogits.Shape[1] != p.Cfg.Classes {
+			return nil, fmt.Errorf("core: teacher logits shape %v", teacherLogits.Shape)
+		}
+	}
+	report := &TrainReport{}
+	if teacherLogits != nil {
+		report.TeacherTrainAccuracy = nn.Accuracy(teacherLogits, labels)
+	}
+
+	// Initial single-pass bundle with the untrained manifold.
+	_, _, signed := p.Symbolize(feats, false)
+	p.HD.InitBundle(signed, labels)
+
+	n := len(labels)
+	featLen := feats.Len() / n
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	var opt nn.Optimizer
+	if p.Manifold != nil {
+		opt = nn.NewAdam(p.Cfg.ManifoldLR)
+	}
+
+	alpha, temp := 0.0, 1.0
+	if p.Cfg.UseKD {
+		alpha, temp = p.Cfg.Alpha, p.Cfg.Temp
+	}
+
+	for epoch := 1; epoch <= p.Cfg.Epochs; epoch++ {
+		p.rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		correct := 0
+		var updateMass float64
+		for start := 0; start < n; start += p.Cfg.BatchSize {
+			end := start + p.Cfg.BatchSize
+			if end > n {
+				end = n
+			}
+			bs := end - start
+			bFeats := tensor.New(append([]int{bs}, p.FeatShape...)...)
+			bLabels := make([]int, bs)
+			bTeacher := tensor.New(bs, p.Cfg.Classes)
+			for bi := 0; bi < bs; bi++ {
+				src := order[start+bi]
+				copy(bFeats.Data[bi*featLen:(bi+1)*featLen], feats.Data[src*featLen:(src+1)*featLen])
+				bLabels[bi] = labels[src]
+				if teacherLogits != nil {
+					copy(bTeacher.Row(bi), teacherLogits.Row(src))
+				}
+			}
+
+			trainMode := p.Manifold != nil
+			_, _, bSigned := p.Symbolize(bFeats, trainMode)
+
+			// Algorithm 1 update matrix (alpha=0 degrades to MASS).
+			u := p.HD.DistillUpdateBatch(bSigned, bLabels, bTeacher, alpha, temp)
+
+			// Track batch accuracy before the update.
+			preds := tensor.ArgmaxRows(p.HD.SimilarityBatch(bSigned))
+			for i, pr := range preds {
+				if pr == bLabels[i] {
+					correct++
+				}
+			}
+			for _, uv := range u.Data {
+				updateMass += abs64(uv)
+			}
+
+			if p.Manifold != nil {
+				// Manifold gradient (Sec. V-C): the retraining objective
+				// ascends Σ_k U_k·δ(C_k, H); descending its negation gives
+				// dL/dH = −U·M. sign() is crossed with a straight-through
+				// estimator, then the HD decoder (bind with P, dot) maps the
+				// error back to the manifold output space.
+				dH := p.HD.QueryGrad(u) // [bs, D]
+				dH.Scale(-1)
+				dV := p.Proj.DecodeBatch(dH) // [bs, F̂]
+				p.Manifold.ZeroGrad()
+				p.Manifold.Backward(dV)
+				opt.Step(p.Manifold.Params())
+			}
+
+			// Class hypervector update M += λ·Uᵀ·H (after the manifold
+			// gradient is computed against the pre-update M).
+			p.HD.ApplyUpdate(u, bSigned, p.Cfg.LR)
+		}
+		st := hdlearn.EpochStats{
+			Epoch:          epoch,
+			TrainAccuracy:  float64(correct) / float64(n),
+			MeanUpdateNorm: updateMass / float64(n),
+		}
+		report.Epochs = append(report.Epochs, st)
+		if log != nil {
+			fmt.Fprintf(log, "hd epoch %d/%d acc=%.4f update=%.4f\n", epoch, p.Cfg.Epochs, st.TrainAccuracy, st.MeanUpdateNorm)
+		}
+	}
+	// Finalization: the manifold co-adapted with M during the joint loop,
+	// so the class hypervectors were accumulated against stale encodings.
+	// Re-bundle M from the final encoder and run a short distillation-only
+	// refinement with the manifold frozen.
+	if p.Manifold != nil {
+		_, _, finalSigned := p.Symbolize(feats, false)
+		p.HD.InitBundle(finalSigned, labels)
+		refine := p.Cfg.Epochs/2 + 1
+		if p.Cfg.UseKD {
+			if _, err := p.HD.TrainDistill(finalSigned, labels, teacherLogits, hdlearn.DistillConfig{
+				Epochs: refine, LR: p.Cfg.LR, Alpha: p.Cfg.Alpha, Temp: p.Cfg.Temp, Shuffle: true,
+			}, p.rng); err != nil {
+				return nil, err
+			}
+		} else {
+			p.HD.TrainMASS(finalSigned, labels, hdlearn.MASSConfig{
+				Epochs: refine, LR: p.Cfg.LR, Shuffle: true,
+			}, p.rng)
+		}
+	}
+	report.FinalTrainAccuracy = p.AccuracyOnFeatures(feats, labels)
+	return report, nil
+}
+
+// Predict classifies raw images.
+func (p *Pipeline) Predict(images *tensor.Tensor) []int {
+	feats := p.ExtractFeatures(images)
+	_, _, signed := p.Symbolize(feats, false)
+	return p.HD.PredictBatch(signed)
+}
+
+// Accuracy scores the pipeline on a labelled dataset.
+func (p *Pipeline) Accuracy(d *dataset.Dataset) float64 {
+	preds := p.Predict(d.Images)
+	correct := 0
+	for i, pr := range preds {
+		if pr == d.Labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(preds))
+}
+
+// AccuracyOnFeatures scores using precomputed extractor features, avoiding
+// repeated CNN passes during sweeps.
+func (p *Pipeline) AccuracyOnFeatures(feats *tensor.Tensor, labels []int) float64 {
+	_, _, signed := p.Symbolize(feats, false)
+	return p.HD.Accuracy(signed, labels)
+}
+
+// QueryHVs returns the signed query hypervectors of a dataset — the
+// symbolic representation used by the explainability analysis (Fig. 11).
+func (p *Pipeline) QueryHVs(images *tensor.Tensor) *tensor.Tensor {
+	feats := p.ExtractFeatures(images)
+	_, _, signed := p.Symbolize(feats, false)
+	return signed
+}
+
+func abs64(v float32) float64 {
+	if v < 0 {
+		return float64(-v)
+	}
+	return float64(v)
+}
+
+// Confusion returns the pipeline's confusion matrix on a labelled dataset.
+func (p *Pipeline) Confusion(d *dataset.Dataset) (*metrics.Confusion, error) {
+	return metrics.NewConfusion(p.Cfg.Classes, p.Predict(d.Images), d.Labels)
+}

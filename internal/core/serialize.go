@@ -1,0 +1,91 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+
+	"nshd/internal/cnn"
+	"nshd/internal/nn"
+	"nshd/internal/tensor"
+)
+
+// snapshot is the on-disk form of a trained pipeline. The projection and
+// topology are NOT stored: both are reconstructed deterministically from the
+// config seed, which keeps snapshots compact even for BaselineHD's large
+// projections.
+type snapshot struct {
+	Cfg      Config
+	ZooName  string
+	Zoo      *nn.Snapshot
+	Manifold [][]float32
+	M        []float32
+}
+
+// Save writes the trained pipeline (CNN weights, manifold weights, class
+// hypervectors) to path.
+func (p *Pipeline) Save(path string) error {
+	s := snapshot{
+		Cfg:     p.Cfg,
+		ZooName: p.Zoo.Name,
+		Zoo:     nn.TakeSnapshot(p.Zoo.Full()),
+		M:       append([]float32(nil), p.HD.M.Data...),
+	}
+	if p.Manifold != nil {
+		for _, prm := range p.Manifold.Params() {
+			s.Manifold = append(s.Manifold, append([]float32(nil), prm.W.Data...))
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("core: save pipeline: %w", err)
+	}
+	defer f.Close()
+	if err := gob.NewEncoder(f).Encode(&s); err != nil {
+		return fmt.Errorf("core: encode pipeline: %w", err)
+	}
+	return nil
+}
+
+// Load reconstructs a pipeline from a snapshot written by Save. Zoo models
+// are rebuilt by registered name; pipelines over ad-hoc models cannot be
+// loaded this way.
+func Load(path string) (*Pipeline, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: load pipeline: %w", err)
+	}
+	defer f.Close()
+	var s snapshot
+	if err := gob.NewDecoder(f).Decode(&s); err != nil {
+		return nil, fmt.Errorf("core: decode pipeline: %w", err)
+	}
+	zoo, err := cnn.Build(s.ZooName, tensor.NewRNG(0), s.Cfg.Classes)
+	if err != nil {
+		return nil, err
+	}
+	if err := nn.RestoreSnapshot(zoo.Full(), s.Zoo); err != nil {
+		return nil, err
+	}
+	p, err := New(zoo, s.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	if p.Manifold != nil {
+		params := p.Manifold.Params()
+		if len(params) != len(s.Manifold) {
+			return nil, fmt.Errorf("core: snapshot has %d manifold tensors, model wants %d", len(s.Manifold), len(params))
+		}
+		for i, prm := range params {
+			if len(s.Manifold[i]) != prm.W.Len() {
+				return nil, fmt.Errorf("core: manifold tensor %d has %d elems, want %d", i, len(s.Manifold[i]), prm.W.Len())
+			}
+			copy(prm.W.Data, s.Manifold[i])
+		}
+	}
+	if len(s.M) != p.HD.M.Len() {
+		return nil, fmt.Errorf("core: class matrix has %d elems, want %d", len(s.M), p.HD.M.Len())
+	}
+	copy(p.HD.M.Data, s.M)
+	return p, nil
+}

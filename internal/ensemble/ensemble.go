@@ -1,0 +1,133 @@
+// Package ensemble implements the symbolic model-gluing scheme of Sutor et
+// al. [14] ("Gluing neural networks symbolically through hyperdimensional
+// computing"), which the paper's related-work section positions NSHD
+// against: each member CNN's prediction logits are projected into
+// hyperspace, bound to a member-identity hypervector, and bundled into one
+// composite query — so heterogeneous networks combine through pure HD
+// algebra, without joint retraining.
+//
+// It reuses this repository's substrates end to end: the zoo CNNs produce
+// logits, hdc supplies projections/binding, and hdlearn's classifier and
+// MASS retraining close the loop.
+package ensemble
+
+import (
+	"fmt"
+	"io"
+
+	"nshd/internal/cnn"
+	"nshd/internal/dataset"
+	"nshd/internal/hdc"
+	"nshd/internal/hdlearn"
+	"nshd/internal/nn"
+	"nshd/internal/tensor"
+)
+
+// Member is one glued network.
+type Member struct {
+	Model *cnn.Model
+	// Proj maps the member's K logits into hyperspace.
+	Proj *hdc.Projection
+	// ID decorrelates members: the member's contribution is bound to it.
+	ID hdc.Hypervector
+}
+
+// Ensemble glues member CNNs through HD computing.
+type Ensemble struct {
+	D, Classes int
+	Members    []*Member
+	HD         *hdlearn.Model
+	rng        *tensor.RNG
+}
+
+// Config parameterizes the ensemble.
+type Config struct {
+	D      int
+	Epochs int
+	LR     float64
+	Seed   int64
+}
+
+// DefaultConfig returns the usual HD settings.
+func DefaultConfig() Config { return Config{D: 3000, Epochs: 8, LR: 0.35, Seed: 1} }
+
+// New builds an ensemble over pretrained zoo models.
+func New(models []*cnn.Model, cfg Config) (*Ensemble, error) {
+	if len(models) == 0 {
+		return nil, fmt.Errorf("ensemble: no member models")
+	}
+	if cfg.D < 16 {
+		return nil, fmt.Errorf("ensemble: dimension %d", cfg.D)
+	}
+	classes := models[0].Classes
+	for _, m := range models {
+		if m.Classes != classes {
+			return nil, fmt.Errorf("ensemble: member %s has %d classes, want %d", m.Name, m.Classes, classes)
+		}
+	}
+	rng := tensor.NewRNG(cfg.Seed)
+	e := &Ensemble{D: cfg.D, Classes: classes, HD: hdlearn.NewModel(classes, cfg.D), rng: rng}
+	for _, m := range models {
+		e.Members = append(e.Members, &Member{
+			Model: m,
+			Proj:  hdc.NewProjection(rng.Fork(), classes, cfg.D),
+			ID:    hdc.RandomBipolar(rng, cfg.D),
+		})
+	}
+	return e, nil
+}
+
+// Encode maps a batch of images to composite query hypervectors:
+//
+//	H = sign( Σ_m ID_m ⊗ sign(softmax(logits_m) · P_m) )
+func (e *Ensemble) Encode(images *tensor.Tensor) *tensor.Tensor {
+	n := images.Shape[0]
+	acc := tensor.New(n, e.D)
+	probs := make([]float32, e.Classes)
+	for _, m := range e.Members {
+		logits := nn.PredictLogits(m.Model.Full(), images, 32)
+		soft := tensor.New(n, e.Classes)
+		for i := 0; i < n; i++ {
+			tensor.Softmax(probs, logits.Row(i))
+			copy(soft.Row(i), probs)
+		}
+		_, signed := m.Proj.EncodeBatch(soft)
+		for i := 0; i < n; i++ {
+			row := hdc.Hypervector(signed.Row(i))
+			bound := hdc.Bind(row, m.ID)
+			hdc.BundleInto(hdc.Hypervector(acc.Row(i)), bound)
+		}
+	}
+	return tensor.Sign(acc)
+}
+
+// Train bundles and MASS-retrains the composite classifier.
+func (e *Ensemble) Train(train *dataset.Dataset, cfg Config, log io.Writer) ([]hdlearn.EpochStats, error) {
+	if err := train.Validate(); err != nil {
+		return nil, err
+	}
+	if train.Classes != e.Classes {
+		return nil, fmt.Errorf("ensemble: dataset has %d classes, ensemble %d", train.Classes, e.Classes)
+	}
+	hvs := e.Encode(train.Images)
+	e.HD.InitBundle(hvs, train.Labels)
+	hist := e.HD.TrainMASS(hvs, train.Labels, hdlearn.MASSConfig{
+		Epochs: cfg.Epochs, LR: cfg.LR, Shuffle: true,
+	}, e.rng)
+	if log != nil {
+		for _, h := range hist {
+			fmt.Fprintf(log, "ensemble epoch %d acc=%.4f\n", h.Epoch, h.TrainAccuracy)
+		}
+	}
+	return hist, nil
+}
+
+// Accuracy scores the glued model.
+func (e *Ensemble) Accuracy(d *dataset.Dataset) float64 {
+	return e.HD.Accuracy(e.Encode(d.Images), d.Labels)
+}
+
+// MemberAccuracy scores one member CNN alone, for comparison.
+func (e *Ensemble) MemberAccuracy(i int, d *dataset.Dataset) float64 {
+	return nn.Evaluate(e.Members[i].Model.Full(), d.Images, d.Labels, 32)
+}

@@ -1,0 +1,115 @@
+package ensemble
+
+import (
+	"testing"
+
+	"nshd/internal/cnn"
+	"nshd/internal/dataset"
+	"nshd/internal/nn"
+	"nshd/internal/tensor"
+)
+
+func tinyModel(seed int64, classes int) *cnn.Model {
+	rng := tensor.NewRNG(seed)
+	m := &cnn.Model{Name: "tiny", InShape: []int{3, 16, 16}, Classes: classes}
+	m.Units = append(m.Units,
+		cnn.Unit{Index: 0, Label: "conv0", Layers: []nn.Layer{
+			nn.NewConv2D(rng, 3, 8, 3, 1, 1, true), nn.NewReLU(), nn.NewMaxPool2D(2)}},
+		cnn.Unit{Index: 1, Label: "conv1", Layers: []nn.Layer{
+			nn.NewConv2D(rng, 8, 16, 3, 1, 1, true), nn.NewReLU(), nn.NewMaxPool2D(2)}},
+	)
+	m.Head = []nn.Layer{nn.NewFlatten(), nn.NewLinear(rng, 16*4*4, classes, true)}
+	return m.Finish()
+}
+
+func setup(t *testing.T) (*dataset.Dataset, *dataset.Dataset, []*cnn.Model) {
+	t.Helper()
+	cfg := dataset.SynthConfig{Classes: 4, Train: 160, Test: 80, Size: 16, Noise: 0.2, Seed: 61}
+	train, test := dataset.SynthCIFAR(cfg)
+	means, stds := train.Normalize()
+	test.ApplyNormalization(means, stds)
+	var models []*cnn.Model
+	for _, seed := range []int64{1, 2} {
+		m := tinyModel(seed, 4)
+		tr := &nn.Trainer{Epochs: 8, BatchSize: 16, Opt: nn.NewSGD(0.02, 0.9, 1e-4), ClipNorm: 5}
+		tr.Fit(m.Full(), train.Images, train.Labels, tensor.NewRNG(seed+10))
+		models = append(models, m)
+	}
+	return train, test, models
+}
+
+func TestEnsembleValidation(t *testing.T) {
+	if _, err := New(nil, DefaultConfig()); err == nil {
+		t.Fatal("expected empty-member error")
+	}
+	a, b := tinyModel(1, 4), tinyModel(2, 5)
+	if _, err := New([]*cnn.Model{a, b}, DefaultConfig()); err == nil {
+		t.Fatal("expected class-mismatch error")
+	}
+	cfg := DefaultConfig()
+	cfg.D = 2
+	if _, err := New([]*cnn.Model{a}, cfg); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}
+
+func TestEnsembleGluesMembers(t *testing.T) {
+	train, test, models := setup(t)
+	cfg := DefaultConfig()
+	cfg.D = 1024
+	cfg.Epochs = 5
+	e, err := New(models, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Train(train, cfg, nil); err != nil {
+		t.Fatal(err)
+	}
+	accE := e.Accuracy(test)
+	accA := e.MemberAccuracy(0, test)
+	accB := e.MemberAccuracy(1, test)
+	if accA < 0.5 || accB < 0.5 {
+		t.Fatalf("member teachers too weak for a meaningful test: %v %v", accA, accB)
+	}
+	worst := accA
+	if accB < worst {
+		worst = accB
+	}
+	// The glued model must at least hold its own against the weaker member.
+	if accE < worst-0.1 {
+		t.Fatalf("ensemble %.3f collapsed below members (%.3f, %.3f)", accE, accA, accB)
+	}
+}
+
+func TestEnsembleEncodeBipolarAndDeterministic(t *testing.T) {
+	_, test, models := setup(t)
+	cfg := DefaultConfig()
+	cfg.D = 512
+	e, err := New(models, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1 := e.Encode(test.Images)
+	h2 := e.Encode(test.Images)
+	for i := range h1.Data {
+		if h1.Data[i] != h2.Data[i] {
+			t.Fatal("encoding must be deterministic")
+		}
+		if h1.Data[i] != 1 && h1.Data[i] != -1 {
+			t.Fatal("composite hypervectors must be bipolar")
+		}
+	}
+}
+
+func TestEnsembleDatasetMismatch(t *testing.T) {
+	train, _, models := setup(t)
+	cfg := DefaultConfig()
+	cfg.D = 256
+	e, _ := New(models, cfg)
+	wrongCfg := dataset.SynthConfig{Classes: 6, Train: 12, Test: 6, Size: 16, Noise: 0.2, Seed: 62}
+	wrong, _ := dataset.SynthCIFAR(wrongCfg)
+	if _, err := e.Train(wrong, cfg, nil); err == nil {
+		t.Fatal("expected class-count error")
+	}
+	_ = train
+}

@@ -1,0 +1,261 @@
+package experiments
+
+import (
+	"fmt"
+
+	"nshd/internal/cnn"
+	"nshd/internal/core"
+	"nshd/internal/hwsim"
+	"nshd/internal/tensor"
+)
+
+// buildPipelines constructs (untrained) NSHD and BaselineHD pipelines for a
+// model/layer/classes/D combination — sufficient for every cost-model
+// experiment, since costs depend only on the graphs.
+func (s *Session) buildPipelines(model string, layer, classes, d int) (*core.Pipeline, *core.Pipeline, error) {
+	zoo, err := cnn.Build(model, tensor.NewRNG(s.Env.Seed), classes)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := core.DefaultConfig(layer, classes)
+	cfg.D = d
+	cfg.FHat = s.Env.FHat
+	cfg.Epochs = s.Env.HDEpochs
+	cfg.Seed = s.Env.Seed
+	nshd, err := core.New(zoo, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	base, err := core.NewBaselineHD(zoo, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return nshd, base, nil
+}
+
+// Table1Row mirrors one resource line of Table I.
+type Table1Row = hwsim.ResourceRow
+
+// Table1 reproduces Table I: DPU + HD-unit resource utilization on the
+// ZCU104 PL fabric at the default dimension.
+func (s *Session) Table1() (hwsim.ResourceReport, Table) {
+	rep := hwsim.DefaultDPU().Resources(s.Env.D)
+	t := Table{
+		ID:     "table1",
+		Title:  "Design Acceleration On Xilinx ZCU104 (DPU + HD unit)",
+		Header: []string{"Resource", "Total", "Available", "Utilization"},
+	}
+	for _, r := range rep.Rows {
+		t.Rows = append(t.Rows, []string{
+			r.Name,
+			fmt.Sprintf("%d", r.Used),
+			fmt.Sprintf("%d", r.Available),
+			fmt.Sprintf("%.2f%%", r.Utilization),
+		})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("Frequency %.0f MHz, Power %.3f W (paper: 200 MHz, 4.427 W)", rep.FreqMHz, rep.Watts))
+	return rep, t
+}
+
+// Fig4Row is one bar of Fig. 4: NSHD energy improvement over the CNN.
+type Fig4Row struct {
+	Model          string
+	Layer          int
+	Classes        int
+	CNNEnergyPJ    float64
+	NSHDEnergyPJ   float64
+	ImprovementPct float64
+}
+
+// Fig4 reproduces Fig. 4: percentage energy-efficiency improvement of NSHD
+// inference over the original CNN, per model, cut layer and dataset, on the
+// Xavier-class energy model.
+func (s *Session) Fig4() ([]Fig4Row, Table, error) {
+	em := hwsim.XavierModel()
+	var rows []Fig4Row
+	t := Table{
+		ID:     "fig4",
+		Title:  "Energy-efficiency improvement of NSHD vs CNN (percent)",
+		Header: []string{"Model", "Layer", "Dataset", "CNN (uJ)", "NSHD (uJ)", "Improvement"},
+	}
+	for _, model := range s.Env.Models {
+		for _, layer := range EnergyLayers(model) {
+			for _, classes := range s.Env.classesList() {
+				nshd, _, err := s.buildPipelines(model, layer, classes, s.Env.D)
+				if err != nil {
+					return nil, t, err
+				}
+				cnnE := em.CNNEnergyPJ(nshd.Zoo.FullStats())
+				nshdE := em.NSHDEnergyPJ(nshd.Costs(), nshd.CutStats())
+				row := Fig4Row{
+					Model: model, Layer: layer, Classes: classes,
+					CNNEnergyPJ: cnnE, NSHDEnergyPJ: nshdE,
+					ImprovementPct: hwsim.ImprovementPercent(cnnE, nshdE),
+				}
+				rows = append(rows, row)
+				t.Rows = append(t.Rows, []string{
+					model, fmt.Sprintf("%d", layer), fmt.Sprintf("synthcifar%d", classes),
+					fmt.Sprintf("%.2f", cnnE/1e6), fmt.Sprintf("%.2f", nshdE/1e6),
+					fmt.Sprintf("%.1f%%", row.ImprovementPct),
+				})
+			}
+		}
+	}
+	t.Notes = append(t.Notes, "paper: earlier cut layers save more energy, up to 64% (VGG16@27)")
+	return rows, t, nil
+}
+
+// Fig5Row is one bar pair of Fig. 5: total MACs with and without the
+// manifold learner.
+type Fig5Row struct {
+	Model       string
+	Layer       int
+	D           int
+	NSHDMACs    int64
+	BaselineMAC int64
+	SavingsPct  float64
+}
+
+// Fig5 reproduces Fig. 5: the manifold learner's reduction in
+// multiply-accumulate operations relative to BaselineHD, at D=3000 and
+// D=10000.
+func (s *Session) Fig5() ([]Fig5Row, Table, error) {
+	var rows []Fig5Row
+	t := Table{
+		ID:     "fig5",
+		Title:  "Impact of the manifold learner on MACs (NSHD vs BaselineHD)",
+		Header: []string{"Model", "Layer", "D", "NSHD MACs", "BaselineHD MACs", "Savings"},
+	}
+	classes := 10
+	for _, model := range s.Env.Models {
+		for _, layer := range EnergyLayers(model) {
+			for _, d := range []int{3000, 10000} {
+				nshd, base, err := s.buildPipelines(model, layer, classes, d)
+				if err != nil {
+					return nil, t, err
+				}
+				nm := nshd.Costs().TotalMACs()
+				bm := base.Costs().TotalMACs()
+				row := Fig5Row{
+					Model: model, Layer: layer, D: d,
+					NSHDMACs: nm, BaselineMAC: bm,
+					SavingsPct: 100 * (1 - float64(nm)/float64(bm)),
+				}
+				rows = append(rows, row)
+				t.Rows = append(t.Rows, []string{
+					model, fmt.Sprintf("%d", layer), fmt.Sprintf("%d", d),
+					fmt.Sprintf("%d", nm), fmt.Sprintf("%d", bm),
+					fmt.Sprintf("%.1f%%", row.SavingsPct),
+				})
+			}
+		}
+	}
+	t.Notes = append(t.Notes, "paper: savings grow with D (encoding dominates), e.g. 20.9%/28.95% for EffNet-b0@6/7")
+	return rows, t, nil
+}
+
+// Fig6Row is one bar group of Fig. 6: FPGA throughput.
+type Fig6Row struct {
+	Model          string
+	Layer          int
+	D              int
+	CNNFPS         float64
+	NSHDFPS        float64
+	ImprovementPct float64
+}
+
+// Fig6 reproduces Fig. 6: inference throughput (FPS) of NSHD vs the CNN on
+// the DPU accelerator, at the earliest energy layer, across hypervector
+// dimensions.
+func (s *Session) Fig6() ([]Fig6Row, Table, error) {
+	dpu := hwsim.DefaultDPU()
+	var rows []Fig6Row
+	t := Table{
+		ID:     "fig6",
+		Title:  "FPGA throughput (FPS), NSHD vs CNN on the DPU",
+		Header: []string{"Model", "Layer", "D", "CNN FPS", "NSHD FPS", "Improvement"},
+	}
+	classes := 10
+	var impSum float64
+	for _, model := range s.Env.Models {
+		layer := EnergyLayers(model)[0]
+		for _, d := range []int{1000, 3000, 10000} {
+			nshd, _, err := s.buildPipelines(model, layer, classes, d)
+			if err != nil {
+				return nil, t, err
+			}
+			cnnFPS := dpu.CNNFPS(nshd.Zoo.FullStats().MACs)
+			nshdFPS := dpu.NSHDFPS(nshd.Costs())
+			row := Fig6Row{
+				Model: model, Layer: layer, D: d,
+				CNNFPS: cnnFPS, NSHDFPS: nshdFPS,
+				ImprovementPct: hwsim.ThroughputImprovementPercent(cnnFPS, nshdFPS),
+			}
+			rows = append(rows, row)
+			impSum += row.ImprovementPct
+			t.Rows = append(t.Rows, []string{
+				model, fmt.Sprintf("%d", layer), fmt.Sprintf("%d", d),
+				fmt.Sprintf("%.0f", cnnFPS), fmt.Sprintf("%.0f", nshdFPS),
+				fmt.Sprintf("%.1f%%", row.ImprovementPct),
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("mean improvement %.1f%% (paper: 38.14%% on average)", impSum/float64(len(rows))))
+	return rows, t, nil
+}
+
+// Table2Row is one line of Table II: model sizes.
+type Table2Row struct {
+	Model         string
+	Layer         int
+	CNNBytes      int64
+	NSHDBytes     int64
+	BaselineBytes int64
+}
+
+// Table2 reproduces Table II: learning-parameter size of the original CNN,
+// NSHD and BaselineHD at each paper cut layer.
+func (s *Session) Table2() ([]Table2Row, Table, error) {
+	var rows []Table2Row
+	t := Table{
+		ID:     "table2",
+		Title:  "Model size (learning parameters)",
+		Header: []string{"Model", "Layer", "CNN", "NSHD", "BaselineHD"},
+	}
+	classes := 10
+	for _, model := range s.Env.Models {
+		for _, layer := range cnn.PaperLayers(model) {
+			nshd, base, err := s.buildPipelines(model, layer, classes, s.Env.D)
+			if err != nil {
+				return nil, t, err
+			}
+			_, cnnBytes := nshd.CNNCosts()
+			row := Table2Row{
+				Model: model, Layer: layer,
+				CNNBytes:      cnnBytes,
+				NSHDBytes:     nshd.Costs().TotalBytes(),
+				BaselineBytes: base.Costs().TotalBytes(),
+			}
+			rows = append(rows, row)
+			t.Rows = append(t.Rows, []string{
+				model, fmt.Sprintf("%d", layer),
+				fmtBytes(row.CNNBytes), fmtBytes(row.NSHDBytes), fmtBytes(row.BaselineBytes),
+			})
+		}
+	}
+	t.Notes = append(t.Notes, "paper: NSHD < BaselineHD at every layer thanks to the manifold layer; e.g. VGG16@29 saves 39.91%")
+	return rows, t, nil
+}
+
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2fMB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.2fKB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+
+	"nshd/internal/plot"
+)
+
+// This file renders experiment rows as SVG figures mirroring the paper's
+// charts, for `nshd-bench -svg DIR`.
+
+// Fig4SVG renders the energy-improvement bars.
+func Fig4SVG(rows []Fig4Row) string {
+	var groups []plot.BarGroup
+	for _, r := range rows {
+		groups = append(groups, plot.BarGroup{
+			Label:  fmt.Sprintf("%s@%d/%d", shortName(r.Model), r.Layer, r.Classes),
+			Values: []float64{r.ImprovementPct},
+		})
+	}
+	return plot.GroupedBars("Fig. 4 — Energy-efficiency improvement of NSHD vs CNN",
+		[]string{"improvement %"}, groups, "%")
+}
+
+// Fig5SVG renders the manifold MAC-savings bars (series per dimension).
+func Fig5SVG(rows []Fig5Row) string {
+	byKey := map[string]*plot.BarGroup{}
+	var order []string
+	for _, r := range rows {
+		key := fmt.Sprintf("%s@%d", shortName(r.Model), r.Layer)
+		g, ok := byKey[key]
+		if !ok {
+			g = &plot.BarGroup{Label: key}
+			byKey[key] = g
+			order = append(order, key)
+		}
+		g.Values = append(g.Values, r.SavingsPct)
+	}
+	var groups []plot.BarGroup
+	for _, k := range order {
+		groups = append(groups, *byKey[k])
+	}
+	return plot.GroupedBars("Fig. 5 — MAC savings of the manifold learner vs BaselineHD",
+		[]string{"D=3000", "D=10000"}, groups, "savings %")
+}
+
+// Fig6SVG renders throughput-improvement bars (series per dimension).
+func Fig6SVG(rows []Fig6Row) string {
+	byModel := map[string]*plot.BarGroup{}
+	var order []string
+	for _, r := range rows {
+		key := shortName(r.Model)
+		g, ok := byModel[key]
+		if !ok {
+			g = &plot.BarGroup{Label: key}
+			byModel[key] = g
+			order = append(order, key)
+		}
+		g.Values = append(g.Values, r.ImprovementPct)
+	}
+	var groups []plot.BarGroup
+	for _, k := range order {
+		groups = append(groups, *byModel[k])
+	}
+	return plot.GroupedBars("Fig. 6 — FPGA throughput improvement of NSHD vs CNN",
+		[]string{"D=1000", "D=3000", "D=10000"}, groups, "FPS gain %")
+}
+
+// Fig7SVG renders the accuracy comparison bars.
+func Fig7SVG(rows []Fig7Row) string {
+	var groups []plot.BarGroup
+	for _, r := range rows {
+		groups = append(groups, plot.BarGroup{
+			Label:  fmt.Sprintf("%s@%d/%d", shortName(r.Model), r.Layer, r.Classes),
+			Values: []float64{r.VanillaAcc, r.BaselineAcc, r.NSHDAcc, r.CNNAcc},
+		})
+	}
+	return plot.GroupedBars("Fig. 7 — Accuracy comparison",
+		[]string{"VanillaHD", "BaselineHD", "NSHD", "CNN"}, groups, "accuracy")
+}
+
+// Fig8SVG renders the KD-impact bars.
+func Fig8SVG(rows []Fig8Row) string {
+	var groups []plot.BarGroup
+	for _, r := range rows {
+		groups = append(groups, plot.BarGroup{
+			Label:  fmt.Sprintf("%s@%d", shortName(r.Model), r.Layer),
+			Values: []float64{r.NoKDAcc, r.KDAcc, r.CNNAcc},
+		})
+	}
+	return plot.GroupedBars("Fig. 8 — Impact of knowledge distillation",
+		[]string{"NSHD no-KD", "NSHD KD", "CNN"}, groups, "accuracy")
+}
+
+// Fig10SVG renders the dimension/accuracy tradeoff lines.
+func Fig10SVG(rows []Fig10Row) string {
+	var acc, quant plot.Series
+	acc.Name, quant.Name = "float accuracy", "int8 accuracy"
+	for _, r := range rows {
+		acc.X = append(acc.X, float64(r.D))
+		acc.Y = append(acc.Y, r.Accuracy)
+		quant.X = append(quant.X, float64(r.D))
+		quant.Y = append(quant.Y, r.QuantAcc)
+	}
+	return plot.Lines("Fig. 10 — Accuracy vs hypervector dimension",
+		[]plot.Series{acc, quant}, "D", "accuracy")
+}
+
+// Fig11SVG renders the before/after t-SNE scatter plots.
+func Fig11SVG(res *Fig11Result) (before, after string) {
+	toXY := func(emb interface{ At(...int) float32 }) (x, y []float64) {
+		for i := range res.Labels {
+			x = append(x, float64(emb.At(i, 0)))
+			y = append(y, float64(emb.At(i, 1)))
+		}
+		return x, y
+	}
+	bx, by := toXY(res.Before)
+	ax, ay := toXY(res.After)
+	before = plot.Scatter(fmt.Sprintf("Fig. 11a — hypervectors at first iteration (purity %.2f)", res.PurityBefore), bx, by, res.Labels)
+	after = plot.Scatter(fmt.Sprintf("Fig. 11b — hypervectors after training (purity %.2f)", res.PurityAfter), ax, ay, res.Labels)
+	return before, after
+}
+
+func shortName(model string) string {
+	switch model {
+	case "mobilenetv2":
+		return "mbv2"
+	case "effnetb0":
+		return "b0"
+	case "effnetb7":
+		return "b7"
+	default:
+		return model
+	}
+}

@@ -1,0 +1,68 @@
+package hdc
+
+import (
+	"math"
+
+	"nshd/internal/tensor"
+)
+
+// Capacity analysis utilities grounded in Kanerva's hyperdimensional
+// arithmetic (Sec. II): two random bipolar D-vectors overlap in D/2 ± √(D/4)
+// positions, and a sign-bundle of m vectors stays recoverable while the
+// expected per-item similarity √(2/(πm)) clears the noise floor z/√D for a
+// chosen confidence z.
+
+// ExpectedBundleSimilarity returns the expected normalized dot product
+// between sign(Σ of m random bipolar vectors) and one of its members:
+// √(2/(πm)) for odd/large m.
+func ExpectedBundleSimilarity(m int) float64 {
+	if m <= 0 {
+		return 0
+	}
+	if m == 1 {
+		return 1
+	}
+	return math.Sqrt(2 / (math.Pi * float64(m)))
+}
+
+// NoiseFloor returns the z-sigma band of the normalized dot product between
+// unrelated random bipolar vectors of dimension d: z/√d.
+func NoiseFloor(d int, z float64) float64 {
+	return z / math.Sqrt(float64(d))
+}
+
+// BundleCapacity estimates how many random hypervectors a dimension-d
+// sign-bundle can hold while member similarity exceeds the z-sigma noise
+// floor: the largest m with √(2/(πm)) > z/√d, i.e. m < 2d/(πz²).
+func BundleCapacity(d int, z float64) int {
+	if z <= 0 {
+		return math.MaxInt32
+	}
+	return int(2 * float64(d) / (math.Pi * z * z))
+}
+
+// MeasureBundleRecall empirically verifies the capacity model: bundle m
+// random items, then check what fraction of members is closer to the bundle
+// than the most similar of m unrelated distractors. Returns the recall rate.
+func MeasureBundleRecall(rng *tensor.RNG, d, m int) float64 {
+	members := make([]Hypervector, m)
+	for i := range members {
+		members[i] = RandomBipolar(rng, d)
+	}
+	bundle := Bundle(members...)
+	bundle.Sign()
+	hits := 0
+	for _, mem := range members {
+		memSim := Dot(bundle, mem)
+		best := math.Inf(-1)
+		for j := 0; j < m; j++ {
+			if s := Dot(bundle, RandomBipolar(rng, d)); s > best {
+				best = s
+			}
+		}
+		if memSim > best {
+			hits++
+		}
+	}
+	return float64(hits) / float64(m)
+}

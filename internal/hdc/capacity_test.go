@@ -1,0 +1,78 @@
+package hdc
+
+import (
+	"math"
+	"testing"
+
+	"nshd/internal/tensor"
+)
+
+func TestExpectedBundleSimilarity(t *testing.T) {
+	if ExpectedBundleSimilarity(1) != 1 {
+		t.Fatal("single-item bundle is the item itself")
+	}
+	if ExpectedBundleSimilarity(0) != 0 {
+		t.Fatal("empty bundle has no similarity")
+	}
+	// Monotone decreasing in m.
+	prev := 2.0
+	for _, m := range []int{1, 3, 10, 30, 100} {
+		s := ExpectedBundleSimilarity(m)
+		if s >= prev {
+			t.Fatalf("similarity must fall with m: %v at %d", s, m)
+		}
+		prev = s
+	}
+}
+
+func TestExpectedSimilarityMatchesMeasurement(t *testing.T) {
+	// Empirically check √(2/πm) against real bundles.
+	rng := tensor.NewRNG(1)
+	const d, m, trials = 4096, 9, 6
+	var meanSim float64
+	for trial := 0; trial < trials; trial++ {
+		members := make([]Hypervector, m)
+		for i := range members {
+			members[i] = RandomBipolar(rng, d)
+		}
+		b := Bundle(members...)
+		b.Sign()
+		for _, mem := range members {
+			meanSim += NormalizedDot(b, mem)
+		}
+	}
+	meanSim /= float64(m * trials)
+	want := ExpectedBundleSimilarity(m)
+	if math.Abs(meanSim-want) > 0.03 {
+		t.Fatalf("measured member similarity %v, theory %v", meanSim, want)
+	}
+}
+
+func TestNoiseFloorAndCapacity(t *testing.T) {
+	if NoiseFloor(10000, 3) >= NoiseFloor(1000, 3) {
+		t.Fatal("noise floor must shrink with dimension")
+	}
+	// Capacity grows linearly with D.
+	c1 := BundleCapacity(1000, 3)
+	c10 := BundleCapacity(10000, 3)
+	if c10 < 9*c1 || c10 > 11*c1 {
+		t.Fatalf("capacity must scale ~linearly with D: %d vs %d", c1, c10)
+	}
+	// Within capacity, member similarity clears the floor.
+	m := BundleCapacity(2048, 4) / 4
+	if ExpectedBundleSimilarity(m) <= NoiseFloor(2048, 4) {
+		t.Fatal("well within capacity the signal must clear the floor")
+	}
+}
+
+func TestMeasureBundleRecallHighWithinCapacity(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	const d = 2048
+	m := BundleCapacity(d, 4) / 8 // comfortably within capacity
+	if m < 4 {
+		m = 4
+	}
+	if recall := MeasureBundleRecall(rng, d, m); recall < 0.95 {
+		t.Fatalf("recall %v within capacity", recall)
+	}
+}

@@ -1,0 +1,146 @@
+package hdc
+
+import (
+	"fmt"
+
+	"nshd/internal/tensor"
+)
+
+// KMeans clusters hypervectors with similarity-based k-means, the HD
+// clustering formulation of DUAL (ref [6], the paper's source for the
+// non-linear encoder): centroids live in hyperspace, assignment is by
+// cosine similarity, and the update re-bundles each cluster's members.
+// It demonstrates Sec. III's claim that the symbolic representation serves
+// "diverse learning tasks" beyond classification.
+type KMeans struct {
+	K, D      int
+	Centroids *tensor.Tensor // [K, D]
+}
+
+// KMeansResult reports one clustering run.
+type KMeansResult struct {
+	Assignments []int
+	Iterations  int
+	// Moved is the number of points that changed cluster in the final
+	// iteration (0 = converged).
+	Moved int
+}
+
+// NewKMeans seeds k centroids greedily (k-means++-style for similarity
+// spaces): the first seed is a random row, each subsequent seed the point
+// least similar to its nearest already-chosen seed — spreading seeds across
+// blobs and avoiding the merged-cluster local optimum of uniform seeding.
+func NewKMeans(rng *tensor.RNG, hvs *tensor.Tensor, k int) (*KMeans, error) {
+	if hvs.Rank() != 2 {
+		return nil, fmt.Errorf("hdc: KMeans expects [N D] hypervectors, got %v", hvs.Shape)
+	}
+	n, d := hvs.Shape[0], hvs.Shape[1]
+	if k < 2 || k > n {
+		return nil, fmt.Errorf("hdc: k=%d for %d points", k, n)
+	}
+	km := &KMeans{K: k, D: d, Centroids: tensor.New(k, d)}
+	copy(km.Centroids.Row(0), hvs.Row(rng.Intn(n)))
+	// maxSim[i] tracks each point's similarity to its closest chosen seed.
+	maxSim := make([]float64, n)
+	for i := range maxSim {
+		maxSim[i] = Cosine(Hypervector(km.Centroids.Row(0)), Hypervector(hvs.Row(i)))
+	}
+	for c := 1; c < k; c++ {
+		farthest, farSim := 0, 2.0
+		for i := 0; i < n; i++ {
+			if maxSim[i] < farSim {
+				farthest, farSim = i, maxSim[i]
+			}
+		}
+		copy(km.Centroids.Row(c), hvs.Row(farthest))
+		for i := 0; i < n; i++ {
+			if s := Cosine(Hypervector(km.Centroids.Row(c)), Hypervector(hvs.Row(i))); s > maxSim[i] {
+				maxSim[i] = s
+			}
+		}
+	}
+	return km, nil
+}
+
+// Fit runs at most maxIters assignment/update rounds, stopping at
+// convergence. Empty clusters are reseeded from the least-similar point.
+func (km *KMeans) Fit(hvs *tensor.Tensor, maxIters int) KMeansResult {
+	n := hvs.Shape[0]
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	res := KMeansResult{Assignments: assign}
+	for iter := 1; iter <= maxIters; iter++ {
+		res.Iterations = iter
+		// Assignment step.
+		moved := 0
+		worstSim, worstIdx := 2.0, 0
+		for i := 0; i < n; i++ {
+			h := Hypervector(hvs.Row(i))
+			best, bestSim := 0, -2.0
+			for c := 0; c < km.K; c++ {
+				if sim := Cosine(Hypervector(km.Centroids.Row(c)), h); sim > bestSim {
+					best, bestSim = c, sim
+				}
+			}
+			if assign[i] != best {
+				moved++
+				assign[i] = best
+			}
+			if bestSim < worstSim {
+				worstSim, worstIdx = bestSim, i
+			}
+		}
+		res.Moved = moved
+		if moved == 0 {
+			return res
+		}
+		// Update step: re-bundle members.
+		km.Centroids.Zero()
+		counts := make([]int, km.K)
+		for i := 0; i < n; i++ {
+			BundleInto(Hypervector(km.Centroids.Row(assign[i])), Hypervector(hvs.Row(i)))
+			counts[assign[i]]++
+		}
+		for c := 0; c < km.K; c++ {
+			if counts[c] == 0 {
+				copy(km.Centroids.Row(c), hvs.Row(worstIdx))
+			}
+		}
+	}
+	return res
+}
+
+// Purity scores a clustering against ground-truth labels: each cluster votes
+// its majority label; purity is the fraction of points matching their
+// cluster's vote.
+func Purity(assignments, labels []int, k int) float64 {
+	if len(assignments) != len(labels) || len(labels) == 0 {
+		return 0
+	}
+	maxLabel := 0
+	for _, y := range labels {
+		if y > maxLabel {
+			maxLabel = y
+		}
+	}
+	votes := make([][]int, k)
+	for i := range votes {
+		votes[i] = make([]int, maxLabel+1)
+	}
+	for i, c := range assignments {
+		votes[c][labels[i]]++
+	}
+	correct := 0
+	for _, v := range votes {
+		best := 0
+		for _, cnt := range v {
+			if cnt > best {
+				best = cnt
+			}
+		}
+		correct += best
+	}
+	return float64(correct) / float64(len(labels))
+}

@@ -1,0 +1,73 @@
+package hdc
+
+import (
+	"testing"
+
+	"nshd/internal/tensor"
+)
+
+// clusterBlobs builds k groups of hypervectors around random prototypes.
+func clusterBlobs(seed int64, k, perCluster, d int, flip float64) (*tensor.Tensor, []int) {
+	rng := tensor.NewRNG(seed)
+	protos := make([]Hypervector, k)
+	for i := range protos {
+		protos[i] = RandomBipolar(rng, d)
+	}
+	n := k * perCluster
+	hvs := tensor.New(n, d)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		y := i % k
+		labels[i] = y
+		row := hvs.Row(i)
+		copy(row, protos[y])
+		for j := range row {
+			if rng.Float64() < flip {
+				row[j] = -row[j]
+			}
+		}
+	}
+	return hvs, labels
+}
+
+func TestKMeansRecoversClusters(t *testing.T) {
+	hvs, labels := clusterBlobs(1, 4, 30, 2048, 0.2)
+	km, err := NewKMeans(tensor.NewRNG(2), hvs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := km.Fit(hvs, 20)
+	if res.Moved != 0 {
+		t.Fatalf("did not converge in 20 iters (moved %d)", res.Moved)
+	}
+	if purity := Purity(res.Assignments, labels, 4); purity < 0.95 {
+		t.Fatalf("cluster purity %v on well-separated blobs", purity)
+	}
+}
+
+func TestKMeansValidation(t *testing.T) {
+	hvs := tensor.New(5, 64)
+	if _, err := NewKMeans(tensor.NewRNG(3), hvs, 1); err == nil {
+		t.Fatal("expected k<2 rejection")
+	}
+	if _, err := NewKMeans(tensor.NewRNG(3), hvs, 9); err == nil {
+		t.Fatal("expected k>n rejection")
+	}
+	if _, err := NewKMeans(tensor.NewRNG(3), tensor.New(8), 2); err == nil {
+		t.Fatal("expected rank rejection")
+	}
+}
+
+func TestPurityBounds(t *testing.T) {
+	// Perfect assignment.
+	if p := Purity([]int{0, 0, 1, 1}, []int{3, 3, 5, 5}, 2); p != 1 {
+		t.Fatalf("perfect purity = %v", p)
+	}
+	// Everything in one cluster: purity = majority fraction.
+	if p := Purity([]int{0, 0, 0, 0}, []int{1, 1, 2, 3}, 2); p != 0.5 {
+		t.Fatalf("degenerate purity = %v", p)
+	}
+	if Purity(nil, nil, 2) != 0 {
+		t.Fatal("empty inputs must yield 0")
+	}
+}

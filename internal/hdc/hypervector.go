@@ -1,0 +1,195 @@
+// Package hdc implements the hyperdimensional-computing substrate of NSHD:
+// bipolar hypervectors, the bind/bundle/permute algebra, similarity metrics,
+// random-projection encoding and decoding, item/level memories, and a packed
+// 1-bit representation with popcount similarity that mirrors the paper's
+// binary-centric GPGPU kernels.
+//
+// Two representations coexist:
+//
+//   - dense hypervectors ([]float32), used wherever values accumulate
+//     (class hypervectors, bundling, pre-sign encoder output);
+//   - PackedHV (uint64 words, one bit per dimension), used for binary
+//     query/projection hypervectors where XOR+popcount replaces
+//     multiply-accumulate.
+//
+// The bipolar convention is {-1, +1} with sign(0) = +1.
+package hdc
+
+import (
+	"fmt"
+	"math"
+
+	"nshd/internal/tensor"
+)
+
+// Hypervector is a dense hypervector of dimension len(h). Components are
+// float32 so the same type serves bipolar vectors and integer accumulators.
+type Hypervector []float32
+
+// NewHypervector allocates a zero hypervector of dimension d.
+func NewHypervector(d int) Hypervector { return make(Hypervector, d) }
+
+// RandomBipolar samples a uniform bipolar hypervector of dimension d.
+func RandomBipolar(rng *tensor.RNG, d int) Hypervector {
+	h := NewHypervector(d)
+	for i := range h {
+		if rng.Uint64()&1 == 0 {
+			h[i] = 1
+		} else {
+			h[i] = -1
+		}
+	}
+	return h
+}
+
+// Dim returns the dimensionality.
+func (h Hypervector) Dim() int { return len(h) }
+
+// Clone returns a copy of h.
+func (h Hypervector) Clone() Hypervector {
+	c := NewHypervector(len(h))
+	copy(c, h)
+	return c
+}
+
+// IsBipolar reports whether every component is exactly ±1.
+func (h Hypervector) IsBipolar() bool {
+	for _, v := range h {
+		if v != 1 && v != -1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Sign maps h to its bipolar quantization in place (sign(0) = +1).
+func (h Hypervector) Sign() {
+	for i, v := range h {
+		if v < 0 {
+			h[i] = -1
+		} else {
+			h[i] = 1
+		}
+	}
+}
+
+// Scale multiplies every component by s.
+func (h Hypervector) Scale(s float32) {
+	for i := range h {
+		h[i] *= s
+	}
+}
+
+// Norm returns the Euclidean norm.
+func (h Hypervector) Norm() float64 {
+	var s float64
+	for _, v := range h {
+		s += float64(v) * float64(v)
+	}
+	return math.Sqrt(s)
+}
+
+// Bind returns the elementwise product a ⊗ b: associative, self-inverse for
+// bipolar inputs, and quasi-orthogonal to both operands.
+func Bind(a, b Hypervector) Hypervector {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("hdc: Bind dimension mismatch %d vs %d", len(a), len(b)))
+	}
+	out := NewHypervector(len(a))
+	for i := range a {
+		out[i] = a[i] * b[i]
+	}
+	return out
+}
+
+// BindInto computes dst = a ⊗ b without allocating.
+func BindInto(dst, a, b Hypervector) {
+	if len(dst) != len(a) || len(a) != len(b) {
+		panic("hdc: BindInto dimension mismatch")
+	}
+	for i := range a {
+		dst[i] = a[i] * b[i]
+	}
+}
+
+// Bundle returns the elementwise sum of hvs (⊕): the composite remains
+// similar to each input. The result is NOT sign-quantized; call Sign for a
+// bipolar composite.
+func Bundle(hvs ...Hypervector) Hypervector {
+	if len(hvs) == 0 {
+		panic("hdc: Bundle of no hypervectors")
+	}
+	out := NewHypervector(len(hvs[0]))
+	for _, h := range hvs {
+		if len(h) != len(out) {
+			panic("hdc: Bundle dimension mismatch")
+		}
+		for i, v := range h {
+			out[i] += v
+		}
+	}
+	return out
+}
+
+// BundleInto accumulates src into dst (dst ⊕= src).
+func BundleInto(dst, src Hypervector) {
+	if len(dst) != len(src) {
+		panic("hdc: BundleInto dimension mismatch")
+	}
+	for i, v := range src {
+		dst[i] += v
+	}
+}
+
+// WeightedBundleInto accumulates dst += w·src, the primitive behind MASS
+// retraining updates (M += λ Uᵀ H).
+func WeightedBundleInto(dst Hypervector, w float32, src Hypervector) {
+	if len(dst) != len(src) {
+		panic("hdc: WeightedBundleInto dimension mismatch")
+	}
+	for i, v := range src {
+		dst[i] += w * v
+	}
+}
+
+// Permute returns h cyclically rotated by k positions (ρ operator). Permute
+// preserves similarity structure while producing a vector quasi-orthogonal
+// to the original, which encodes sequence/position information.
+func Permute(h Hypervector, k int) Hypervector {
+	d := len(h)
+	if d == 0 {
+		return nil
+	}
+	k = ((k % d) + d) % d
+	out := NewHypervector(d)
+	copy(out[k:], h[:d-k])
+	copy(out[:k], h[d-k:])
+	return out
+}
+
+// Dot returns the dot-product similarity δ(a, b).
+func Dot(a, b Hypervector) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("hdc: Dot dimension mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i, v := range a {
+		s += float64(v) * float64(b[i])
+	}
+	return s
+}
+
+// Cosine returns the cosine similarity of a and b (0 when either is zero).
+func Cosine(a, b Hypervector) float64 {
+	na, nb := a.Norm(), b.Norm()
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return Dot(a, b) / (na * nb)
+}
+
+// NormalizedDot returns δ(a,b)/D, the per-dimension similarity in [-1, 1]
+// for bipolar inputs. This is the scale MASS retraining operates on.
+func NormalizedDot(a, b Hypervector) float64 {
+	return Dot(a, b) / float64(len(a))
+}

@@ -1,0 +1,153 @@
+package hdc
+
+import (
+	"fmt"
+	"math/bits"
+
+	"nshd/internal/tensor"
+)
+
+// PackedHV stores a bipolar hypervector one bit per dimension (+1 → 0 bit,
+// -1 → 1 bit) in uint64 words. For bipolar vectors,
+//
+//	dot(a, b) = D - 2·hamming(a, b)
+//
+// so similarity reduces to XOR + popcount, the binary kernel the paper runs
+// in GPU constant memory and on the FPGA DPU.
+type PackedHV struct {
+	D     int
+	Words []uint64
+}
+
+// NewPackedHV allocates an all-(+1) packed hypervector of dimension d.
+func NewPackedHV(d int) *PackedHV {
+	return &PackedHV{D: d, Words: make([]uint64, (d+63)/64)}
+}
+
+// PackHV packs a dense hypervector (components interpreted through sign,
+// with sign(0) = +1) into bit form.
+func PackHV(h Hypervector) *PackedHV {
+	p := NewPackedHV(len(h))
+	for i, v := range h {
+		if v < 0 {
+			p.Words[i/64] |= 1 << (i % 64)
+		}
+	}
+	return p
+}
+
+// RandomPacked samples a uniform packed bipolar hypervector.
+func RandomPacked(rng *tensor.RNG, d int) *PackedHV {
+	p := NewPackedHV(d)
+	for i := range p.Words {
+		p.Words[i] = rng.Uint64()
+	}
+	// Mask tail bits beyond D so Hamming never counts them.
+	if tail := d % 64; tail != 0 {
+		p.Words[len(p.Words)-1] &= (1 << tail) - 1
+	}
+	return p
+}
+
+// Unpack expands the packed form back to a dense bipolar hypervector.
+func (p *PackedHV) Unpack() Hypervector {
+	h := NewHypervector(p.D)
+	for i := 0; i < p.D; i++ {
+		if p.Words[i/64]>>(i%64)&1 == 1 {
+			h[i] = -1
+		} else {
+			h[i] = 1
+		}
+	}
+	return h
+}
+
+// Bit returns the dense value (+1 or -1) of dimension i.
+func (p *PackedHV) Bit(i int) float32 {
+	if p.Words[i/64]>>(i%64)&1 == 1 {
+		return -1
+	}
+	return 1
+}
+
+// Hamming returns the number of differing dimensions between a and b.
+func Hamming(a, b *PackedHV) int {
+	if a.D != b.D {
+		panic(fmt.Sprintf("hdc: Hamming dimension mismatch %d vs %d", a.D, b.D))
+	}
+	n := 0
+	for i, w := range a.Words {
+		n += bits.OnesCount64(w ^ b.Words[i])
+	}
+	return n
+}
+
+// PackedDot returns the bipolar dot product via popcount: D - 2·hamming.
+func PackedDot(a, b *PackedHV) int {
+	return a.D - 2*Hamming(a, b)
+}
+
+// XorBind returns the packed binding a ⊗ b. For bipolar vectors elementwise
+// multiplication is exactly XOR in sign-bit space.
+func XorBind(a, b *PackedHV) *PackedHV {
+	if a.D != b.D {
+		panic("hdc: XorBind dimension mismatch")
+	}
+	out := NewPackedHV(a.D)
+	for i := range out.Words {
+		out.Words[i] = a.Words[i] ^ b.Words[i]
+	}
+	return out
+}
+
+// PackedAccumulate adds the bipolar expansion of p into acc (a dense
+// accumulator), optionally scaled: acc += s·unpack(p). This is the
+// "no multiplication, only add/sub by sign bit" kernel from Sec. VI-A.
+func PackedAccumulate(acc Hypervector, s float32, p *PackedHV) {
+	if len(acc) != p.D {
+		panic("hdc: PackedAccumulate dimension mismatch")
+	}
+	for w, word := range p.Words {
+		base := w * 64
+		limit := p.D - base
+		if limit > 64 {
+			limit = 64
+		}
+		for b := 0; b < limit; b++ {
+			if word>>(b)&1 == 1 {
+				acc[base+b] -= s
+			} else {
+				acc[base+b] += s
+			}
+		}
+	}
+}
+
+// PackedMatrix is a row-major matrix of packed hypervectors, used for the
+// binary random projection P ([F rows][D bits]) and for class hypervector
+// sets in the quantized inference path.
+type PackedMatrix struct {
+	Rows, D int
+	HVs     []*PackedHV
+}
+
+// NewPackedMatrix packs each row of a dense [rows, d] tensor.
+func NewPackedMatrix(m *tensor.Tensor) *PackedMatrix {
+	if m.Rank() != 2 {
+		panic("hdc: NewPackedMatrix requires rank-2 tensor")
+	}
+	rows, d := m.Shape[0], m.Shape[1]
+	pm := &PackedMatrix{Rows: rows, D: d, HVs: make([]*PackedHV, rows)}
+	for r := 0; r < rows; r++ {
+		pm.HVs[r] = PackHV(Hypervector(m.Row(r)))
+	}
+	return pm
+}
+
+// Row returns packed row r.
+func (pm *PackedMatrix) Row(r int) *PackedHV { return pm.HVs[r] }
+
+// MemoryBytes returns the storage footprint of the packed matrix.
+func (pm *PackedMatrix) MemoryBytes() int64 {
+	return int64(pm.Rows) * int64((pm.D+63)/64) * 8
+}

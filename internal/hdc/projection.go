@@ -1,0 +1,107 @@
+package hdc
+
+import (
+	"fmt"
+
+	"nshd/internal/tensor"
+)
+
+// Projection is the binary random-projection encoder Φ_P of Sec. IV-B:
+// F bipolar base hypervectors of dimension D stacked as a [F, D] matrix.
+//
+//	Φ_P(V) = sign(V₁⊗P₁ ⊕ ... ⊕ V_F⊗P_F) = sign(Vᵀ P)
+//
+// Because each feature value scalar-binds (scales) its base hypervector and
+// bundling is addition, the whole encoding is one matrix product against a
+// ±1 matrix — which hardware realizes as additions/subtractions only.
+type Projection struct {
+	F, D int
+	// P is the dense [F, D] bipolar matrix.
+	P *tensor.Tensor
+	// Packed holds the same rows bit-packed for binary kernels.
+	Packed *PackedMatrix
+}
+
+// NewProjection samples a seeded random projection for F features into
+// dimension D.
+func NewProjection(rng *tensor.RNG, f, d int) *Projection {
+	if f <= 0 || d <= 0 {
+		panic(fmt.Sprintf("hdc: NewProjection with F=%d D=%d", f, d))
+	}
+	p := tensor.New(f, d)
+	rng.FillBipolar(p)
+	return &Projection{F: f, D: d, P: p, Packed: NewPackedMatrix(p)}
+}
+
+// Encode maps one feature vector to its hypervector. It returns both the
+// raw (pre-sign) bundle — needed by training procedures that backpropagate
+// through the encoder — and the bipolar quantization.
+func (pr *Projection) Encode(v []float32) (raw, signed Hypervector) {
+	if len(v) != pr.F {
+		panic(fmt.Sprintf("hdc: Encode got %d features, projection has F=%d", len(v), pr.F))
+	}
+	raw = NewHypervector(pr.D)
+	for f, val := range v {
+		if val == 0 {
+			continue
+		}
+		row := pr.P.Row(f)
+		for i, b := range row {
+			raw[i] += val * b
+		}
+	}
+	signed = raw.Clone()
+	signed.Sign()
+	return raw, signed
+}
+
+// EncodeBatch encodes a [N, F] feature matrix, returning raw [N, D] and
+// signed [N, D] tensors. The heavy product is parallelized across samples.
+func (pr *Projection) EncodeBatch(features *tensor.Tensor) (raw, signed *tensor.Tensor) {
+	if features.Rank() != 2 || features.Shape[1] != pr.F {
+		panic(fmt.Sprintf("hdc: EncodeBatch expects [N %d], got %v", pr.F, features.Shape))
+	}
+	raw = tensor.MatMul(features, pr.P)
+	signed = tensor.Sign(raw)
+	return raw, signed
+}
+
+// Decode estimates the feature-space preimage of a hypervector: since the
+// rows of P are quasi-orthogonal with ⟨P_f, P_f⟩ = D, the least-squares
+// estimate of V from H ≈ Vᵀ P is (1/D)·P·H. This is the HD decoding used to
+// backpropagate class-hypervector errors into the manifold layer (Sec. V-C).
+func (pr *Projection) Decode(h Hypervector) []float32 {
+	if len(h) != pr.D {
+		panic(fmt.Sprintf("hdc: Decode got dimension %d, projection has D=%d", len(h), pr.D))
+	}
+	out := make([]float32, pr.F)
+	inv := 1 / float32(pr.D)
+	for f := 0; f < pr.F; f++ {
+		out[f] = tensor.Dot(pr.P.Row(f), h) * inv
+	}
+	return out
+}
+
+// DecodeBatch decodes a [K, D] matrix of hypervectors into [K, F] feature-
+// space estimates: (1/D)·E·Pᵀ.
+func (pr *Projection) DecodeBatch(e *tensor.Tensor) *tensor.Tensor {
+	if e.Rank() != 2 || e.Shape[1] != pr.D {
+		panic(fmt.Sprintf("hdc: DecodeBatch expects [K %d], got %v", pr.D, e.Shape))
+	}
+	out := tensor.MatMulT(e, pr.P) // [K, F]
+	out.Scale(1 / float32(pr.D))
+	return out
+}
+
+// EncodeMACs returns the multiply-accumulate count of one encoding under the
+// paper's convention (binding = elementwise multiply, bundling = add):
+// F·D MACs per sample.
+func (pr *Projection) EncodeMACs() int64 { return int64(pr.F) * int64(pr.D) }
+
+// MemoryBytes reports the projection's storage in the given representation.
+func (pr *Projection) MemoryBytes(packed bool) int64 {
+	if packed {
+		return pr.Packed.MemoryBytes()
+	}
+	return int64(pr.F) * int64(pr.D) * 4
+}

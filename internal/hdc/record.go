@@ -1,0 +1,77 @@
+package hdc
+
+import (
+	"fmt"
+
+	"nshd/internal/tensor"
+)
+
+// RecordEncoder implements the classic ID-level ("record-based") encoding
+// used by VoiceHD and the early HD learning systems the paper cites
+// (Sec. II, ref [12]): each feature position gets a random ID hypervector,
+// each feature value is quantized onto a correlated level hypervector, and
+// the sample is the sign-bundle of position⊗level bindings:
+//
+//	H = sign( Σ_f ID_f ⊗ L(v_f) )
+//
+// Compared to random projection it is value-quantized and hardware-trivial,
+// but loses fine-grained magnitude information — one reason the field moved
+// to projection/non-linear encodings for dense features.
+type RecordEncoder struct {
+	F, D   int
+	Levels *LevelMemory
+	ids    []Hypervector
+}
+
+// NewRecordEncoder constructs an encoder for F features over [lo, hi] with
+// the given number of quantization levels.
+func NewRecordEncoder(rng *tensor.RNG, f, d, levels int, lo, hi float64) *RecordEncoder {
+	if f < 1 {
+		panic(fmt.Sprintf("hdc: RecordEncoder with %d features", f))
+	}
+	re := &RecordEncoder{
+		F: f, D: d,
+		Levels: NewLevelMemory(rng, d, levels, lo, hi),
+		ids:    make([]Hypervector, f),
+	}
+	for i := range re.ids {
+		re.ids[i] = RandomBipolar(rng, d)
+	}
+	return re
+}
+
+// Encode maps one feature vector to a bipolar hypervector.
+func (re *RecordEncoder) Encode(v []float32) Hypervector {
+	if len(v) != re.F {
+		panic(fmt.Sprintf("hdc: record Encode got %d features, want %d", len(v), re.F))
+	}
+	acc := NewHypervector(re.D)
+	for f, val := range v {
+		lvl := re.Levels.Encode(float64(val))
+		id := re.ids[f]
+		for i := range acc {
+			acc[i] += id[i] * lvl[i]
+		}
+	}
+	acc.Sign()
+	return acc
+}
+
+// EncodeBatch encodes a [N, F] feature matrix into [N, D].
+func (re *RecordEncoder) EncodeBatch(features *tensor.Tensor) *tensor.Tensor {
+	if features.Rank() != 2 || features.Shape[1] != re.F {
+		panic(fmt.Sprintf("hdc: record EncodeBatch expects [N %d], got %v", re.F, features.Shape))
+	}
+	n := features.Shape[0]
+	out := tensor.New(n, re.D)
+	tensor.ParallelFor(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			copy(out.Row(i), re.Encode(features.Row(i)))
+		}
+	})
+	return out
+}
+
+// EncodeMACs reports the per-sample cost under the paper's convention: the
+// F·D binding multiplies (level lookup is free).
+func (re *RecordEncoder) EncodeMACs() int64 { return int64(re.F) * int64(re.D) }

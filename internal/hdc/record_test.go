@@ -1,0 +1,78 @@
+package hdc
+
+import (
+	"math"
+	"testing"
+
+	"nshd/internal/tensor"
+)
+
+func TestRecordEncoderBipolarAndDeterministic(t *testing.T) {
+	re := NewRecordEncoder(tensor.NewRNG(1), 8, 1024, 16, -2, 2)
+	v := []float32{0.1, -1.5, 2, -2, 0, 0.7, 1.9, -0.3}
+	h1 := re.Encode(v)
+	h2 := re.Encode(v)
+	if !h1.IsBipolar() {
+		t.Fatal("record encoding must be bipolar")
+	}
+	for i := range h1 {
+		if h1[i] != h2[i] {
+			t.Fatal("record encoding must be deterministic")
+		}
+	}
+}
+
+func TestRecordEncoderLocality(t *testing.T) {
+	re := NewRecordEncoder(tensor.NewRNG(2), 16, 4096, 32, -3, 3)
+	rng := tensor.NewRNG(3)
+	v := make([]float32, 16)
+	near := make([]float32, 16)
+	far := make([]float32, 16)
+	for i := range v {
+		v[i] = float32(rng.NormFloat64())
+		near[i] = v[i] + 0.05*float32(rng.NormFloat64())
+		far[i] = float32(rng.NormFloat64())
+	}
+	hv, hn, hf := re.Encode(v), re.Encode(near), re.Encode(far)
+	if NormalizedDot(hv, hn) <= NormalizedDot(hv, hf) {
+		t.Fatal("record encoding must preserve locality")
+	}
+}
+
+func TestRecordEncodeBatchMatchesSingle(t *testing.T) {
+	re := NewRecordEncoder(tensor.NewRNG(4), 6, 512, 8, -1, 1)
+	feats := tensor.New(5, 6)
+	tensor.NewRNG(5).FillUniform(feats, -1, 1)
+	batch := re.EncodeBatch(feats)
+	for i := 0; i < 5; i++ {
+		single := re.Encode(feats.Row(i))
+		for j := range single {
+			if batch.At(i, j) != single[j] {
+				t.Fatalf("batch mismatch at %d,%d", i, j)
+			}
+		}
+	}
+}
+
+func TestRecordEncoderCosts(t *testing.T) {
+	re := NewRecordEncoder(tensor.NewRNG(6), 100, 3000, 16, 0, 1)
+	if re.EncodeMACs() != 300000 {
+		t.Fatalf("EncodeMACs = %d", re.EncodeMACs())
+	}
+}
+
+func TestRecordQuantizationInvariance(t *testing.T) {
+	// Values inside the same quantization bucket must encode identically.
+	re := NewRecordEncoder(tensor.NewRNG(7), 2, 256, 4, 0, 4)
+	a := re.Encode([]float32{0.1, 3.9})
+	b := re.Encode([]float32{0.3, 3.7}) // same buckets (0 and 3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same-bucket values must encode identically")
+		}
+	}
+	c := re.Encode([]float32{1.5, 3.9}) // first feature moves to bucket 1
+	if same := NormalizedDot(a, c); math.Abs(same-1) < 1e-9 {
+		t.Fatal("different buckets must change the encoding")
+	}
+}

@@ -1,0 +1,113 @@
+package hdc
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"nshd/internal/tensor"
+)
+
+func TestNGramOrderSensitivity(t *testing.T) {
+	se := NewSequenceEncoder(tensor.NewRNG(1), 2048, 2)
+	ab := se.EncodeNGram([]string{"a", "b"})
+	ba := se.EncodeNGram([]string{"b", "a"})
+	if s := math.Abs(NormalizedDot(ab, ba)); s > 0.15 {
+		t.Fatalf("reversed n-grams must be quasi-orthogonal, got %v", s)
+	}
+	// Same n-gram encodes identically.
+	ab2 := se.EncodeNGram([]string{"a", "b"})
+	for i := range ab {
+		if ab[i] != ab2[i] {
+			t.Fatal("n-gram encoding must be deterministic")
+		}
+	}
+}
+
+func TestSequenceEncodeSimilarity(t *testing.T) {
+	se := NewSequenceEncoder(tensor.NewRNG(2), 4096, 3)
+	a := se.EncodeText("the quick brown fox jumps over the lazy dog")
+	b := se.EncodeText("the quick brown fox jumps over the lazy cat")
+	c := se.EncodeText("zzzzqqqqxxxxwwwwvvvvkkkkjjjjhhhhggggffff")
+	simAB := NormalizedDot(a, b)
+	simAC := NormalizedDot(a, c)
+	if simAB <= simAC {
+		t.Fatalf("near-identical texts must be more similar (%v) than unrelated (%v)", simAB, simAC)
+	}
+}
+
+func TestSequenceShorterThanN(t *testing.T) {
+	se := NewSequenceEncoder(tensor.NewRNG(3), 256, 4)
+	h := se.EncodeText("ab")
+	for _, v := range h {
+		if v != 1 {
+			t.Fatal("sequence shorter than N must encode to the neutral +1 vector")
+		}
+	}
+}
+
+func TestLanguageIdentification(t *testing.T) {
+	// Miniature language ID per [13]: character trigram profiles separate
+	// pseudo-languages with distinct letter statistics.
+	se := NewSequenceEncoder(tensor.NewRNG(4), 4096, 3)
+	sc := NewSequenceClassifier(se)
+
+	english := []string{
+		"the cat sat on the mat and watched the birds",
+		"a quick brown fox jumps over the lazy dog",
+		"she sells sea shells by the sea shore",
+		"all that glitters is not gold they say",
+	}
+	fakeFinnish := []string{
+		"kaunis aamu ja jarvi on tyyni kuin peili",
+		"talvella lumi peittaa metsat ja pellot",
+		"kissa istuu ikkunalla ja katselee lintuja",
+		"jokainen paiva tuo uuden mahdollisuuden",
+	}
+	for _, s := range english {
+		sc.Learn("en", s)
+	}
+	for _, s := range fakeFinnish {
+		sc.Learn("fi", s)
+	}
+	if got := len(sc.Labels()); got != 2 {
+		t.Fatalf("labels = %d", got)
+	}
+	tests := []struct {
+		text, want string
+	}{
+		{"the dog barks at the moon in the night", "en"},
+		{"there is nothing better than a warm fire", "en"},
+		{"aurinko paistaa ja linnut laulavat puissa", "fi"},
+		{"metsassa kasvaa paljon suuria kuusia", "fi"},
+	}
+	for _, tc := range tests {
+		got, sim := sc.Classify(tc.text)
+		if got != tc.want {
+			t.Errorf("Classify(%q) = %s (sim %.3f), want %s", tc.text, got, sim, tc.want)
+		}
+	}
+}
+
+func TestSequenceClassifierEmptyPanics(t *testing.T) {
+	sc := NewSequenceClassifier(NewSequenceEncoder(tensor.NewRNG(5), 128, 2))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on empty classifier")
+		}
+	}()
+	sc.Classify("x")
+}
+
+func TestEncodeTextMatchesEncode(t *testing.T) {
+	se := NewSequenceEncoder(tensor.NewRNG(6), 512, 2)
+	text := "abc"
+	symbols := strings.Split(text, "")
+	a := se.EncodeText(text)
+	b := se.Encode(symbols)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("EncodeText must equal Encode over split symbols")
+		}
+	}
+}

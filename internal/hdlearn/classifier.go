@@ -1,0 +1,178 @@
+// Package hdlearn implements HD-computing classification: class hypervectors
+// built by bundling, MASS retraining (CascadeHD), and the paper's Algorithm 1
+// — MASS extended with knowledge distillation from a CNN teacher.
+package hdlearn
+
+import (
+	"fmt"
+
+	"nshd/internal/hdc"
+	"nshd/internal/tensor"
+)
+
+// Model is an HD classifier: one class hypervector per class, stacked as the
+// matrix M = [C₀ ... C_{k-1}] of shape [K, D]. Inference compares a query
+// hypervector against every row with cosine similarity and picks the argmax.
+type Model struct {
+	K, D int
+	// M holds the (real-valued) class hypervectors.
+	M *tensor.Tensor
+}
+
+// NewModel allocates a zeroed classifier for k classes of dimension d.
+func NewModel(k, d int) *Model {
+	if k < 2 || d < 1 {
+		panic(fmt.Sprintf("hdlearn: NewModel(k=%d, d=%d)", k, d))
+	}
+	return &Model{K: k, D: d, M: tensor.New(k, d)}
+}
+
+// Class returns class hypervector i as a slice aliasing the model.
+func (m *Model) Class(i int) hdc.Hypervector { return hdc.Hypervector(m.M.Row(i)) }
+
+// InitBundle builds the classic single-pass HD model: each class hypervector
+// is the bundle (sum) of all training hypervectors of that class,
+// C_k = Σ H_i. hvs is [N, D]; labels are class indices.
+func (m *Model) InitBundle(hvs *tensor.Tensor, labels []int) {
+	checkHVs(m, hvs, labels)
+	m.M.Zero()
+	for i, y := range labels {
+		hdc.BundleInto(hdc.Hypervector(m.M.Row(y)), hdc.Hypervector(hvs.Row(i)))
+	}
+}
+
+// Similarity returns δ(M, H) — cosine similarity of h against every class
+// hypervector, as a length-K vector in [-1, 1]. Cosine keeps similarity on
+// the same scale as one-hot targets, which MASS updates difference against.
+func (m *Model) Similarity(h hdc.Hypervector) []float32 {
+	if len(h) != m.D {
+		panic(fmt.Sprintf("hdlearn: Similarity got dim %d, model has D=%d", len(h), m.D))
+	}
+	out := make([]float32, m.K)
+	hn := h.Norm()
+	if hn == 0 {
+		return out
+	}
+	for k := 0; k < m.K; k++ {
+		row := hdc.Hypervector(m.M.Row(k))
+		rn := row.Norm()
+		if rn == 0 {
+			continue
+		}
+		out[k] = float32(hdc.Dot(row, h) / (rn * hn))
+	}
+	return out
+}
+
+// SimilarityBatch computes the [N, K] cosine similarity matrix of a batch of
+// query hypervectors against the class hypervectors.
+func (m *Model) SimilarityBatch(hvs *tensor.Tensor) *tensor.Tensor {
+	if hvs.Rank() != 2 || hvs.Shape[1] != m.D {
+		panic(fmt.Sprintf("hdlearn: SimilarityBatch expects [N %d], got %v", m.D, hvs.Shape))
+	}
+	n := hvs.Shape[0]
+	raw := tensor.MatMulT(hvs, m.M) // [N, K] dot products
+	norms := make([]float64, m.K)
+	for k := 0; k < m.K; k++ {
+		norms[k] = hdc.Hypervector(m.M.Row(k)).Norm()
+	}
+	for i := 0; i < n; i++ {
+		hn := hdc.Hypervector(hvs.Row(i)).Norm()
+		row := raw.Row(i)
+		for k := 0; k < m.K; k++ {
+			den := hn * norms[k]
+			if den == 0 {
+				row[k] = 0
+			} else {
+				row[k] = float32(float64(row[k]) / den)
+			}
+		}
+	}
+	return raw
+}
+
+// Predict returns argmax_k δ(C_k, h).
+func (m *Model) Predict(h hdc.Hypervector) int {
+	sims := m.Similarity(h)
+	best, at := sims[0], 0
+	for k, s := range sims {
+		if s > best {
+			best, at = s, k
+		}
+	}
+	return at
+}
+
+// PredictBatch returns the predicted class of every row of hvs.
+func (m *Model) PredictBatch(hvs *tensor.Tensor) []int {
+	return tensor.ArgmaxRows(m.SimilarityBatch(hvs))
+}
+
+// Accuracy scores the model on a labelled hypervector set.
+func (m *Model) Accuracy(hvs *tensor.Tensor, labels []int) float64 {
+	preds := m.PredictBatch(hvs)
+	correct := 0
+	for i, p := range preds {
+		if p == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(labels))
+}
+
+// Clone returns a deep copy, used by hyperparameter sweeps that retrain from
+// a common initialization.
+func (m *Model) Clone() *Model {
+	return &Model{K: m.K, D: m.D, M: m.M.Clone()}
+}
+
+// QueryGrad returns dL/dH for a batch given the update matrix U ([N, K]):
+// the similarity objective the retraining ascends is Σ_k U_k·δ(C_k, H), whose
+// gradient w.r.t. H is Σ_k U_k·C_k = U @ M. The manifold learner consumes
+// this through the HD decoder (Sec. V-C); it is the dual of the class update
+// M += λ Uᵀ H.
+func (m *Model) QueryGrad(u *tensor.Tensor) *tensor.Tensor {
+	if u.Rank() != 2 || u.Shape[1] != m.K {
+		panic(fmt.Sprintf("hdlearn: QueryGrad expects [N %d], got %v", m.K, u.Shape))
+	}
+	return tensor.MatMul(u, m.M) // [N, D]
+}
+
+// NormalizeRows rescales each class hypervector to unit norm. Optional
+// stabilization after many retraining iterations.
+func (m *Model) NormalizeRows() {
+	for k := 0; k < m.K; k++ {
+		row := hdc.Hypervector(m.M.Row(k))
+		n := row.Norm()
+		if n > 0 {
+			row.Scale(float32(1 / n))
+		}
+	}
+}
+
+// MemoryBytes reports model storage: K·D float32 values, or the packed
+// binary footprint when quantized for FPGA deployment.
+func (m *Model) MemoryBytes(packed bool) int64 {
+	if packed {
+		return int64(m.K) * int64((m.D+63)/64) * 8
+	}
+	return int64(m.K) * int64(m.D) * 4
+}
+
+// InferenceMACs counts multiply-accumulates of classifying one query:
+// K class similarities of D dims each.
+func (m *Model) InferenceMACs() int64 { return int64(m.K) * int64(m.D) }
+
+func checkHVs(m *Model, hvs *tensor.Tensor, labels []int) {
+	if hvs.Rank() != 2 || hvs.Shape[1] != m.D {
+		panic(fmt.Sprintf("hdlearn: expected [N %d] hypervectors, got %v", m.D, hvs.Shape))
+	}
+	if hvs.Shape[0] != len(labels) {
+		panic(fmt.Sprintf("hdlearn: %d hypervectors but %d labels", hvs.Shape[0], len(labels)))
+	}
+	for _, y := range labels {
+		if y < 0 || y >= m.K {
+			panic(fmt.Sprintf("hdlearn: label %d out of range [0,%d)", y, m.K))
+		}
+	}
+}

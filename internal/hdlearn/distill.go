@@ -1,0 +1,159 @@
+package hdlearn
+
+import (
+	"fmt"
+
+	"nshd/internal/hdc"
+	"nshd/internal/tensor"
+)
+
+// DistillConfig configures Algorithm 1: MASS retraining whose update vector
+// blends the ground-truth one-hot target with the teacher CNN's softened
+// predictions.
+type DistillConfig struct {
+	Epochs int
+	// LR is the learning rate λ.
+	LR float64
+	// Alpha weighs the distilled update against the one-hot update
+	// (0 = pure MASS, 1 = pure distillation).
+	Alpha float64
+	// Temp is the softening temperature t applied to both the student's
+	// similarity scores and the teacher's logits.
+	Temp float64
+	// Shuffle randomizes sample order each epoch when an RNG is supplied.
+	Shuffle bool
+}
+
+// Validate rejects hyperparameters Algorithm 1 cannot run with.
+func (c DistillConfig) Validate() error {
+	if c.Epochs < 1 {
+		return fmt.Errorf("hdlearn: distill epochs %d < 1", c.Epochs)
+	}
+	if c.Temp <= 0 {
+		return fmt.Errorf("hdlearn: distill temperature %v must be positive", c.Temp)
+	}
+	if c.Alpha < 0 || c.Alpha > 1 {
+		return fmt.Errorf("hdlearn: distill alpha %v outside [0,1]", c.Alpha)
+	}
+	return nil
+}
+
+// TrainDistill implements Algorithm 1 (NSHD Knowledge Distillation):
+//
+//	for each training hypervector H:
+//	  similarity_values = δ(M, H)
+//	  soft_pred         = similarity_values / t
+//	  soft_labels       = softmax(teacher_pred) / t
+//	  distilled_updates = soft_labels − soft_pred
+//	  U = (1−α)·(one_hot − similarity_values) + α·distilled_updates
+//	  M = M + λ·Uᵀ·H
+//
+// teacherLogits is the [N, K] output of the full, uncut CNN on the same
+// samples. The returned history also carries the mean update mass so sweeps
+// can observe convergence.
+func (m *Model) TrainDistill(hvs *tensor.Tensor, labels []int, teacherLogits *tensor.Tensor, cfg DistillConfig, rng *tensor.RNG) ([]EpochStats, error) {
+	checkHVs(m, hvs, labels)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if teacherLogits.Rank() != 2 || teacherLogits.Shape[0] != hvs.Shape[0] || teacherLogits.Shape[1] != m.K {
+		return nil, fmt.Errorf("hdlearn: teacher logits shape %v, want [%d %d]", teacherLogits.Shape, hvs.Shape[0], m.K)
+	}
+	n := hvs.Shape[0]
+
+	// Precompute the teacher's soft labels once; they do not change across
+	// epochs. This is the "optimized computation cost" integration the paper
+	// highlights: the CNN runs forward-only, a single time.
+	softLabels := tensor.New(n, m.K)
+	for i := 0; i < n; i++ {
+		tensor.Softmax(softLabels.Row(i), teacherLogits.Row(i))
+		row := softLabels.Row(i)
+		for k := range row {
+			row[k] /= float32(cfg.Temp)
+		}
+	}
+
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	lr := float32(cfg.LR)
+	alpha := float32(cfg.Alpha)
+	invT := float32(1 / cfg.Temp)
+	var history []EpochStats
+	for epoch := 1; epoch <= cfg.Epochs; epoch++ {
+		if cfg.Shuffle && rng != nil {
+			rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		}
+		correct := 0
+		var updateNorm float64
+		for _, idx := range order {
+			h := hdc.Hypervector(hvs.Row(idx))
+			y := labels[idx]
+			sims := m.Similarity(h)
+			if argmax32(sims) == y {
+				correct++
+			}
+			soft := softLabels.Row(idx)
+			for k := 0; k < m.K; k++ {
+				// One-hot update component.
+				hard := -sims[k]
+				if k == y {
+					hard += 1
+				}
+				// Distilled update component.
+				distilled := soft[k] - sims[k]*invT
+				u := (1-alpha)*hard + alpha*distilled
+				updateNorm += abs64(u)
+				if u != 0 {
+					hdc.WeightedBundleInto(hdc.Hypervector(m.M.Row(k)), lr*u, h)
+				}
+			}
+		}
+		history = append(history, EpochStats{
+			Epoch:          epoch,
+			TrainAccuracy:  float64(correct) / float64(n),
+			MeanUpdateNorm: updateNorm / float64(n),
+		})
+	}
+	return history, nil
+}
+
+// DistillUpdateBatch computes the update matrix U ([N, K]) of Algorithm 1
+// for a whole batch without applying it. The NSHD pipeline uses this both to
+// update M (M += λ·Uᵀ·H) and to derive the manifold learner's gradient
+// through Model.QueryGrad.
+func (m *Model) DistillUpdateBatch(hvs *tensor.Tensor, labels []int, teacherLogits *tensor.Tensor, alpha, temp float64) *tensor.Tensor {
+	checkHVs(m, hvs, labels)
+	n := hvs.Shape[0]
+	sims := m.SimilarityBatch(hvs) // [N, K]
+	u := tensor.New(n, m.K)
+	soft := make([]float32, m.K)
+	a := float32(alpha)
+	invT := float32(1 / temp)
+	for i := 0; i < n; i++ {
+		tensor.Softmax(soft, teacherLogits.Row(i))
+		srow := sims.Row(i)
+		urow := u.Row(i)
+		y := labels[i]
+		for k := 0; k < m.K; k++ {
+			hard := -srow[k]
+			if k == y {
+				hard += 1
+			}
+			distilled := soft[k]*invT - srow[k]*invT
+			urow[k] = (1-a)*hard + a*distilled
+		}
+	}
+	return u
+}
+
+// ApplyUpdate performs M += λ·Uᵀ·H for a batch: the bundled class-wise error
+// hypervectors E = λ·Uᵀ·H of Sec. V-C.
+func (m *Model) ApplyUpdate(u, hvs *tensor.Tensor, lr float64) {
+	if u.Shape[0] != hvs.Shape[0] || u.Shape[1] != m.K || hvs.Shape[1] != m.D {
+		panic(fmt.Sprintf("hdlearn: ApplyUpdate shapes U=%v H=%v", u.Shape, hvs.Shape))
+	}
+	e := tensor.TransposeMatMul(u, hvs) // [K, D]
+	m.M.AXPY(float32(lr), e)
+}

@@ -1,0 +1,132 @@
+package hdlearn
+
+import (
+	"nshd/internal/hdc"
+	"nshd/internal/tensor"
+)
+
+// MASSConfig configures Many-class Similarity Scaling retraining
+// (CascadeHD, DAC'21), the base procedure NSHD's Algorithm 1 extends.
+type MASSConfig struct {
+	Epochs int
+	// LR is the learning rate λ scaling each bundled update.
+	LR float64
+	// Shuffle randomizes sample order each epoch when an RNG is supplied.
+	Shuffle bool
+}
+
+// EpochStats reports training progress for one retraining epoch.
+type EpochStats struct {
+	Epoch int
+	// TrainAccuracy is measured on the fly during the epoch.
+	TrainAccuracy float64
+	// MeanUpdateNorm is the average L1 mass of the per-sample update vector
+	// U — it shrinks as the model converges.
+	MeanUpdateNorm float64
+}
+
+// TrainMASS retrains class hypervectors with class-wise similarity
+// differences: for each training hypervector H with label y,
+//
+//	U = one_hot(y) − δ(M, H)
+//	M = M + λ·Uᵀ·H
+//
+// Misclassified samples produce large updates on both the correct class
+// (pulling it toward H) and the confused classes (pushing them away).
+func (m *Model) TrainMASS(hvs *tensor.Tensor, labels []int, cfg MASSConfig, rng *tensor.RNG) []EpochStats {
+	checkHVs(m, hvs, labels)
+	n := hvs.Shape[0]
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	lr := float32(cfg.LR)
+	var history []EpochStats
+	for epoch := 1; epoch <= cfg.Epochs; epoch++ {
+		if cfg.Shuffle && rng != nil {
+			rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		}
+		correct := 0
+		var updateNorm float64
+		for _, idx := range order {
+			h := hdc.Hypervector(hvs.Row(idx))
+			y := labels[idx]
+			sims := m.Similarity(h)
+			if argmax32(sims) == y {
+				correct++
+			}
+			for k := 0; k < m.K; k++ {
+				u := -sims[k]
+				if k == y {
+					u += 1
+				}
+				updateNorm += abs64(u)
+				if u != 0 {
+					hdc.WeightedBundleInto(hdc.Hypervector(m.M.Row(k)), lr*u, h)
+				}
+			}
+		}
+		history = append(history, EpochStats{
+			Epoch:          epoch,
+			TrainAccuracy:  float64(correct) / float64(n),
+			MeanUpdateNorm: updateNorm / float64(n),
+		})
+	}
+	return history
+}
+
+// TrainPerceptron is the classic pre-MASS retraining baseline used by the
+// ablation benches: only on misclassification, bundle H into the correct
+// class and subtract it from the wrongly predicted class.
+func (m *Model) TrainPerceptron(hvs *tensor.Tensor, labels []int, cfg MASSConfig, rng *tensor.RNG) []EpochStats {
+	checkHVs(m, hvs, labels)
+	n := hvs.Shape[0]
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	lr := float32(cfg.LR)
+	var history []EpochStats
+	for epoch := 1; epoch <= cfg.Epochs; epoch++ {
+		if cfg.Shuffle && rng != nil {
+			rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		}
+		correct := 0
+		var updateNorm float64
+		for _, idx := range order {
+			h := hdc.Hypervector(hvs.Row(idx))
+			y := labels[idx]
+			pred := m.Predict(h)
+			if pred == y {
+				correct++
+				continue
+			}
+			updateNorm += 2
+			hdc.WeightedBundleInto(hdc.Hypervector(m.M.Row(y)), lr, h)
+			hdc.WeightedBundleInto(hdc.Hypervector(m.M.Row(pred)), -lr, h)
+		}
+		history = append(history, EpochStats{
+			Epoch:          epoch,
+			TrainAccuracy:  float64(correct) / float64(n),
+			MeanUpdateNorm: updateNorm / float64(n),
+		})
+	}
+	return history
+}
+
+func argmax32(x []float32) int {
+	best, at := x[0], 0
+	for i, v := range x {
+		if v > best {
+			best, at = v, i
+		}
+	}
+	return at
+}
+
+func abs64(v float32) float64 {
+	if v < 0 {
+		return float64(-v)
+	}
+	return float64(v)
+}

@@ -1,0 +1,93 @@
+// Package hwsim models the two hardware targets of the paper's evaluation —
+// an NVIDIA Xavier-class edge GPGPU (energy, Fig. 4) and a Xilinx ZCU104
+// DPU-style FPGA accelerator (resources Table I, throughput Fig. 6, the
+// dimension/efficiency tradeoff Fig. 10) — as analytic cost models driven by
+// the exact MAC/byte counts of the real model graphs.
+//
+// The substitution preserves the paper's quantities because every reported
+// hardware number is *relative* (percent energy improvement, relative FPS,
+// utilization fractions), and those ratios are functions of operation and
+// memory-traffic counts, which this package receives from the real pipeline
+// rather than estimating.
+package hwsim
+
+import (
+	"fmt"
+
+	"nshd/internal/core"
+	"nshd/internal/nn"
+)
+
+// EnergyModel holds per-operation energies in picojoules, following the
+// widely used 45nm-scaled figures (Horowitz, ISSCC'14) adjusted for an edge
+// GPGPU's 16nm process.
+type EnergyModel struct {
+	// MACFP32 is one float32 multiply-accumulate.
+	MACFP32 float64
+	// MACINT8 is one int8 multiply-accumulate (TensorRT-quantized path).
+	MACINT8 float64
+	// AddOnly is one addition/subtraction — the cost of a binary HD
+	// "MAC", since binding with a ±1 hypervector in constant memory
+	// reduces to add/sub on the sign bit (Sec. VI-A).
+	AddOnly float64
+	// DRAMByte / SRAMByte are per-byte access energies for global memory
+	// and on-chip (shared/constant cached) memory.
+	DRAMByte float64
+	SRAMByte float64
+}
+
+// XavierModel returns the default edge-GPGPU energy model.
+func XavierModel() EnergyModel {
+	return EnergyModel{
+		MACFP32:  4.6,
+		MACINT8:  1.3,
+		AddOnly:  0.9,
+		DRAMByte: 10.4,
+		SRAMByte: 1.0,
+	}
+}
+
+// Validate rejects non-physical models.
+func (m EnergyModel) Validate() error {
+	if m.MACFP32 <= 0 || m.MACINT8 <= 0 || m.AddOnly <= 0 || m.DRAMByte <= 0 || m.SRAMByte <= 0 {
+		return fmt.Errorf("hwsim: energy model has non-positive entries: %+v", m)
+	}
+	if m.AddOnly >= m.MACFP32 {
+		return fmt.Errorf("hwsim: add-only energy %v must undercut fp32 MAC %v", m.AddOnly, m.MACFP32)
+	}
+	return nil
+}
+
+// CNNEnergyPJ estimates one full-CNN inference in picojoules: fp32 MACs plus
+// parameter traffic from DRAM and activation traffic through SRAM.
+func (m EnergyModel) CNNEnergyPJ(s nn.Stats) float64 {
+	return float64(s.MACs)*m.MACFP32 +
+		float64(s.Params*4)*m.DRAMByte +
+		float64(s.ActBytes)*m.SRAMByte
+}
+
+// NSHDEnergyPJ estimates one NSHD inference: the CNN prefix and manifold run
+// as fp32 MACs; HD encoding and similarity run as add/sub-only binary
+// kernels with the projection held in constant memory (1 bit/element) and
+// class hypervectors streamed from DRAM.
+func (m EnergyModel) NSHDEnergyPJ(c core.CostReport, extract nn.Stats) float64 {
+	e := float64(c.ExtractorMACs)*m.MACFP32 +
+		float64(c.ManifoldMACs)*m.MACFP32 +
+		float64(c.ExtractorBytes+c.ManifoldBytes)*m.DRAMByte +
+		float64(extract.ActBytes)*m.SRAMByte
+	// Binary HD side: every "MAC" of the encode/similarity stages is an
+	// add/sub; memory traffic is the packed projection plus class HVs.
+	e += float64(c.EncodeMACs+c.SimilarityMACs) * m.AddOnly
+	e += float64(c.ProjectionBytes) * m.SRAMByte // constant-memory resident
+	e += float64(c.ClassHVBytes) * m.DRAMByte
+	return e
+}
+
+// ImprovementPercent returns the energy saving of NSHD relative to the CNN:
+// 100·(1 − E_NSHD/E_CNN). This is the quantity plotted in Fig. 4.
+func ImprovementPercent(cnnPJ, nshdPJ float64) float64 {
+	if cnnPJ <= 0 {
+		return 0
+	}
+	return 100 * (1 - nshdPJ/cnnPJ)
+}

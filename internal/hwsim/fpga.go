@@ -1,0 +1,137 @@
+package hwsim
+
+import (
+	"fmt"
+
+	"nshd/internal/core"
+)
+
+// ZCU104 available programmable-logic resources (Zynq UltraScale+ MPSoC).
+const (
+	ZCU104LUT  = 230400
+	ZCU104FF   = 460800
+	ZCU104BRAM = 312
+	ZCU104URAM = 96
+	ZCU104DSP  = 1728
+)
+
+// DPUConfig describes the DPU-style accelerator instantiated on the PL side
+// plus the HD post-processing unit NSHD adds.
+type DPUConfig struct {
+	// MACsPerCycle is the convolution array's peak int8 MACs per cycle
+	// (a B1600-class DPU core).
+	MACsPerCycle int
+	// HDBitsPerCycle is the popcount datapath width of the binary HD unit.
+	HDBitsPerCycle int
+	// FreqMHz is the PL clock.
+	FreqMHz float64
+	// StaticWatts and DynamicWatts model power as static + utilization-
+	// proportional dynamic draw.
+	StaticWatts  float64
+	DynamicWatts float64
+	// Efficiency derates the peak MAC array for tiling/boundary losses.
+	Efficiency float64
+}
+
+// DefaultDPU returns the accelerator configuration used throughout the
+// experiments; its resource footprint reproduces Table I.
+func DefaultDPU() DPUConfig {
+	return DPUConfig{
+		MACsPerCycle:   1600,
+		HDBitsPerCycle: 4096,
+		FreqMHz:        200,
+		StaticWatts:    1.2,
+		DynamicWatts:   6.99,
+		Efficiency:     0.72,
+	}
+}
+
+// Validate rejects impossible configurations.
+func (c DPUConfig) Validate() error {
+	if c.MACsPerCycle <= 0 || c.HDBitsPerCycle <= 0 || c.FreqMHz <= 0 {
+		return fmt.Errorf("hwsim: DPU config non-positive rates: %+v", c)
+	}
+	if c.Efficiency <= 0 || c.Efficiency > 1 {
+		return fmt.Errorf("hwsim: DPU efficiency %v outside (0,1]", c.Efficiency)
+	}
+	return nil
+}
+
+// ResourceRow is one line of the utilization report.
+type ResourceRow struct {
+	Name        string
+	Used        int
+	Available   int
+	Utilization float64 // percent
+}
+
+// ResourceReport models Table I: utilization of the DPU core plus the HD
+// unit on the ZCU104 PL fabric.
+type ResourceReport struct {
+	Rows    []ResourceRow
+	FreqMHz float64
+	Watts   float64
+}
+
+// Resources estimates PL utilization for the accelerator with a binary HD
+// unit of dimension d. The constants are calibrated so the default DPU at
+// D=3000 lands on the paper's Table I figures (84.9K LUT, 146.5K FF,
+// 224 BRAM, 40 URAM, 844 DSP at 200 MHz / 4.427 W).
+func (c DPUConfig) Resources(d int) ResourceReport {
+	scale := float64(c.MACsPerCycle) / 1600.0
+	// DPU core baseline.
+	lut := 78000 * scale
+	ff := 134000 * scale
+	bram := 200 * scale
+	uram := 36 * scale
+	dsp := 800 * scale
+	// HD unit: popcount tree LUTs scale with datapath width; hypervector
+	// buffers consume BRAM/URAM with D; a few DSPs handle the similarity
+	// accumulation.
+	lut += 2.3 * float64(c.HDBitsPerCycle) / 4096 * float64(d)
+	ff += 4.16 * float64(d)
+	bram += float64(d) / 125
+	uram += float64(d) / 750
+	dsp += float64(d) / 68
+	rows := []ResourceRow{
+		{Name: "LUT", Used: int(lut), Available: ZCU104LUT},
+		{Name: "FF", Used: int(ff), Available: ZCU104FF},
+		{Name: "BRAM", Used: int(bram), Available: ZCU104BRAM},
+		{Name: "URAM", Used: int(uram), Available: ZCU104URAM},
+		{Name: "DSP", Used: int(dsp), Available: ZCU104DSP},
+	}
+	var utilSum float64
+	for i := range rows {
+		rows[i].Utilization = 100 * float64(rows[i].Used) / float64(rows[i].Available)
+		utilSum += rows[i].Utilization
+	}
+	watts := c.StaticWatts + c.DynamicWatts*(utilSum/500)
+	return ResourceReport{Rows: rows, FreqMHz: c.FreqMHz, Watts: watts}
+}
+
+// CNNFPS estimates the DPU throughput of the full CNN (frames per second):
+// conv/FC MACs through the int8 array at the derated peak.
+func (c DPUConfig) CNNFPS(macs int64) float64 {
+	cycles := float64(macs) / (float64(c.MACsPerCycle) * c.Efficiency)
+	return c.FreqMHz * 1e6 / cycles
+}
+
+// NSHDFPS estimates the throughput of the NSHD pipeline: the cut CNN prefix
+// and manifold on the MAC array, and the HD encode/similarity stages on the
+// popcount datapath (binary ops, HDBitsPerCycle per cycle).
+func (c DPUConfig) NSHDFPS(costs core.CostReport) float64 {
+	macCycles := float64(costs.ExtractorMACs+costs.ManifoldMACs) /
+		(float64(c.MACsPerCycle) * c.Efficiency)
+	hdOps := float64(costs.EncodeMACs + costs.SimilarityMACs)
+	hdCycles := hdOps / float64(c.HDBitsPerCycle)
+	cycles := macCycles + hdCycles
+	return c.FreqMHz * 1e6 / cycles
+}
+
+// ThroughputImprovementPercent is Fig. 6's quantity: 100·(FPS_NSHD/FPS_CNN − 1).
+func ThroughputImprovementPercent(cnnFPS, nshdFPS float64) float64 {
+	if cnnFPS <= 0 {
+		return 0
+	}
+	return 100 * (nshdFPS/cnnFPS - 1)
+}

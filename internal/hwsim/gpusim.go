@@ -1,0 +1,110 @@
+package hwsim
+
+import "fmt"
+
+// GPUKernelModel captures the Sec. VI-A GPGPU implementation: the binary HD
+// kernels keep the bipolar hypervectors in constant memory (dedicated cache,
+// broadcast reads) and replace multiply-accumulate with sign-conditional
+// add/sub, while float tensors stream through shared memory. The model
+// estimates kernel times from instruction and memory-transaction counts, so
+// the *relative* speedup of the binary path over a float path — the paper's
+// optimization claim — falls out of arithmetic.
+type GPUKernelModel struct {
+	// CoresPerSM and SMs describe the device (Xavier: 8 SMs × 64 cores).
+	CoresPerSM, SMs int
+	// ClockMHz is the SM clock.
+	ClockMHz float64
+	// FMAPerCyclePerCore is float32 FMA throughput per core per cycle.
+	FMAPerCyclePerCore float64
+	// AddPerCyclePerCore is integer/float add throughput per core per cycle
+	// (the binary kernel's operation).
+	AddPerCyclePerCore float64
+	// GlobalBytesPerCycle is DRAM bandwidth per cycle across the device.
+	GlobalBytesPerCycle float64
+	// ConstBroadcastBytesPerCycle is effective constant-cache bandwidth; it
+	// is high because all threads of a warp read the same word.
+	ConstBroadcastBytesPerCycle float64
+}
+
+// XavierGPU returns a Xavier-class device model.
+func XavierGPU() GPUKernelModel {
+	return GPUKernelModel{
+		CoresPerSM:                  64,
+		SMs:                         8,
+		ClockMHz:                    1377,
+		FMAPerCyclePerCore:          1,
+		AddPerCyclePerCore:          1,
+		GlobalBytesPerCycle:         137, // ~137 GB/s at ~1 GHz equivalent
+		ConstBroadcastBytesPerCycle: 1024,
+	}
+}
+
+// Validate rejects non-physical device models.
+func (g GPUKernelModel) Validate() error {
+	if g.CoresPerSM <= 0 || g.SMs <= 0 || g.ClockMHz <= 0 {
+		return fmt.Errorf("hwsim: GPU model has non-positive core/clock config: %+v", g)
+	}
+	if g.FMAPerCyclePerCore <= 0 || g.AddPerCyclePerCore <= 0 {
+		return fmt.Errorf("hwsim: GPU model has non-positive throughput: %+v", g)
+	}
+	if g.GlobalBytesPerCycle <= 0 || g.ConstBroadcastBytesPerCycle <= g.GlobalBytesPerCycle {
+		return fmt.Errorf("hwsim: constant-cache bandwidth must exceed global: %+v", g)
+	}
+	return nil
+}
+
+func (g GPUKernelModel) cores() float64 { return float64(g.CoresPerSM * g.SMs) }
+
+// EncodeKernelUS estimates the HD encoding kernel time in microseconds for a
+// batch of n samples with F features into D dimensions.
+//
+// Float path: n·F·D FMAs + the projection (4 bytes/elem) streamed from
+// global memory. Binary path (Sec. VI-A): n·F·D adds with the packed
+// projection (1 bit/elem) resident in constant memory.
+func (g GPUKernelModel) EncodeKernelUS(n, f, d int, binary bool) float64 {
+	ops := float64(n) * float64(f) * float64(d)
+	var computeCycles, memCycles float64
+	if binary {
+		computeCycles = ops / (g.cores() * g.AddPerCyclePerCore)
+		projBytes := float64(f) * float64(d) / 8
+		memCycles = projBytes / g.ConstBroadcastBytesPerCycle
+	} else {
+		computeCycles = ops / (g.cores() * g.FMAPerCyclePerCore)
+		projBytes := float64(f) * float64(d) * 4
+		memCycles = projBytes / g.GlobalBytesPerCycle
+	}
+	cycles := computeCycles + memCycles
+	return cycles / g.ClockMHz // cycles / (MHz) = microseconds
+}
+
+// SimilarityKernelUS estimates the class-similarity kernel time in
+// microseconds for n queries against k class hypervectors of dimension d.
+// The binary path reads bipolar queries from constant memory and performs
+// adds/subs only.
+func (g GPUKernelModel) SimilarityKernelUS(n, k, d int, binary bool) float64 {
+	ops := float64(n) * float64(k) * float64(d)
+	classBytes := float64(k) * float64(d) * 4 // class HVs stay float
+	var computeCycles float64
+	queryBytes := float64(n) * float64(d) * 4
+	if binary {
+		computeCycles = ops / (g.cores() * g.AddPerCyclePerCore)
+		queryBytes = float64(n) * float64(d) / 8
+	} else {
+		computeCycles = ops / (g.cores() * g.FMAPerCyclePerCore)
+	}
+	memCycles := (classBytes + queryBytes) / g.GlobalBytesPerCycle
+	cycles := computeCycles + memCycles
+	return cycles / g.ClockMHz
+}
+
+// BinarySpeedup reports the end-to-end HD-stage speedup of the binary
+// kernels over the float kernels for one batch — the Sec. VI-A optimization
+// the GPU implementation contributes.
+func (g GPUKernelModel) BinarySpeedup(n, f, k, d int) float64 {
+	floatUS := g.EncodeKernelUS(n, f, d, false) + g.SimilarityKernelUS(n, k, d, false)
+	binUS := g.EncodeKernelUS(n, f, d, true) + g.SimilarityKernelUS(n, k, d, true)
+	if binUS <= 0 {
+		return 0
+	}
+	return floatUS / binUS
+}

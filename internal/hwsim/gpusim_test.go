@@ -1,0 +1,51 @@
+package hwsim
+
+import "testing"
+
+func TestGPUModelValidate(t *testing.T) {
+	if err := XavierGPU().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := XavierGPU()
+	bad.ConstBroadcastBytesPerCycle = 1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected bandwidth-ordering rejection")
+	}
+	bad2 := XavierGPU()
+	bad2.SMs = 0
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("expected core-config rejection")
+	}
+}
+
+func TestBinaryKernelFasterThanFloat(t *testing.T) {
+	g := XavierGPU()
+	n, f, k, d := 64, 100, 10, 3000
+	if enc := g.EncodeKernelUS(n, f, d, true); enc >= g.EncodeKernelUS(n, f, d, false) {
+		t.Fatal("binary encoding kernel must be faster")
+	}
+	if sim := g.SimilarityKernelUS(n, k, d, true); sim >= g.SimilarityKernelUS(n, k, d, false) {
+		t.Fatal("binary similarity kernel must be faster")
+	}
+	sp := g.BinarySpeedup(n, f, k, d)
+	if sp <= 1 {
+		t.Fatalf("binary speedup %v must exceed 1", sp)
+	}
+	if sp > 50 {
+		t.Fatalf("binary speedup %v implausibly large", sp)
+	}
+}
+
+func TestKernelTimesScale(t *testing.T) {
+	g := XavierGPU()
+	// Time grows with every extent.
+	if g.EncodeKernelUS(64, 100, 3000, true) >= g.EncodeKernelUS(128, 100, 3000, true) {
+		t.Fatal("encode time must grow with batch")
+	}
+	if g.SimilarityKernelUS(64, 10, 3000, true) >= g.SimilarityKernelUS(64, 100, 3000, true) {
+		t.Fatal("similarity time must grow with classes")
+	}
+	if g.EncodeKernelUS(64, 100, 1000, false) >= g.EncodeKernelUS(64, 100, 10000, false) {
+		t.Fatal("encode time must grow with dimension")
+	}
+}

@@ -1,0 +1,179 @@
+package hwsim
+
+import (
+	"math"
+	"testing"
+
+	"nshd/internal/core"
+	"nshd/internal/nn"
+)
+
+func TestEnergyModelValidate(t *testing.T) {
+	if err := XavierModel().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := XavierModel()
+	bad.AddOnly = 10
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected add-only > MAC rejection")
+	}
+	bad2 := XavierModel()
+	bad2.MACINT8 = 0
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("expected non-positive rejection")
+	}
+}
+
+func TestCNNEnergyMonotoneInCost(t *testing.T) {
+	m := XavierModel()
+	small := nn.Stats{MACs: 1e6, Params: 1e5, ActBytes: 1e5}
+	big := nn.Stats{MACs: 2e6, Params: 2e5, ActBytes: 2e5}
+	if m.CNNEnergyPJ(big) <= m.CNNEnergyPJ(small) {
+		t.Fatal("energy must grow with cost")
+	}
+}
+
+func TestNSHDEnergyBelowCNNForEarlyCut(t *testing.T) {
+	m := XavierModel()
+	// A CNN of 10M MACs cut at 40%: the HD side adds binary work but the
+	// saved fp32 MACs dominate → NSHD must be cheaper.
+	cnnStats := nn.Stats{MACs: 10e6, Params: 500e3, ActBytes: 400e3}
+	costs := core.CostReport{
+		ExtractorMACs:   4e6,
+		ManifoldMACs:    32 * 100,
+		EncodeMACs:      100 * 3000,
+		SimilarityMACs:  10 * 3000,
+		ExtractorBytes:  200e3 * 4,
+		ManifoldBytes:   3200 * 4,
+		ProjectionBytes: 100 * 3000 / 8,
+		ClassHVBytes:    10 * 3000 * 4,
+	}
+	extractStats := nn.Stats{MACs: costs.ExtractorMACs, Params: 200e3, ActBytes: 200e3}
+	cnnE := m.CNNEnergyPJ(cnnStats)
+	nshdE := m.NSHDEnergyPJ(costs, extractStats)
+	if nshdE >= cnnE {
+		t.Fatalf("NSHD energy %v must undercut CNN %v for an early cut", nshdE, cnnE)
+	}
+	imp := ImprovementPercent(cnnE, nshdE)
+	if imp <= 0 || imp >= 100 {
+		t.Fatalf("improvement %v%% out of range", imp)
+	}
+}
+
+func TestImprovementPercentEdgeCases(t *testing.T) {
+	if ImprovementPercent(0, 10) != 0 {
+		t.Fatal("zero-cost CNN must yield 0")
+	}
+	if got := ImprovementPercent(100, 36); math.Abs(got-64) > 1e-9 {
+		t.Fatalf("improvement = %v, want 64", got)
+	}
+}
+
+func TestDPUValidate(t *testing.T) {
+	if err := DefaultDPU().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultDPU()
+	bad.Efficiency = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected efficiency rejection")
+	}
+}
+
+func TestResourcesReproduceTable1(t *testing.T) {
+	// The paper's Table I at the default configuration (D=3000).
+	rep := DefaultDPU().Resources(3000)
+	want := map[string]struct {
+		used int
+		util float64
+	}{
+		"LUT":  {84900, 36.87},
+		"FF":   {146500, 31.80},
+		"BRAM": {224, 71.79},
+		"URAM": {40, 41.67},
+		"DSP":  {844, 48.84},
+	}
+	for _, row := range rep.Rows {
+		w := want[row.Name]
+		if relErr(float64(row.Used), float64(w.used)) > 0.05 {
+			t.Errorf("%s used = %d, paper %d", row.Name, row.Used, w.used)
+		}
+		if math.Abs(row.Utilization-w.util) > 4 {
+			t.Errorf("%s utilization = %.2f%%, paper %.2f%%", row.Name, row.Utilization, w.util)
+		}
+		if row.Used > row.Available {
+			t.Errorf("%s over-utilized", row.Name)
+		}
+	}
+	if rep.FreqMHz != 200 {
+		t.Fatalf("frequency %v", rep.FreqMHz)
+	}
+	if relErr(rep.Watts, 4.427) > 0.08 {
+		t.Fatalf("power %v W, paper 4.427 W", rep.Watts)
+	}
+}
+
+func TestResourcesGrowWithDimension(t *testing.T) {
+	dpu := DefaultDPU()
+	r1 := dpu.Resources(1000)
+	r3 := dpu.Resources(3000)
+	r10 := dpu.Resources(10000)
+	for i := range r1.Rows {
+		if !(r1.Rows[i].Used < r3.Rows[i].Used && r3.Rows[i].Used < r10.Rows[i].Used) {
+			t.Fatalf("%s does not grow with D", r1.Rows[i].Name)
+		}
+	}
+}
+
+func TestNSHDFPSBeatsCNNForEarlyCut(t *testing.T) {
+	dpu := DefaultDPU()
+	cnnMACs := int64(20e6)
+	costs := core.CostReport{
+		ExtractorMACs:  8e6,
+		ManifoldMACs:   3200,
+		EncodeMACs:     100 * 3000,
+		SimilarityMACs: 10 * 3000,
+	}
+	cnnFPS := dpu.CNNFPS(cnnMACs)
+	nshdFPS := dpu.NSHDFPS(costs)
+	if nshdFPS <= cnnFPS {
+		t.Fatalf("NSHD FPS %v must beat CNN %v", nshdFPS, cnnFPS)
+	}
+	imp := ThroughputImprovementPercent(cnnFPS, nshdFPS)
+	if imp <= 0 {
+		t.Fatalf("improvement %v", imp)
+	}
+}
+
+func TestFPSDecreasesWithDimension(t *testing.T) {
+	dpu := DefaultDPU()
+	mk := func(d int64) core.CostReport {
+		return core.CostReport{
+			ExtractorMACs:  5e6,
+			EncodeMACs:     100 * d,
+			SimilarityMACs: 10 * d,
+		}
+	}
+	f1 := dpu.NSHDFPS(mk(1000))
+	f3 := dpu.NSHDFPS(mk(3000))
+	f10 := dpu.NSHDFPS(mk(10000))
+	if !(f1 > f3 && f3 > f10) {
+		t.Fatalf("FPS must fall with D: %v %v %v", f1, f3, f10)
+	}
+}
+
+func TestThroughputImprovementEdge(t *testing.T) {
+	if ThroughputImprovementPercent(0, 5) != 0 {
+		t.Fatal("zero CNN FPS must yield 0")
+	}
+	if got := ThroughputImprovementPercent(100, 138.14); math.Abs(got-38.14) > 1e-9 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}

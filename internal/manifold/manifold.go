@@ -1,0 +1,111 @@
+// Package manifold implements NSHD's learning-driven feature compression
+// (Sec. IV-C / V-C): a max-pool with window 2 followed by a fully-connected
+// regressor Ψ: R^F → R^F̂ that maps convolution-extracted features with
+// extreme dimensionality into a small, information-preserving feature vector
+// before HD encoding.
+//
+// The layer is trained without touching the CNN: class-hypervector errors
+// are decoded through the HD encoder (binding with the projection
+// hypervectors P, a straight-through estimator standing in for sign) into
+// the manifold output space, and ordinary backpropagation updates the FC
+// weights (see core.Pipeline).
+package manifold
+
+import (
+	"fmt"
+
+	"nshd/internal/nn"
+	"nshd/internal/tensor"
+)
+
+// Learner is the manifold layer Ψ.
+type Learner struct {
+	// InShape is the per-sample output shape [C, H, W] of the feature
+	// extractor the learner compresses.
+	InShape []int
+	// FHat is the compressed feature dimension (the paper sets 100 and
+	// notes it should be at least the number of classes).
+	FHat int
+	// PooledF is the flattened dimension after max pooling.
+	PooledF int
+
+	pool    *nn.MaxPool2D // nil when the input is too small to pool
+	flatten *nn.Flatten
+	fc      *nn.Linear
+}
+
+// New constructs a manifold learner for features of the given shape.
+func New(rng *tensor.RNG, inShape []int, fhat int) (*Learner, error) {
+	if len(inShape) != 3 {
+		return nil, fmt.Errorf("manifold: input shape %v, want [C H W]", inShape)
+	}
+	if fhat < 1 {
+		return nil, fmt.Errorf("manifold: F̂ = %d must be positive", fhat)
+	}
+	l := &Learner{InShape: append([]int(nil), inShape...), FHat: fhat, flatten: nn.NewFlatten()}
+	c, h, w := inShape[0], inShape[1], inShape[2]
+	ph, pw := h, w
+	if h >= 2 && w >= 2 {
+		l.pool = nn.NewMaxPool2D(2)
+		ph, pw = h/2, w/2
+	}
+	l.PooledF = c * ph * pw
+	l.fc = nn.NewLinear(rng, l.PooledF, fhat, true)
+	return l, nil
+}
+
+// CheckClasses warns (by error) when F̂ violates the paper's guidance of
+// being at least the class count (Sec. VII-A).
+func (l *Learner) CheckClasses(classes int) error {
+	if l.FHat < classes {
+		return fmt.Errorf("manifold: F̂=%d smaller than %d classes; the paper requires F̂ ≥ classes", l.FHat, classes)
+	}
+	return nil
+}
+
+// Forward compresses a [N, C, H, W] feature batch to [N, F̂].
+func (l *Learner) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 4 {
+		panic(fmt.Sprintf("manifold: Forward expects [N C H W], got %v", x.Shape))
+	}
+	y := x
+	if l.pool != nil {
+		y = l.pool.Forward(y, train)
+	}
+	y = l.flatten.Forward(y, train)
+	return l.fc.Forward(y, train)
+}
+
+// Backward propagates dL/d(output) ([N, F̂]) into the FC parameters,
+// returning the gradient w.r.t. the (pre-pool) feature input. Callers that
+// freeze the CNN discard the return value.
+func (l *Learner) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	g := l.fc.Backward(grad)
+	g = l.flatten.Backward(g)
+	if l.pool != nil {
+		g = l.pool.Backward(g)
+	}
+	return g
+}
+
+// Params exposes the learnable parameters (the FC weights and bias).
+func (l *Learner) Params() []*nn.Param { return l.fc.Params() }
+
+// ZeroGrad clears parameter gradients.
+func (l *Learner) ZeroGrad() {
+	for _, p := range l.Params() {
+		p.ZeroGrad()
+	}
+}
+
+// Stats reports per-sample inference cost: pooling is free under the MAC
+// convention; the FC contributes PooledF·F̂ MACs. This saving is the subject
+// of Fig. 5.
+func (l *Learner) Stats() nn.Stats {
+	s := l.fc.Stats([]int{l.PooledF})
+	s.ActBytes += int64(l.PooledF) * 4
+	return s
+}
+
+// OutDim returns F̂.
+func (l *Learner) OutDim() int { return l.FHat }

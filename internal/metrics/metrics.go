@@ -1,0 +1,177 @@
+// Package metrics provides the classification metrics the experiment
+// harness and examples report: confusion matrices, per-class and top-k
+// accuracy, and macro-averaged precision/recall/F1.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nshd/internal/tensor"
+)
+
+// Confusion is a K×K confusion matrix: rows index the true class, columns
+// the predicted class.
+type Confusion struct {
+	K      int
+	Counts [][]int
+}
+
+// NewConfusion builds a confusion matrix from predictions and labels.
+func NewConfusion(k int, preds, labels []int) (*Confusion, error) {
+	if len(preds) != len(labels) {
+		return nil, fmt.Errorf("metrics: %d predictions for %d labels", len(preds), len(labels))
+	}
+	c := &Confusion{K: k, Counts: make([][]int, k)}
+	for i := range c.Counts {
+		c.Counts[i] = make([]int, k)
+	}
+	for i, p := range preds {
+		y := labels[i]
+		if y < 0 || y >= k || p < 0 || p >= k {
+			return nil, fmt.Errorf("metrics: sample %d has label %d / prediction %d outside [0,%d)", i, y, p, k)
+		}
+		c.Counts[y][p]++
+	}
+	return c, nil
+}
+
+// Total returns the number of samples.
+func (c *Confusion) Total() int {
+	n := 0
+	for _, row := range c.Counts {
+		for _, v := range row {
+			n += v
+		}
+	}
+	return n
+}
+
+// Accuracy is the trace fraction.
+func (c *Confusion) Accuracy() float64 {
+	n := c.Total()
+	if n == 0 {
+		return 0
+	}
+	correct := 0
+	for i := 0; i < c.K; i++ {
+		correct += c.Counts[i][i]
+	}
+	return float64(correct) / float64(n)
+}
+
+// PerClassAccuracy returns recall per class (NaN-free: classes with no
+// samples report 0).
+func (c *Confusion) PerClassAccuracy() []float64 {
+	out := make([]float64, c.K)
+	for i := 0; i < c.K; i++ {
+		var row int
+		for _, v := range c.Counts[i] {
+			row += v
+		}
+		if row > 0 {
+			out[i] = float64(c.Counts[i][i]) / float64(row)
+		}
+	}
+	return out
+}
+
+// PrecisionRecallF1 returns macro-averaged precision, recall and F1.
+func (c *Confusion) PrecisionRecallF1() (precision, recall, f1 float64) {
+	var pSum, rSum, fSum float64
+	for i := 0; i < c.K; i++ {
+		tp := float64(c.Counts[i][i])
+		var colSum, rowSum float64
+		for j := 0; j < c.K; j++ {
+			colSum += float64(c.Counts[j][i])
+			rowSum += float64(c.Counts[i][j])
+		}
+		var p, r float64
+		if colSum > 0 {
+			p = tp / colSum
+		}
+		if rowSum > 0 {
+			r = tp / rowSum
+		}
+		var f float64
+		if p+r > 0 {
+			f = 2 * p * r / (p + r)
+		}
+		pSum += p
+		rSum += r
+		fSum += f
+	}
+	k := float64(c.K)
+	return pSum / k, rSum / k, fSum / k
+}
+
+// MostConfused returns the n largest off-diagonal cells as (true, pred,
+// count) triples, sorted descending — the error-analysis view.
+func (c *Confusion) MostConfused(n int) [][3]int {
+	var cells [][3]int
+	for i := 0; i < c.K; i++ {
+		for j := 0; j < c.K; j++ {
+			if i != j && c.Counts[i][j] > 0 {
+				cells = append(cells, [3]int{i, j, c.Counts[i][j]})
+			}
+		}
+	}
+	sort.Slice(cells, func(a, b int) bool {
+		if cells[a][2] != cells[b][2] {
+			return cells[a][2] > cells[b][2]
+		}
+		if cells[a][0] != cells[b][0] {
+			return cells[a][0] < cells[b][0]
+		}
+		return cells[a][1] < cells[b][1]
+	})
+	if n < len(cells) {
+		cells = cells[:n]
+	}
+	return cells
+}
+
+// String renders the matrix compactly for small K.
+func (c *Confusion) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "confusion (%d classes, %d samples):\n", c.K, c.Total())
+	for i := 0; i < c.K; i++ {
+		for j := 0; j < c.K; j++ {
+			fmt.Fprintf(&b, "%5d", c.Counts[i][j])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TopKAccuracy scores [N, K] prediction scores against labels: a sample
+// counts as correct when its label is among the k highest-scoring classes.
+func TopKAccuracy(scores *tensor.Tensor, labels []int, k int) (float64, error) {
+	if scores.Rank() != 2 {
+		return 0, fmt.Errorf("metrics: scores rank %d", scores.Rank())
+	}
+	n, classes := scores.Shape[0], scores.Shape[1]
+	if len(labels) != n {
+		return 0, fmt.Errorf("metrics: %d labels for %d rows", len(labels), n)
+	}
+	if k < 1 || k > classes {
+		return 0, fmt.Errorf("metrics: top-%d of %d classes", k, classes)
+	}
+	correct := 0
+	idx := make([]int, classes)
+	for i := 0; i < n; i++ {
+		row := scores.Row(i)
+		for j := range idx {
+			idx[j] = j
+		}
+		sort.Slice(idx, func(a, b int) bool { return row[idx[a]] > row[idx[b]] })
+		for _, j := range idx[:k] {
+			if j == labels[i] {
+				correct++
+				break
+			}
+		}
+	}
+	return float64(correct) / float64(n), nil
+}

@@ -1,0 +1,139 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"nshd/internal/tensor"
+)
+
+func TestConfusionBasics(t *testing.T) {
+	preds := []int{0, 0, 1, 1, 2, 0}
+	labels := []int{0, 0, 1, 2, 2, 1}
+	c, err := NewConfusion(3, preds, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Total() != 6 {
+		t.Fatalf("Total = %d", c.Total())
+	}
+	// Correct: samples 0,1,2,4 → 4/6.
+	if got := c.Accuracy(); math.Abs(got-4.0/6) > 1e-9 {
+		t.Fatalf("Accuracy = %v", got)
+	}
+	if c.Counts[1][0] != 1 || c.Counts[2][1] != 1 {
+		t.Fatalf("off-diagonal wrong: %v", c.Counts)
+	}
+	per := c.PerClassAccuracy()
+	if per[0] != 1 || math.Abs(per[1]-0.5) > 1e-9 || math.Abs(per[2]-0.5) > 1e-9 {
+		t.Fatalf("PerClassAccuracy = %v", per)
+	}
+}
+
+func TestConfusionValidation(t *testing.T) {
+	if _, err := NewConfusion(2, []int{0}, []int{0, 1}); err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+	if _, err := NewConfusion(2, []int{5}, []int{0}); err == nil {
+		t.Fatal("expected range error")
+	}
+}
+
+func TestPrecisionRecallF1Perfect(t *testing.T) {
+	c, _ := NewConfusion(3, []int{0, 1, 2}, []int{0, 1, 2})
+	p, r, f := c.PrecisionRecallF1()
+	if p != 1 || r != 1 || f != 1 {
+		t.Fatalf("perfect predictions: p=%v r=%v f=%v", p, r, f)
+	}
+}
+
+func TestPrecisionRecallF1Known(t *testing.T) {
+	// Class 0: tp=1 fp=1 fn=0 → p=0.5 r=1 f=2/3. Class 1: tp=0 → all 0.
+	c, _ := NewConfusion(2, []int{0, 0}, []int{0, 1})
+	p, r, f := c.PrecisionRecallF1()
+	if math.Abs(p-0.25) > 1e-9 || math.Abs(r-0.5) > 1e-9 {
+		t.Fatalf("p=%v r=%v", p, r)
+	}
+	if math.Abs(f-(2.0/3)/2) > 1e-9 {
+		t.Fatalf("f=%v", f)
+	}
+}
+
+func TestMostConfused(t *testing.T) {
+	preds := []int{1, 1, 1, 2, 0, 0}
+	labels := []int{0, 0, 0, 0, 0, 0}
+	c, _ := NewConfusion(3, preds, labels)
+	top := c.MostConfused(2)
+	if len(top) != 2 {
+		t.Fatalf("cells = %v", top)
+	}
+	if top[0] != [3]int{0, 1, 3} {
+		t.Fatalf("top cell = %v", top[0])
+	}
+	if top[1] != [3]int{0, 2, 1} {
+		t.Fatalf("second cell = %v", top[1])
+	}
+}
+
+func TestConfusionString(t *testing.T) {
+	c, _ := NewConfusion(2, []int{0, 1}, []int{0, 1})
+	s := c.String()
+	if !strings.Contains(s, "2 classes") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestTopKAccuracy(t *testing.T) {
+	scores := tensor.FromSlice([]float32{
+		0.5, 0.3, 0.2, // label 1: top-1 wrong, top-2 right
+		0.1, 0.7, 0.2, // label 1: top-1 right
+		0.3, 0.3, 0.4, // label 0: top-1 wrong, top-2 ambiguous-sorted stable
+	}, 3, 3)
+	labels := []int{1, 1, 0}
+	top1, err := TopKAccuracy(scores, labels, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(top1-1.0/3) > 1e-9 {
+		t.Fatalf("top-1 = %v", top1)
+	}
+	top3, _ := TopKAccuracy(scores, labels, 3)
+	if top3 != 1 {
+		t.Fatalf("top-3 = %v", top3)
+	}
+	top2, _ := TopKAccuracy(scores, labels, 2)
+	if top2 < 2.0/3-1e-9 {
+		t.Fatalf("top-2 = %v", top2)
+	}
+	if _, err := TopKAccuracy(scores, labels, 9); err == nil {
+		t.Fatal("expected k-range error")
+	}
+	if _, err := TopKAccuracy(scores, []int{0}, 1); err == nil {
+		t.Fatal("expected label-length error")
+	}
+}
+
+func TestTopKMonotone(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	scores := tensor.New(50, 8)
+	rng.FillNormal(scores, 0, 1)
+	labels := make([]int, 50)
+	for i := range labels {
+		labels[i] = rng.Intn(8)
+	}
+	prev := 0.0
+	for k := 1; k <= 8; k++ {
+		acc, err := TopKAccuracy(scores, labels, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if acc < prev {
+			t.Fatalf("top-k accuracy must be monotone in k: %v < %v at k=%d", acc, prev, k)
+		}
+		prev = acc
+	}
+	if prev != 1 {
+		t.Fatalf("top-K (K=classes) must be 1, got %v", prev)
+	}
+}

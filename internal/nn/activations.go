@@ -1,0 +1,211 @@
+package nn
+
+import (
+	"math"
+
+	"nshd/internal/tensor"
+)
+
+// ReLU is max(0, x).
+type ReLU struct {
+	cachedMask  []bool
+	cachedShape []int
+}
+
+// NewReLU constructs a ReLU activation.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return "relu" }
+
+// Forward clamps negatives to zero.
+func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	y := tensor.New(x.Shape...)
+	var mask []bool
+	if train {
+		mask = make([]bool, x.Len())
+		r.cachedShape = append([]int(nil), x.Shape...)
+	}
+	for i, v := range x.Data {
+		if v > 0 {
+			y.Data[i] = v
+			if mask != nil {
+				mask[i] = true
+			}
+		}
+	}
+	r.cachedMask = mask
+	return y
+}
+
+// Backward zeroes gradients where the input was non-positive.
+func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if r.cachedMask == nil {
+		panic("nn: ReLU.Backward without Forward(train=true)")
+	}
+	dx := tensor.New(r.cachedShape...)
+	for i, on := range r.cachedMask {
+		if on {
+			dx.Data[i] = grad.Data[i]
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (r *ReLU) OutShape(in []int) []int { return in }
+
+// Stats implements Layer.
+func (r *ReLU) Stats(in []int) Stats { return Stats{ActBytes: int64(shapeElems(in)) * 4} }
+
+// ReLU6 is min(max(0,x),6), the clipped activation MobileNetV2 uses.
+type ReLU6 struct {
+	cachedPass  []bool
+	cachedShape []int
+}
+
+// NewReLU6 constructs a ReLU6 activation.
+func NewReLU6() *ReLU6 { return &ReLU6{} }
+
+// Name implements Layer.
+func (r *ReLU6) Name() string { return "relu6" }
+
+// Forward clamps to [0, 6].
+func (r *ReLU6) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	y := tensor.New(x.Shape...)
+	var pass []bool
+	if train {
+		pass = make([]bool, x.Len())
+		r.cachedShape = append([]int(nil), x.Shape...)
+	}
+	for i, v := range x.Data {
+		switch {
+		case v <= 0:
+		case v >= 6:
+			y.Data[i] = 6
+		default:
+			y.Data[i] = v
+			if pass != nil {
+				pass[i] = true
+			}
+		}
+	}
+	r.cachedPass = pass
+	return y
+}
+
+// Backward passes gradients only in the linear region (0 < x < 6).
+func (r *ReLU6) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if r.cachedPass == nil {
+		panic("nn: ReLU6.Backward without Forward(train=true)")
+	}
+	dx := tensor.New(r.cachedShape...)
+	for i, on := range r.cachedPass {
+		if on {
+			dx.Data[i] = grad.Data[i]
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (r *ReLU6) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (r *ReLU6) OutShape(in []int) []int { return in }
+
+// Stats implements Layer.
+func (r *ReLU6) Stats(in []int) Stats { return Stats{ActBytes: int64(shapeElems(in)) * 4} }
+
+// Sigmoid is 1/(1+e^-x).
+type Sigmoid struct {
+	cachedY *tensor.Tensor
+}
+
+// NewSigmoid constructs a sigmoid activation.
+func NewSigmoid() *Sigmoid { return &Sigmoid{} }
+
+// Name implements Layer.
+func (s *Sigmoid) Name() string { return "sigmoid" }
+
+func sigmoid32(v float32) float32 {
+	return float32(1 / (1 + math.Exp(-float64(v))))
+}
+
+// Forward applies the logistic function.
+func (s *Sigmoid) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	y := x.Map(sigmoid32)
+	if train {
+		s.cachedY = y
+	} else {
+		s.cachedY = nil
+	}
+	return y
+}
+
+// Backward uses dy/dx = y(1-y).
+func (s *Sigmoid) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if s.cachedY == nil {
+		panic("nn: Sigmoid.Backward without Forward(train=true)")
+	}
+	dx := tensor.New(s.cachedY.Shape...)
+	for i, y := range s.cachedY.Data {
+		dx.Data[i] = grad.Data[i] * y * (1 - y)
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (s *Sigmoid) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (s *Sigmoid) OutShape(in []int) []int { return in }
+
+// Stats implements Layer.
+func (s *Sigmoid) Stats(in []int) Stats { return Stats{ActBytes: int64(shapeElems(in)) * 4} }
+
+// SiLU (swish) is x·sigmoid(x), the activation EfficientNet uses.
+type SiLU struct {
+	cachedX *tensor.Tensor
+}
+
+// NewSiLU constructs a SiLU activation.
+func NewSiLU() *SiLU { return &SiLU{} }
+
+// Name implements Layer.
+func (s *SiLU) Name() string { return "silu" }
+
+// Forward computes x·σ(x).
+func (s *SiLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if train {
+		s.cachedX = x
+	} else {
+		s.cachedX = nil
+	}
+	return x.Map(func(v float32) float32 { return v * sigmoid32(v) })
+}
+
+// Backward uses d/dx[xσ(x)] = σ(x)(1 + x(1-σ(x))).
+func (s *SiLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if s.cachedX == nil {
+		panic("nn: SiLU.Backward without Forward(train=true)")
+	}
+	dx := tensor.New(s.cachedX.Shape...)
+	for i, v := range s.cachedX.Data {
+		sg := sigmoid32(v)
+		dx.Data[i] = grad.Data[i] * sg * (1 + v*(1-sg))
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (s *SiLU) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (s *SiLU) OutShape(in []int) []int { return in }
+
+// Stats implements Layer.
+func (s *SiLU) Stats(in []int) Stats { return Stats{ActBytes: int64(shapeElems(in)) * 4} }

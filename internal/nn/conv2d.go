@@ -1,0 +1,368 @@
+package nn
+
+import (
+	"fmt"
+
+	"nshd/internal/tensor"
+)
+
+// Conv2D is a standard 2-D convolution over [N, C, H, W] inputs with weights
+// [OutC, InC, KH, KW]. Forward uses im2col + matmul; backward recomputes the
+// column matrix per sample to trade compute for memory.
+type Conv2D struct {
+	InC, OutC     int
+	KH, KW        int
+	Stride, Pad   int
+	Weight        *Param
+	Bias          *Param
+	useBias       bool
+	cachedX       *tensor.Tensor
+	cachedInShape []int
+}
+
+// NewConv2D constructs a convolution with He-normal weights.
+func NewConv2D(rng *tensor.RNG, inC, outC, k, stride, pad int, bias bool) *Conv2D {
+	c := &Conv2D{
+		InC: inC, OutC: outC, KH: k, KW: k, Stride: stride, Pad: pad,
+		Weight:  newParam(fmt.Sprintf("conv%dx%d_%d_%d.w", k, k, inC, outC), outC, inC, k, k),
+		useBias: bias,
+	}
+	rng.KaimingConv(c.Weight.W)
+	if bias {
+		c.Bias = newParam(fmt.Sprintf("conv%dx%d_%d_%d.b", k, k, inC, outC), outC)
+	}
+	return c
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string {
+	return fmt.Sprintf("conv%dx%d(%d→%d,s%d,p%d)", c.KH, c.KW, c.InC, c.OutC, c.Stride, c.Pad)
+}
+
+func (c *Conv2D) geom(h, w int) tensor.ConvGeom {
+	return tensor.ConvGeom{
+		InC: c.InC, InH: h, InW: w,
+		KH: c.KH, KW: c.KW,
+		StrideH: c.Stride, StrideW: c.Stride,
+		PadH: c.Pad, PadW: c.Pad,
+	}
+}
+
+// Forward computes the convolution for every sample in the batch in parallel.
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n := batchOf(x, "Conv2D")
+	if x.Rank() != 4 || x.Shape[1] != c.InC {
+		panic(fmt.Sprintf("nn: Conv2D expects [N %d H W], got %v", c.InC, x.Shape))
+	}
+	h, w := x.Shape[2], x.Shape[3]
+	g := c.geom(h, w)
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+	outH, outW := g.OutH(), g.OutW()
+	y := tensor.New(n, c.OutC, outH, outW)
+	if train {
+		c.cachedX = x
+		c.cachedInShape = []int{c.InC, h, w}
+	} else {
+		c.cachedX = nil
+	}
+	wmat := c.Weight.W.Reshape(c.OutC, c.InC*c.KH*c.KW)
+	sampleIn := c.InC * h * w
+	sampleOut := c.OutC * outH * outW
+	tensor.ParallelFor(n, func(lo, hi int) {
+		cols := tensor.New(c.InC*c.KH*c.KW, outH*outW)
+		out := tensor.New(c.OutC, outH*outW)
+		for i := lo; i < hi; i++ {
+			tensor.Im2Col(g, x.Data[i*sampleIn:(i+1)*sampleIn], cols)
+			tensor.MatMulInto(out, wmat, cols)
+			dst := y.Data[i*sampleOut : (i+1)*sampleOut]
+			copy(dst, out.Data)
+			if c.useBias {
+				for oc := 0; oc < c.OutC; oc++ {
+					b := c.Bias.W.Data[oc]
+					seg := dst[oc*outH*outW : (oc+1)*outH*outW]
+					for j := range seg {
+						seg[j] += b
+					}
+				}
+			}
+		}
+	})
+	return y
+}
+
+// Backward accumulates weight/bias gradients and returns dx.
+func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if c.cachedX == nil {
+		panic("nn: Conv2D.Backward without Forward(train=true)")
+	}
+	x := c.cachedX
+	n := x.Shape[0]
+	h, w := x.Shape[2], x.Shape[3]
+	g := c.geom(h, w)
+	outH, outW := g.OutH(), g.OutW()
+	sampleIn := c.InC * h * w
+	sampleOut := c.OutC * outH * outW
+	kdim := c.InC * c.KH * c.KW
+
+	dx := tensor.New(n, c.InC, h, w)
+	wmat := c.Weight.W.Reshape(c.OutC, kdim)
+	wmatT := tensor.Transpose(wmat) // [kdim, OutC]
+
+	// Per-chunk weight gradient accumulators merged at the end to keep the
+	// batch loop lock-free.
+	type acc struct {
+		dw *tensor.Tensor
+		db []float32
+	}
+	type job struct{ lo, hi int }
+	var jobs []job
+	const chunk = 4
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		jobs = append(jobs, job{lo, hi})
+	}
+	workerAccs := make([]*acc, len(jobs))
+	for i := range jobs {
+		workerAccs[i] = &acc{dw: tensor.New(c.OutC, kdim), db: make([]float32, c.OutC)}
+	}
+	tensor.ParallelFor(len(jobs), func(jlo, jhi int) {
+		cols := tensor.New(kdim, outH*outW)
+		dcols := tensor.New(kdim, outH*outW)
+		for ji := jlo; ji < jhi; ji++ {
+			a := workerAccs[ji]
+			for i := jobs[ji].lo; i < jobs[ji].hi; i++ {
+				gslice := grad.Data[i*sampleOut : (i+1)*sampleOut]
+				gmat := tensor.FromSlice(gslice, c.OutC, outH*outW)
+				// dW += g @ colsᵀ
+				tensor.Im2Col(g, x.Data[i*sampleIn:(i+1)*sampleIn], cols)
+				for oc := 0; oc < c.OutC; oc++ {
+					grow := gmat.Row(oc)
+					dwrow := a.dw.Row(oc)
+					for kd := 0; kd < kdim; kd++ {
+						dwrow[kd] += tensor.Dot(grow, cols.Row(kd))
+					}
+					if c.useBias {
+						var s float32
+						for _, v := range grow {
+							s += v
+						}
+						a.db[oc] += s
+					}
+				}
+				// dcols = Wᵀ @ g ; dx = col2im(dcols)
+				tensor.MatMulInto(dcols, wmatT, gmat)
+				tensor.Col2Im(g, dcols, dx.Data[i*sampleIn:(i+1)*sampleIn])
+			}
+		}
+	})
+	for _, a := range workerAccs {
+		c.Weight.Grad.Reshape(c.OutC, kdim).AXPY(1, a.dw)
+		if c.useBias {
+			for oc, v := range a.db {
+				c.Bias.Grad.Data[oc] += v
+			}
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param {
+	if c.useBias {
+		return []*Param{c.Weight, c.Bias}
+	}
+	return []*Param{c.Weight}
+}
+
+// OutShape implements Layer.
+func (c *Conv2D) OutShape(in []int) []int {
+	if len(in) != 3 || in[0] != c.InC {
+		panic(fmt.Sprintf("nn: Conv2D(%d in) given input shape %v", c.InC, in))
+	}
+	g := c.geom(in[1], in[2])
+	return []int{c.OutC, g.OutH(), g.OutW()}
+}
+
+// Stats implements Layer.
+func (c *Conv2D) Stats(in []int) Stats {
+	out := c.OutShape(in)
+	outElems := int64(out[1] * out[2])
+	macs := outElems * int64(c.OutC) * int64(c.InC*c.KH*c.KW)
+	p := int64(c.OutC * c.InC * c.KH * c.KW)
+	if c.useBias {
+		p += int64(c.OutC)
+	}
+	return Stats{MACs: macs, Params: p, ActBytes: int64(c.OutC) * outElems * 4}
+}
+
+// DepthwiseConv2D convolves each channel with its own k×k filter (groups ==
+// channels), the core of MobileNetV2/EfficientNet blocks. Weights are [C, KH, KW].
+type DepthwiseConv2D struct {
+	C           int
+	KH, KW      int
+	Stride, Pad int
+	Weight      *Param
+	cachedX     *tensor.Tensor
+}
+
+// NewDepthwiseConv2D constructs a depthwise convolution.
+func NewDepthwiseConv2D(rng *tensor.RNG, c, k, stride, pad int) *DepthwiseConv2D {
+	d := &DepthwiseConv2D{
+		C: c, KH: k, KW: k, Stride: stride, Pad: pad,
+		Weight: newParam(fmt.Sprintf("dwconv%dx%d_%d.w", k, k, c), c, k, k),
+	}
+	// He-normal with fan-in = k*k (one input channel per filter).
+	w4 := d.Weight.W.Reshape(c, 1, k, k)
+	rng.KaimingConv(w4)
+	return d
+}
+
+// Name implements Layer.
+func (d *DepthwiseConv2D) Name() string {
+	return fmt.Sprintf("dwconv%dx%d(%d,s%d)", d.KH, d.KW, d.C, d.Stride)
+}
+
+func (d *DepthwiseConv2D) geom(h, w int) tensor.ConvGeom {
+	return tensor.ConvGeom{
+		InC: 1, InH: h, InW: w,
+		KH: d.KH, KW: d.KW,
+		StrideH: d.Stride, StrideW: d.Stride,
+		PadH: d.Pad, PadW: d.Pad,
+	}
+}
+
+// Forward applies each channel's filter independently.
+func (d *DepthwiseConv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n := batchOf(x, "DepthwiseConv2D")
+	if x.Rank() != 4 || x.Shape[1] != d.C {
+		panic(fmt.Sprintf("nn: DepthwiseConv2D expects [N %d H W], got %v", d.C, x.Shape))
+	}
+	h, w := x.Shape[2], x.Shape[3]
+	g := d.geom(h, w)
+	outH, outW := g.OutH(), g.OutW()
+	y := tensor.New(n, d.C, outH, outW)
+	if train {
+		d.cachedX = x
+	} else {
+		d.cachedX = nil
+	}
+	chanIn := h * w
+	chanOut := outH * outW
+	tensor.ParallelFor(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for ch := 0; ch < d.C; ch++ {
+				src := x.Data[(i*d.C+ch)*chanIn : (i*d.C+ch+1)*chanIn]
+				dst := y.Data[(i*d.C+ch)*chanOut : (i*d.C+ch+1)*chanOut]
+				ker := d.Weight.W.Data[ch*d.KH*d.KW : (ch+1)*d.KH*d.KW]
+				d.convChannel(g, src, ker, dst)
+			}
+		}
+	})
+	return y
+}
+
+func (d *DepthwiseConv2D) convChannel(g tensor.ConvGeom, src, ker, dst []float32) {
+	outW := g.OutW()
+	for oh := 0; oh < g.OutH(); oh++ {
+		for ow := 0; ow < outW; ow++ {
+			var s float32
+			for kh := 0; kh < d.KH; kh++ {
+				ih := oh*d.Stride - d.Pad + kh
+				if ih < 0 || ih >= g.InH {
+					continue
+				}
+				for kw := 0; kw < d.KW; kw++ {
+					iw := ow*d.Stride - d.Pad + kw
+					if iw < 0 || iw >= g.InW {
+						continue
+					}
+					s += src[ih*g.InW+iw] * ker[kh*d.KW+kw]
+				}
+			}
+			dst[oh*outW+ow] = s
+		}
+	}
+}
+
+// Backward accumulates filter gradients and returns dx.
+func (d *DepthwiseConv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if d.cachedX == nil {
+		panic("nn: DepthwiseConv2D.Backward without Forward(train=true)")
+	}
+	x := d.cachedX
+	n := x.Shape[0]
+	h, w := x.Shape[2], x.Shape[3]
+	g := d.geom(h, w)
+	outH, outW := g.OutH(), g.OutW()
+	chanIn := h * w
+	chanOut := outH * outW
+	dx := tensor.New(n, d.C, h, w)
+	dwAll := make([]*tensor.Tensor, n)
+	tensor.ParallelFor(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dw := tensor.New(d.C, d.KH, d.KW)
+			for ch := 0; ch < d.C; ch++ {
+				src := x.Data[(i*d.C+ch)*chanIn : (i*d.C+ch+1)*chanIn]
+				gch := grad.Data[(i*d.C+ch)*chanOut : (i*d.C+ch+1)*chanOut]
+				dsrc := dx.Data[(i*d.C+ch)*chanIn : (i*d.C+ch+1)*chanIn]
+				ker := d.Weight.W.Data[ch*d.KH*d.KW : (ch+1)*d.KH*d.KW]
+				dker := dw.Data[ch*d.KH*d.KW : (ch+1)*d.KH*d.KW]
+				for oh := 0; oh < outH; oh++ {
+					for ow := 0; ow < outW; ow++ {
+						gv := gch[oh*outW+ow]
+						if gv == 0 {
+							continue
+						}
+						for kh := 0; kh < d.KH; kh++ {
+							ih := oh*d.Stride - d.Pad + kh
+							if ih < 0 || ih >= h {
+								continue
+							}
+							for kw := 0; kw < d.KW; kw++ {
+								iw := ow*d.Stride - d.Pad + kw
+								if iw < 0 || iw >= w {
+									continue
+								}
+								dker[kh*d.KW+kw] += gv * src[ih*w+iw]
+								dsrc[ih*w+iw] += gv * ker[kh*d.KW+kw]
+							}
+						}
+					}
+				}
+			}
+			dwAll[i] = dw
+		}
+	})
+	for _, dw := range dwAll {
+		d.Weight.Grad.AXPY(1, dw)
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (d *DepthwiseConv2D) Params() []*Param { return []*Param{d.Weight} }
+
+// OutShape implements Layer.
+func (d *DepthwiseConv2D) OutShape(in []int) []int {
+	if len(in) != 3 || in[0] != d.C {
+		panic(fmt.Sprintf("nn: DepthwiseConv2D(%d) given input shape %v", d.C, in))
+	}
+	g := d.geom(in[1], in[2])
+	return []int{d.C, g.OutH(), g.OutW()}
+}
+
+// Stats implements Layer.
+func (d *DepthwiseConv2D) Stats(in []int) Stats {
+	out := d.OutShape(in)
+	outElems := int64(out[1] * out[2])
+	return Stats{
+		MACs:     outElems * int64(d.C) * int64(d.KH*d.KW),
+		Params:   int64(d.C * d.KH * d.KW),
+		ActBytes: int64(d.C) * outElems * 4,
+	}
+}

@@ -1,0 +1,70 @@
+package nn
+
+import (
+	"fmt"
+
+	"nshd/internal/tensor"
+)
+
+// Dropout zeroes each activation with probability P during training and
+// rescales survivors by 1/(1−P) (inverted dropout), passing inputs through
+// unchanged at inference. The zoo's larger heads use it to curb overfitting
+// on small splits.
+type Dropout struct {
+	P   float64
+	rng *tensor.RNG
+
+	cachedMask []float32
+}
+
+// NewDropout constructs a dropout layer with the given drop probability.
+func NewDropout(rng *tensor.RNG, p float64) *Dropout {
+	if p < 0 || p >= 1 {
+		panic(fmt.Sprintf("nn: dropout probability %v outside [0,1)", p))
+	}
+	return &Dropout{P: p, rng: rng}
+}
+
+// Name implements Layer.
+func (d *Dropout) Name() string { return fmt.Sprintf("dropout(%.2f)", d.P) }
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if !train || d.P == 0 {
+		d.cachedMask = nil
+		return x
+	}
+	y := tensor.New(x.Shape...)
+	mask := make([]float32, x.Len())
+	scale := float32(1 / (1 - d.P))
+	for i, v := range x.Data {
+		if d.rng.Float64() >= d.P {
+			mask[i] = scale
+			y.Data[i] = v * scale
+		}
+	}
+	d.cachedMask = mask
+	return y
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if d.cachedMask == nil {
+		// Forward ran in eval mode (or P==0): identity.
+		return grad
+	}
+	dx := tensor.New(grad.Shape...)
+	for i, m := range d.cachedMask {
+		dx.Data[i] = grad.Data[i] * m
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (d *Dropout) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (d *Dropout) OutShape(in []int) []int { return in }
+
+// Stats implements Layer. Dropout is free at inference.
+func (d *Dropout) Stats(in []int) Stats { return Stats{} }

@@ -1,0 +1,88 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"nshd/internal/tensor"
+)
+
+func TestDropoutEvalIsIdentity(t *testing.T) {
+	d := NewDropout(tensor.NewRNG(1), 0.5)
+	x := randInput(2, 4, 8)
+	y := d.Forward(x, false)
+	for i := range x.Data {
+		if y.Data[i] != x.Data[i] {
+			t.Fatal("eval-mode dropout must be identity")
+		}
+	}
+	// Backward after eval forward passes gradients through.
+	g := randInput(3, 4, 8)
+	dg := d.Backward(g)
+	for i := range g.Data {
+		if dg.Data[i] != g.Data[i] {
+			t.Fatal("eval-mode backward must be identity")
+		}
+	}
+}
+
+func TestDropoutTrainDropsAndRescales(t *testing.T) {
+	d := NewDropout(tensor.NewRNG(2), 0.5)
+	x := tensor.New(1, 10000)
+	x.Fill(1)
+	y := d.Forward(x, true)
+	zeros, twos := 0, 0
+	for _, v := range y.Data {
+		switch {
+		case v == 0:
+			zeros++
+		case math.Abs(float64(v)-2) < 1e-6:
+			twos++
+		default:
+			t.Fatalf("unexpected value %v", v)
+		}
+	}
+	frac := float64(zeros) / float64(len(y.Data))
+	if frac < 0.45 || frac > 0.55 {
+		t.Fatalf("drop fraction %v, want ~0.5", frac)
+	}
+	// Expected value preserved: mean ≈ 1.
+	if m := y.Mean(); math.Abs(m-1) > 0.05 {
+		t.Fatalf("inverted dropout must preserve expectation, mean=%v", m)
+	}
+	_ = twos
+}
+
+func TestDropoutBackwardMask(t *testing.T) {
+	d := NewDropout(tensor.NewRNG(3), 0.3)
+	x := randInput(4, 2, 50)
+	y := d.Forward(x, true)
+	g := tensor.New(y.Shape...)
+	g.Fill(1)
+	dx := d.Backward(g)
+	for i := range y.Data {
+		if (y.Data[i] == 0) != (dx.Data[i] == 0) {
+			t.Fatal("gradient mask must match forward mask")
+		}
+	}
+}
+
+func TestDropoutZeroProbability(t *testing.T) {
+	d := NewDropout(tensor.NewRNG(4), 0)
+	x := randInput(5, 2, 3)
+	y := d.Forward(x, true)
+	for i := range x.Data {
+		if y.Data[i] != x.Data[i] {
+			t.Fatal("p=0 dropout must be identity even in train mode")
+		}
+	}
+}
+
+func TestDropoutInvalidP(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for p=1")
+		}
+	}()
+	NewDropout(tensor.NewRNG(5), 1)
+}

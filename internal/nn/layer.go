@@ -1,0 +1,180 @@
+// Package nn is a from-scratch neural-network substrate: layers with forward
+// and backward passes, losses, optimizers and serialization. It exists so
+// that NSHD's CNN feature extractors, teacher models and manifold learner can
+// be trained and cut without any external deep-learning framework.
+//
+// Tensors flow through layers batched: image layers take [N, C, H, W] and
+// dense layers take [N, F]. Each layer caches what its backward pass needs
+// during Forward(train=true); Backward must be called in reverse layer order
+// with the gradient of the loss w.r.t. the layer output and returns the
+// gradient w.r.t. the layer input.
+package nn
+
+import (
+	"fmt"
+
+	"nshd/internal/tensor"
+)
+
+// Param is one learnable tensor with its gradient accumulator.
+type Param struct {
+	Name string
+	W    *tensor.Tensor
+	Grad *tensor.Tensor
+}
+
+// newParam allocates a parameter and matching zero gradient.
+func newParam(name string, shape ...int) *Param {
+	return &Param{Name: name, W: tensor.New(shape...), Grad: tensor.New(shape...)}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// Stats summarizes the inference cost of a layer for a single sample:
+// multiply-accumulate operations, learnable parameter count, and the bytes of
+// activation output it produces (float32).
+type Stats struct {
+	MACs     int64
+	Params   int64
+	ActBytes int64
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(o Stats) {
+	s.MACs += o.MACs
+	s.Params += o.Params
+	s.ActBytes += o.ActBytes
+}
+
+// Layer is a differentiable network stage.
+type Layer interface {
+	// Name returns a short human-readable identifier ("conv3x3(64)").
+	Name() string
+	// Forward computes the layer output for a batch. When train is true
+	// the layer caches intermediates for Backward and uses batch
+	// statistics where applicable (BatchNorm).
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	// Backward consumes dL/dout and returns dL/din, accumulating
+	// parameter gradients. Must follow a Forward(train=true) call.
+	Backward(grad *tensor.Tensor) *tensor.Tensor
+	// Params returns the learnable parameters (possibly empty).
+	Params() []*Param
+	// OutShape maps a per-sample input shape (no batch dim) to the
+	// per-sample output shape.
+	OutShape(in []int) []int
+	// Stats reports the per-sample inference cost for the input shape.
+	Stats(in []int) Stats
+}
+
+// Sequential chains layers. It is the container used for every model in the
+// zoo; cutting a CNN at layer k is slicing this container.
+type Sequential struct {
+	Label  string
+	Layers []Layer
+}
+
+// NewSequential builds a sequential model from layers.
+func NewSequential(label string, layers ...Layer) *Sequential {
+	return &Sequential{Label: label, Layers: layers}
+}
+
+// Name returns the model label.
+func (s *Sequential) Name() string { return s.Label }
+
+// Forward runs all layers in order.
+func (s *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, l := range s.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward runs all layers in reverse order.
+func (s *Sequential) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		grad = s.Layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params returns the parameters of all layers, in layer order.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// OutShape composes the per-layer shape functions.
+func (s *Sequential) OutShape(in []int) []int {
+	for _, l := range s.Layers {
+		in = l.OutShape(in)
+	}
+	return in
+}
+
+// Stats accumulates per-layer costs for the given input shape.
+func (s *Sequential) Stats(in []int) Stats {
+	var total Stats
+	for _, l := range s.Layers {
+		total.Add(l.Stats(in))
+		in = l.OutShape(in)
+	}
+	return total
+}
+
+// StatsPerLayer returns each layer's cost alongside its output shape, for
+// model inspection tools.
+func (s *Sequential) StatsPerLayer(in []int) []Stats {
+	out := make([]Stats, len(s.Layers))
+	for i, l := range s.Layers {
+		out[i] = l.Stats(in)
+		in = l.OutShape(in)
+	}
+	return out
+}
+
+// Slice returns a new Sequential containing layers [0, end). The layers are
+// shared, not copied: the slice views the same parameters as the original,
+// which is exactly what NSHD's cut-CNN feature extractor requires (the
+// teacher and the student share pretrained weights).
+func (s *Sequential) Slice(end int) *Sequential {
+	if end < 0 || end > len(s.Layers) {
+		panic(fmt.Sprintf("nn: Slice end %d out of range [0,%d]", end, len(s.Layers)))
+	}
+	return &Sequential{Label: fmt.Sprintf("%s[:%d]", s.Label, end), Layers: s.Layers[:end]}
+}
+
+// ZeroGrad clears all parameter gradients.
+func (s *Sequential) ZeroGrad() {
+	for _, p := range s.Params() {
+		p.ZeroGrad()
+	}
+}
+
+// ParamCount returns the total number of scalar learnable parameters.
+func (s *Sequential) ParamCount() int64 {
+	var n int64
+	for _, p := range s.Params() {
+		n += int64(p.W.Len())
+	}
+	return n
+}
+
+// batchOf panics unless x has at least 2 dims and returns the batch size.
+func batchOf(x *tensor.Tensor, who string) int {
+	if x.Rank() < 2 {
+		panic(fmt.Sprintf("nn: %s requires a batched input, got shape %v", who, x.Shape))
+	}
+	return x.Shape[0]
+}
+
+func shapeElems(s []int) int {
+	n := 1
+	for _, d := range s {
+		n *= d
+	}
+	return n
+}

@@ -1,0 +1,144 @@
+package nn
+
+import (
+	"math"
+
+	"nshd/internal/tensor"
+)
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update to every parameter and clears nothing; call
+	// ZeroGrad on the model between batches.
+	Step(params []*Param)
+}
+
+// SGD is stochastic gradient descent with classical momentum and decoupled
+// L2 weight decay.
+type SGD struct {
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+
+	velocity map[*Param]*tensor.Tensor
+}
+
+// NewSGD constructs an SGD optimizer.
+func NewSGD(lr, momentum, weightDecay float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, WeightDecay: weightDecay,
+		velocity: make(map[*Param]*tensor.Tensor)}
+}
+
+// Step implements Optimizer.
+func (o *SGD) Step(params []*Param) {
+	for _, p := range params {
+		v := o.velocity[p]
+		if v == nil {
+			v = tensor.New(p.W.Shape...)
+			o.velocity[p] = v
+		}
+		lr := float32(o.LR)
+		mu := float32(o.Momentum)
+		wd := float32(o.WeightDecay)
+		for i := range p.W.Data {
+			g := p.Grad.Data[i]
+			if wd != 0 {
+				g += wd * p.W.Data[i]
+			}
+			v.Data[i] = mu*v.Data[i] + g
+			p.W.Data[i] -= lr * v.Data[i]
+		}
+	}
+}
+
+// Adam is the Adam optimizer with bias correction.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	WeightDecay           float64
+
+	t int
+	m map[*Param]*tensor.Tensor
+	v map[*Param]*tensor.Tensor
+}
+
+// NewAdam constructs Adam with the usual defaults for unset betas.
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: make(map[*Param]*tensor.Tensor),
+		v: make(map[*Param]*tensor.Tensor),
+	}
+}
+
+// Step implements Optimizer.
+func (o *Adam) Step(params []*Param) {
+	o.t++
+	bc1 := 1 - math.Pow(o.Beta1, float64(o.t))
+	bc2 := 1 - math.Pow(o.Beta2, float64(o.t))
+	for _, p := range params {
+		m := o.m[p]
+		v := o.v[p]
+		if m == nil {
+			m = tensor.New(p.W.Shape...)
+			v = tensor.New(p.W.Shape...)
+			o.m[p] = m
+			o.v[p] = v
+		}
+		b1, b2 := float32(o.Beta1), float32(o.Beta2)
+		wd := float32(o.WeightDecay)
+		for i := range p.W.Data {
+			g := p.Grad.Data[i]
+			if wd != 0 {
+				g += wd * p.W.Data[i]
+			}
+			m.Data[i] = b1*m.Data[i] + (1-b1)*g
+			v.Data[i] = b2*v.Data[i] + (1-b2)*g*g
+			mhat := float64(m.Data[i]) / bc1
+			vhat := float64(v.Data[i]) / bc2
+			p.W.Data[i] -= float32(o.LR * mhat / (math.Sqrt(vhat) + o.Eps))
+		}
+	}
+}
+
+// ClipGradNorm rescales all gradients so their global L2 norm is at most
+// maxNorm, returning the pre-clip norm.
+func ClipGradNorm(params []*Param, maxNorm float64) float64 {
+	var sq float64
+	for _, p := range params {
+		for _, g := range p.Grad.Data {
+			sq += float64(g) * float64(g)
+		}
+	}
+	norm := math.Sqrt(sq)
+	if norm > maxNorm && norm > 0 {
+		scale := float32(maxNorm / norm)
+		for _, p := range params {
+			p.Grad.Scale(scale)
+		}
+	}
+	return norm
+}
+
+// StepDecay returns a learning-rate schedule that starts at base and decays
+// by factor every stepEpochs epochs — the classic CNN schedule.
+func StepDecay(base, factor float64, stepEpochs int) func(epoch int) float64 {
+	return func(epoch int) float64 {
+		lr := base
+		for e := stepEpochs; e < epoch; e += stepEpochs {
+			lr *= factor
+		}
+		return lr
+	}
+}
+
+// CosineDecay returns a cosine-annealed schedule over totalEpochs from base
+// down to floor.
+func CosineDecay(base, floor float64, totalEpochs int) func(epoch int) float64 {
+	return func(epoch int) float64 {
+		if epoch >= totalEpochs {
+			return floor
+		}
+		progress := float64(epoch-1) / float64(totalEpochs)
+		return floor + (base-floor)*0.5*(1+math.Cos(math.Pi*progress))
+	}
+}

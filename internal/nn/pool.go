@@ -1,0 +1,289 @@
+package nn
+
+import (
+	"fmt"
+
+	"nshd/internal/tensor"
+)
+
+// MaxPool2D is a k×k max pooling layer with stride equal to k (the form used
+// by VGG and by the manifold learner's pre-pooling step).
+type MaxPool2D struct {
+	K int
+
+	cachedArg []int32 // flat input index chosen per output element
+	cachedIn  []int   // per-sample input shape
+	cachedN   int
+}
+
+// NewMaxPool2D constructs a max pooling layer with window and stride k.
+func NewMaxPool2D(k int) *MaxPool2D { return &MaxPool2D{K: k} }
+
+// Name implements Layer.
+func (m *MaxPool2D) Name() string { return fmt.Sprintf("maxpool%dx%d", m.K, m.K) }
+
+// Forward pools each k×k window to its maximum, caching argmax indices.
+func (m *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n := batchOf(x, "MaxPool2D")
+	if x.Rank() != 4 {
+		panic(fmt.Sprintf("nn: MaxPool2D expects [N C H W], got %v", x.Shape))
+	}
+	c, h, w := x.Shape[1], x.Shape[2], x.Shape[3]
+	outH, outW := h/m.K, w/m.K
+	if outH == 0 || outW == 0 {
+		panic(fmt.Sprintf("nn: MaxPool2D window %d larger than input %dx%d", m.K, h, w))
+	}
+	y := tensor.New(n, c, outH, outW)
+	var arg []int32
+	if train {
+		arg = make([]int32, n*c*outH*outW)
+		m.cachedIn = []int{c, h, w}
+		m.cachedN = n
+	}
+	tensor.ParallelFor(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for ch := 0; ch < c; ch++ {
+				inBase := (i*c + ch) * h * w
+				outBase := (i*c + ch) * outH * outW
+				for oh := 0; oh < outH; oh++ {
+					for ow := 0; ow < outW; ow++ {
+						best := float32(0)
+						bestAt := -1
+						for kh := 0; kh < m.K; kh++ {
+							ih := oh*m.K + kh
+							for kw := 0; kw < m.K; kw++ {
+								iw := ow*m.K + kw
+								v := x.Data[inBase+ih*w+iw]
+								if bestAt < 0 || v > best {
+									best, bestAt = v, inBase+ih*w+iw
+								}
+							}
+						}
+						y.Data[outBase+oh*outW+ow] = best
+						if arg != nil {
+							arg[outBase+oh*outW+ow] = int32(bestAt)
+						}
+					}
+				}
+			}
+		}
+	})
+	m.cachedArg = arg
+	return y
+}
+
+// Backward routes each output gradient to the input position that won the max.
+func (m *MaxPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if m.cachedArg == nil {
+		panic("nn: MaxPool2D.Backward without Forward(train=true)")
+	}
+	c, h, w := m.cachedIn[0], m.cachedIn[1], m.cachedIn[2]
+	dx := tensor.New(m.cachedN, c, h, w)
+	for i, a := range m.cachedArg {
+		dx.Data[a] += grad.Data[i]
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (m *MaxPool2D) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (m *MaxPool2D) OutShape(in []int) []int {
+	if len(in) != 3 {
+		panic(fmt.Sprintf("nn: MaxPool2D given input shape %v", in))
+	}
+	return []int{in[0], in[1] / m.K, in[2] / m.K}
+}
+
+// Stats implements Layer. Pooling performs comparisons, not MACs; we follow
+// the paper's convention of counting only multiply-accumulates.
+func (m *MaxPool2D) Stats(in []int) Stats {
+	out := m.OutShape(in)
+	return Stats{ActBytes: int64(shapeElems(out)) * 4}
+}
+
+// AvgPool2D is k×k average pooling with stride k.
+type AvgPool2D struct {
+	K        int
+	cachedIn []int
+	cachedN  int
+}
+
+// NewAvgPool2D constructs an average pooling layer.
+func NewAvgPool2D(k int) *AvgPool2D { return &AvgPool2D{K: k} }
+
+// Name implements Layer.
+func (m *AvgPool2D) Name() string { return fmt.Sprintf("avgpool%dx%d", m.K, m.K) }
+
+// Forward averages each k×k window.
+func (m *AvgPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n := batchOf(x, "AvgPool2D")
+	c, h, w := x.Shape[1], x.Shape[2], x.Shape[3]
+	outH, outW := h/m.K, w/m.K
+	y := tensor.New(n, c, outH, outW)
+	inv := 1 / float32(m.K*m.K)
+	tensor.ParallelFor(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for ch := 0; ch < c; ch++ {
+				inBase := (i*c + ch) * h * w
+				outBase := (i*c + ch) * outH * outW
+				for oh := 0; oh < outH; oh++ {
+					for ow := 0; ow < outW; ow++ {
+						var s float32
+						for kh := 0; kh < m.K; kh++ {
+							for kw := 0; kw < m.K; kw++ {
+								s += x.Data[inBase+(oh*m.K+kh)*w+(ow*m.K+kw)]
+							}
+						}
+						y.Data[outBase+oh*outW+ow] = s * inv
+					}
+				}
+			}
+		}
+	})
+	if train {
+		m.cachedIn = []int{c, h, w}
+		m.cachedN = n
+	}
+	return y
+}
+
+// Backward spreads each output gradient uniformly over its window.
+func (m *AvgPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	c, h, w := m.cachedIn[0], m.cachedIn[1], m.cachedIn[2]
+	outH, outW := h/m.K, w/m.K
+	dx := tensor.New(m.cachedN, c, h, w)
+	inv := 1 / float32(m.K*m.K)
+	for i := 0; i < m.cachedN; i++ {
+		for ch := 0; ch < c; ch++ {
+			inBase := (i*c + ch) * h * w
+			outBase := (i*c + ch) * outH * outW
+			for oh := 0; oh < outH; oh++ {
+				for ow := 0; ow < outW; ow++ {
+					g := grad.Data[outBase+oh*outW+ow] * inv
+					for kh := 0; kh < m.K; kh++ {
+						for kw := 0; kw < m.K; kw++ {
+							dx.Data[inBase+(oh*m.K+kh)*w+(ow*m.K+kw)] += g
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (m *AvgPool2D) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (m *AvgPool2D) OutShape(in []int) []int {
+	return []int{in[0], in[1] / m.K, in[2] / m.K}
+}
+
+// Stats implements Layer.
+func (m *AvgPool2D) Stats(in []int) Stats {
+	out := m.OutShape(in)
+	return Stats{ActBytes: int64(shapeElems(out)) * 4}
+}
+
+// GlobalAvgPool2D reduces [N, C, H, W] to [N, C] by averaging each channel.
+type GlobalAvgPool2D struct {
+	cachedIn []int
+	cachedN  int
+}
+
+// NewGlobalAvgPool2D constructs a global average pooling layer.
+func NewGlobalAvgPool2D() *GlobalAvgPool2D { return &GlobalAvgPool2D{} }
+
+// Name implements Layer.
+func (m *GlobalAvgPool2D) Name() string { return "globalavgpool" }
+
+// Forward averages each channel plane.
+func (m *GlobalAvgPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n := batchOf(x, "GlobalAvgPool2D")
+	c, h, w := x.Shape[1], x.Shape[2], x.Shape[3]
+	y := tensor.New(n, c)
+	inv := 1 / float32(h*w)
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < c; ch++ {
+			plane := x.Data[(i*c+ch)*h*w : (i*c+ch+1)*h*w]
+			var s float32
+			for _, v := range plane {
+				s += v
+			}
+			y.Data[i*c+ch] = s * inv
+		}
+	}
+	if train {
+		m.cachedIn = []int{c, h, w}
+		m.cachedN = n
+	}
+	return y
+}
+
+// Backward spreads gradients uniformly over each plane.
+func (m *GlobalAvgPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	c, h, w := m.cachedIn[0], m.cachedIn[1], m.cachedIn[2]
+	dx := tensor.New(m.cachedN, c, h, w)
+	inv := 1 / float32(h*w)
+	for i := 0; i < m.cachedN; i++ {
+		for ch := 0; ch < c; ch++ {
+			g := grad.Data[i*c+ch] * inv
+			plane := dx.Data[(i*c+ch)*h*w : (i*c+ch+1)*h*w]
+			for j := range plane {
+				plane[j] = g
+			}
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (m *GlobalAvgPool2D) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (m *GlobalAvgPool2D) OutShape(in []int) []int { return []int{in[0]} }
+
+// Stats implements Layer.
+func (m *GlobalAvgPool2D) Stats(in []int) Stats {
+	return Stats{ActBytes: int64(in[0]) * 4}
+}
+
+// Flatten reshapes [N, C, H, W] (or any batched shape) to [N, F].
+type Flatten struct {
+	cachedShape []int
+}
+
+// NewFlatten constructs a flattening layer.
+func NewFlatten() *Flatten { return &Flatten{} }
+
+// Name implements Layer.
+func (f *Flatten) Name() string { return "flatten" }
+
+// Forward flattens all but the batch dimension.
+func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n := batchOf(x, "Flatten")
+	if train {
+		f.cachedShape = append([]int(nil), x.Shape...)
+	}
+	return x.Reshape(n, -1)
+}
+
+// Backward restores the cached input shape.
+func (f *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if f.cachedShape == nil {
+		panic("nn: Flatten.Backward without Forward(train=true)")
+	}
+	return grad.Reshape(f.cachedShape...)
+}
+
+// Params implements Layer.
+func (f *Flatten) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (f *Flatten) OutShape(in []int) []int { return []int{shapeElems(in)} }
+
+// Stats implements Layer.
+func (f *Flatten) Stats(in []int) Stats { return Stats{} }

@@ -1,0 +1,142 @@
+package nn
+
+import (
+	"fmt"
+	"io"
+
+	"nshd/internal/tensor"
+)
+
+// Trainer runs minibatch supervised training on a Sequential model.
+type Trainer struct {
+	Epochs    int
+	BatchSize int
+	Opt       Optimizer
+	ClipNorm  float64 // 0 disables clipping
+	Log       io.Writer
+	// Teacher, when non-nil, enables NN→NN distillation with Alpha/Temp.
+	Teacher *Sequential
+	Alpha   float64
+	Temp    float64
+	// Augment, when non-nil, is applied in place to each training sample
+	// (shape is the per-sample shape) as it is copied into a batch.
+	Augment func(sample []float32, shape []int, rng *tensor.RNG)
+	// LRSchedule, when non-nil, overrides the SGD learning rate at the
+	// start of each epoch (1-based). Ignored for non-SGD optimizers.
+	LRSchedule func(epoch int) float64
+}
+
+// EpochStats reports the outcome of one training epoch.
+type EpochStats struct {
+	Epoch    int
+	Loss     float64
+	Accuracy float64
+}
+
+// Fit trains model on images [N, ...] with integer labels, shuffling with rng
+// each epoch. It returns per-epoch stats.
+func (t *Trainer) Fit(model *Sequential, images *tensor.Tensor, labels []int, rng *tensor.RNG) []EpochStats {
+	n := images.Shape[0]
+	if len(labels) != n {
+		panic(fmt.Sprintf("nn: Fit got %d labels for %d samples", len(labels), n))
+	}
+	if t.BatchSize <= 0 {
+		t.BatchSize = 32
+	}
+	sampleLen := images.Len() / n
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	var history []EpochStats
+	for epoch := 1; epoch <= t.Epochs; epoch++ {
+		if t.LRSchedule != nil {
+			if sgd, ok := t.Opt.(*SGD); ok {
+				sgd.LR = t.LRSchedule(epoch)
+			}
+		}
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var lossSum float64
+		var correct, seen int
+		for start := 0; start < n; start += t.BatchSize {
+			end := start + t.BatchSize
+			if end > n {
+				end = n
+			}
+			bs := end - start
+			batchShape := append([]int{bs}, images.Shape[1:]...)
+			bx := tensor.New(batchShape...)
+			by := make([]int, bs)
+			for bi := 0; bi < bs; bi++ {
+				src := order[start+bi]
+				sample := bx.Data[bi*sampleLen : (bi+1)*sampleLen]
+				copy(sample, images.Data[src*sampleLen:(src+1)*sampleLen])
+				if t.Augment != nil {
+					t.Augment(sample, images.Shape[1:], rng)
+				}
+				by[bi] = labels[src]
+			}
+			model.ZeroGrad()
+			logits := model.Forward(bx, true)
+			var loss float64
+			var grad *tensor.Tensor
+			if t.Teacher != nil {
+				teacherLogits := t.Teacher.Forward(bx, false)
+				loss, grad = DistillLoss(logits, teacherLogits, by, t.Alpha, t.Temp)
+			} else {
+				loss, grad = CrossEntropy(logits, by)
+			}
+			model.Backward(grad)
+			if t.ClipNorm > 0 {
+				ClipGradNorm(model.Params(), t.ClipNorm)
+			}
+			t.Opt.Step(model.Params())
+			lossSum += loss * float64(bs)
+			preds := tensor.ArgmaxRows(logits)
+			for i, p := range preds {
+				if p == by[i] {
+					correct++
+				}
+			}
+			seen += bs
+		}
+		st := EpochStats{Epoch: epoch, Loss: lossSum / float64(seen), Accuracy: float64(correct) / float64(seen)}
+		history = append(history, st)
+		if t.Log != nil {
+			fmt.Fprintf(t.Log, "epoch %d/%d loss=%.4f acc=%.4f\n", epoch, t.Epochs, st.Loss, st.Accuracy)
+		}
+	}
+	return history
+}
+
+// PredictLogits runs inference in eval mode over images in batches and
+// returns the [N, K] logits.
+func PredictLogits(model *Sequential, images *tensor.Tensor, batchSize int) *tensor.Tensor {
+	n := images.Shape[0]
+	if batchSize <= 0 {
+		batchSize = 64
+	}
+	sampleLen := images.Len() / n
+	var out *tensor.Tensor
+	for start := 0; start < n; start += batchSize {
+		end := start + batchSize
+		if end > n {
+			end = n
+		}
+		bs := end - start
+		batchShape := append([]int{bs}, images.Shape[1:]...)
+		bx := tensor.FromSlice(images.Data[start*sampleLen:end*sampleLen], batchShape...)
+		logits := model.Forward(bx, false)
+		if out == nil {
+			out = tensor.New(n, logits.Shape[1])
+		}
+		copy(out.Data[start*logits.Shape[1]:end*logits.Shape[1]], logits.Data)
+	}
+	return out
+}
+
+// Evaluate returns classification accuracy of model on a labelled set.
+func Evaluate(model *Sequential, images *tensor.Tensor, labels []int, batchSize int) float64 {
+	logits := PredictLogits(model, images, batchSize)
+	return Accuracy(logits, labels)
+}

@@ -1,0 +1,208 @@
+// Package plot is a minimal, dependency-free SVG chart writer used to
+// regenerate the paper's figures as graphics: grouped bar charts (Figs. 4-6,
+// 8), line charts (Fig. 10) and scatter plots (Fig. 11). It favors
+// predictable output over configurability: fixed margins, automatic ranges,
+// a small categorical palette.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// palette holds the categorical series colors.
+var palette = []string{"#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#76b7b2", "#edc948", "#b07aa1", "#9c755f"}
+
+const (
+	width   = 640
+	height  = 400
+	marginL = 70
+	marginR = 20
+	marginT = 40
+	marginB = 70
+)
+
+// esc escapes text for SVG.
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+type svgBuilder struct {
+	b strings.Builder
+}
+
+func newSVG(title string) *svgBuilder {
+	s := &svgBuilder{}
+	fmt.Fprintf(&s.b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`+"\n", width, height)
+	fmt.Fprintf(&s.b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&s.b, `<text x="%d" y="24" font-size="16" text-anchor="middle">%s</text>`+"\n", width/2, esc(title))
+	return s
+}
+
+func (s *svgBuilder) finish() string {
+	s.b.WriteString("</svg>\n")
+	return s.b.String()
+}
+
+func (s *svgBuilder) rect(x, y, w, h float64, color string) {
+	fmt.Fprintf(&s.b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n", x, y, w, h, color)
+}
+
+func (s *svgBuilder) text(x, y float64, size int, anchor, msg string) {
+	fmt.Fprintf(&s.b, `<text x="%.1f" y="%.1f" font-size="%d" text-anchor="%s">%s</text>`+"\n", x, y, size, anchor, esc(msg))
+}
+
+func (s *svgBuilder) line(x1, y1, x2, y2 float64, color string, w float64) {
+	fmt.Fprintf(&s.b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="%.1f"/>`+"\n", x1, y1, x2, y2, color, w)
+}
+
+func (s *svgBuilder) circle(x, y, r float64, color string) {
+	fmt.Fprintf(&s.b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s"/>`+"\n", x, y, r, color)
+}
+
+// axisRange returns a padded [lo, hi] covering the values (always including
+// zero for bar charts when asked).
+func axisRange(values []float64, includeZero bool) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if includeZero {
+		lo = math.Min(lo, 0)
+		hi = math.Max(hi, 0)
+	}
+	if lo == hi {
+		hi = lo + 1
+	}
+	pad := (hi - lo) * 0.08
+	return lo - pad, hi + pad
+}
+
+// BarGroup is one labelled cluster of bars.
+type BarGroup struct {
+	Label  string
+	Values []float64
+}
+
+// GroupedBars renders a grouped bar chart (the Fig. 4/5/6/8 layout):
+// groups along the x-axis, one bar per series within each group.
+func GroupedBars(title string, series []string, groups []BarGroup, yLabel string) string {
+	s := newSVG(title)
+	var all []float64
+	for _, g := range groups {
+		all = append(all, g.Values...)
+	}
+	lo, hi := axisRange(all, true)
+	plotW := float64(width - marginL - marginR)
+	plotH := float64(height - marginT - marginB)
+	yOf := func(v float64) float64 {
+		return marginT + plotH*(1-(v-lo)/(hi-lo))
+	}
+	// y axis + gridlines.
+	s.line(marginL, marginT, marginL, marginT+plotH, "#333", 1)
+	for i := 0; i <= 4; i++ {
+		v := lo + (hi-lo)*float64(i)/4
+		y := yOf(v)
+		s.line(marginL, y, marginL+plotW, y, "#ddd", 0.5)
+		s.text(marginL-6, y+4, 10, "end", fmt.Sprintf("%.3g", v))
+	}
+	s.text(14, marginT-10, 11, "start", yLabel)
+	zeroY := yOf(math.Max(lo, math.Min(0, hi)))
+
+	groupW := plotW / float64(len(groups))
+	barW := groupW * 0.8 / float64(len(series))
+	for gi, g := range groups {
+		gx := marginL + groupW*float64(gi) + groupW*0.1
+		for si, v := range g.Values {
+			x := gx + barW*float64(si)
+			y := yOf(v)
+			top, h := y, zeroY-y
+			if v < 0 {
+				top, h = zeroY, y-zeroY
+			}
+			s.rect(x, top, barW*0.92, h, palette[si%len(palette)])
+		}
+		s.text(gx+groupW*0.4, float64(height-marginB)+16, 10, "middle", g.Label)
+	}
+	// Legend.
+	lx := float64(marginL)
+	for si, name := range series {
+		s.rect(lx, float64(height)-28, 10, 10, palette[si%len(palette)])
+		s.text(lx+14, float64(height)-19, 10, "start", name)
+		lx += float64(20 + 7*len(name))
+	}
+	return s.finish()
+}
+
+// Series is one named line of a line chart.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Lines renders a multi-series line chart (the Fig. 10 layout).
+func Lines(title string, series []Series, xLabel, yLabel string) string {
+	s := newSVG(title)
+	var xs, ys []float64
+	for _, sr := range series {
+		xs = append(xs, sr.X...)
+		ys = append(ys, sr.Y...)
+	}
+	xlo, xhi := axisRange(xs, false)
+	ylo, yhi := axisRange(ys, false)
+	plotW := float64(width - marginL - marginR)
+	plotH := float64(height - marginT - marginB)
+	xOf := func(v float64) float64 { return marginL + plotW*(v-xlo)/(xhi-xlo) }
+	yOf := func(v float64) float64 { return marginT + plotH*(1-(v-ylo)/(yhi-ylo)) }
+
+	s.line(marginL, marginT+plotH, marginL+plotW, marginT+plotH, "#333", 1)
+	s.line(marginL, marginT, marginL, marginT+plotH, "#333", 1)
+	for i := 0; i <= 4; i++ {
+		v := ylo + (yhi-ylo)*float64(i)/4
+		s.text(marginL-6, yOf(v)+4, 10, "end", fmt.Sprintf("%.3g", v))
+		s.line(marginL, yOf(v), marginL+plotW, yOf(v), "#ddd", 0.5)
+		xv := xlo + (xhi-xlo)*float64(i)/4
+		s.text(xOf(xv), marginT+plotH+16, 10, "middle", fmt.Sprintf("%.3g", xv))
+	}
+	s.text(float64(width)/2, float64(height)-34, 11, "middle", xLabel)
+	s.text(14, marginT-10, 11, "start", yLabel)
+
+	for si, sr := range series {
+		color := palette[si%len(palette)]
+		order := make([]int, len(sr.X))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool { return sr.X[order[a]] < sr.X[order[b]] })
+		for i := 1; i < len(order); i++ {
+			a, b := order[i-1], order[i]
+			s.line(xOf(sr.X[a]), yOf(sr.Y[a]), xOf(sr.X[b]), yOf(sr.Y[b]), color, 2)
+		}
+		for _, i := range order {
+			s.circle(xOf(sr.X[i]), yOf(sr.Y[i]), 3, color)
+		}
+		s.text(float64(marginL)+8, marginT+12+float64(14*si), 10, "start", sr.Name)
+		s.rect(float64(marginL)-2, marginT+4+float64(14*si), 8, 8, color)
+	}
+	return s.finish()
+}
+
+// Scatter renders labelled 2-D points (the Fig. 11 layout); color follows
+// the integer label.
+func Scatter(title string, x, y []float64, labels []int) string {
+	s := newSVG(title)
+	xlo, xhi := axisRange(x, false)
+	ylo, yhi := axisRange(y, false)
+	plotW := float64(width - marginL - marginR)
+	plotH := float64(height - marginT - marginB)
+	for i := range x {
+		px := marginL + plotW*(x[i]-xlo)/(xhi-xlo)
+		py := marginT + plotH*(1-(y[i]-ylo)/(yhi-ylo))
+		s.circle(px, py, 3.5, palette[labels[i]%len(palette)])
+	}
+	return s.finish()
+}

@@ -1,0 +1,87 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGroupedBarsStructure(t *testing.T) {
+	svg := GroupedBars("Energy", []string{"layer A", "layer B"}, []BarGroup{
+		{Label: "vgg16", Values: []float64{33.3, 28.5}},
+		{Label: "mbv2", Values: []float64{22.3, 0.3}},
+	}, "improvement %")
+	for _, want := range []string{"<svg", "</svg>", "Energy", "vgg16", "mbv2", "layer A", "#4e79a7"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("missing %q in SVG", want)
+		}
+	}
+	// Two groups × two series = four bars plus legend swatches and the
+	// background rect.
+	if n := strings.Count(svg, "<rect"); n < 7 {
+		t.Fatalf("bar count too low: %d rects", n)
+	}
+}
+
+func TestGroupedBarsNegativeValues(t *testing.T) {
+	svg := GroupedBars("t", []string{"s"}, []BarGroup{
+		{Label: "g", Values: []float64{-5}},
+	}, "y")
+	if !strings.Contains(svg, "<rect") {
+		t.Fatal("negative bars must still render")
+	}
+	if strings.Contains(svg, `height="-`) {
+		t.Fatal("negative heights are invalid SVG")
+	}
+}
+
+func TestLinesStructure(t *testing.T) {
+	svg := Lines("Tradeoff", []Series{
+		{Name: "accuracy", X: []float64{1000, 3000, 10000}, Y: []float64{0.8, 0.9, 0.91}},
+		{Name: "fps", X: []float64{1000, 3000, 10000}, Y: []float64{40000, 39000, 35000}},
+	}, "D", "value")
+	for _, want := range []string{"Tradeoff", "accuracy", "fps", "<line", "<circle"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("missing %q", want)
+		}
+	}
+	// 3 points per series → at least 2 segments each plus axes/grid.
+	if strings.Count(svg, "<circle") != 6 {
+		t.Fatalf("expected 6 markers, got %d", strings.Count(svg, "<circle"))
+	}
+}
+
+func TestLinesUnsortedInput(t *testing.T) {
+	// X values out of order must be connected in sorted order (no zigzag).
+	svg := Lines("t", []Series{{Name: "s", X: []float64{3, 1, 2}, Y: []float64{3, 1, 2}}}, "x", "y")
+	if !strings.Contains(svg, "<line") {
+		t.Fatal("no lines rendered")
+	}
+}
+
+func TestScatterStructure(t *testing.T) {
+	svg := Scatter("Embedding", []float64{0, 1, 2}, []float64{0, 1, 2}, []int{0, 1, 0})
+	if strings.Count(svg, "<circle") != 3 {
+		t.Fatalf("expected 3 points, got %d", strings.Count(svg, "<circle"))
+	}
+	if !strings.Contains(svg, palette[1]) {
+		t.Fatal("second label color missing")
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	svg := GroupedBars(`a<b&"c"`, []string{"s"}, []BarGroup{{Label: "g", Values: []float64{1}}}, "y")
+	if strings.Contains(svg, `a<b&"c"`) {
+		t.Fatal("title must be escaped")
+	}
+	if !strings.Contains(svg, "a&lt;b&amp;&quot;c&quot;") {
+		t.Fatal("escaped title missing")
+	}
+}
+
+func TestDegenerateRange(t *testing.T) {
+	// Constant values must not divide by zero.
+	svg := Lines("t", []Series{{Name: "s", X: []float64{1, 1}, Y: []float64{5, 5}}}, "x", "y")
+	if strings.Contains(svg, "NaN") || strings.Contains(svg, "Inf") {
+		t.Fatal("degenerate ranges produced NaN/Inf coordinates")
+	}
+}

@@ -1,0 +1,185 @@
+package quant
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nshd/internal/hdlearn"
+	"nshd/internal/nn"
+	"nshd/internal/tensor"
+)
+
+func TestQuantizeRoundTripErrorBound(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	x := tensor.New(1000)
+	rng.FillNormal(x, 0, 3)
+	q := Quantize(x)
+	d := q.Dequantize()
+	bound := float64(q.MaxAbsError()) + 1e-6
+	for i := range x.Data {
+		if math.Abs(float64(x.Data[i]-d.Data[i])) > bound {
+			t.Fatalf("reconstruction error %v exceeds bound %v", x.Data[i]-d.Data[i], bound)
+		}
+	}
+}
+
+func TestQuantizeZeroTensor(t *testing.T) {
+	x := tensor.New(8)
+	q := Quantize(x)
+	for _, v := range q.Data {
+		if v != 0 {
+			t.Fatal("zero tensor must quantize to zeros")
+		}
+	}
+	if q.Scale != 1 {
+		t.Fatalf("zero tensor scale = %v", q.Scale)
+	}
+}
+
+func TestQuantizeExtremesSaturate(t *testing.T) {
+	x := tensor.FromSlice([]float32{-127, 127}, 2)
+	q := Quantize(x)
+	if q.Data[0] != -127 || q.Data[1] != 127 {
+		t.Fatalf("quantized extremes %v", q.Data)
+	}
+}
+
+// Property: quantize∘dequantize is idempotent (a second round trip changes
+// nothing).
+func TestQuantizeIdempotentProperty(t *testing.T) {
+	f := func(vals []float32) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		for _, v := range vals {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				return true
+			}
+		}
+		x := tensor.FromSlice(append([]float32(nil), vals...), len(vals))
+		d1 := Quantize(x).Dequantize()
+		d2 := Quantize(d1).Dequantize()
+		for i := range d1.Data {
+			if math.Abs(float64(d1.Data[i]-d2.Data[i])) > 1e-4*math.Max(1, math.Abs(float64(d1.Data[i]))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFakeQuantizeRestores(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	model := nn.NewSequential("q",
+		nn.NewConv2D(rng, 1, 4, 3, 1, 1, true),
+		nn.NewReLU(),
+		nn.NewFlatten(),
+		nn.NewLinear(rng, 4*4*4, 3, true),
+	)
+	before := append([]float32(nil), model.Params()[0].W.Data...)
+	restore := FakeQuantize(model)
+	changed := false
+	for i, v := range model.Params()[0].W.Data {
+		if v != before[i] {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Fatal("fake quantization should perturb weights (generically)")
+	}
+	restore()
+	for i, v := range model.Params()[0].W.Data {
+		if v != before[i] {
+			t.Fatal("restore must recover original weights exactly")
+		}
+	}
+}
+
+func TestFakeQuantizeOutputsStayClose(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	model := nn.NewSequential("q",
+		nn.NewConv2D(rng, 1, 4, 3, 1, 1, true),
+		nn.NewReLU(),
+		nn.NewFlatten(),
+		nn.NewLinear(rng, 4*6*6, 3, true),
+	)
+	x := tensor.New(4, 1, 6, 6)
+	tensor.NewRNG(4).FillNormal(x, 0, 1)
+	want := model.Forward(x, false)
+	restore := FakeQuantize(model)
+	got := model.Forward(x, false)
+	restore()
+	var num, den float64
+	for i := range want.Data {
+		d := float64(want.Data[i] - got.Data[i])
+		num += d * d
+		den += float64(want.Data[i]) * float64(want.Data[i])
+	}
+	if den == 0 {
+		t.Skip("degenerate output")
+	}
+	if rel := math.Sqrt(num / den); rel > 0.05 {
+		t.Fatalf("int8 weight round-trip changed outputs by %v (rel L2)", rel)
+	}
+}
+
+func TestQuantizedHDTracksFloatPredictions(t *testing.T) {
+	// Build an HD model from prototype-noise data and verify the integer
+	// path agrees with the float cosine path almost always.
+	const k, d, n = 5, 1024, 100
+	rng := tensor.NewRNG(5)
+	protos := make([][]float32, k)
+	for i := range protos {
+		p := tensor.New(d)
+		rng.FillBipolar(p)
+		protos[i] = p.Data
+	}
+	hvs := tensor.New(n, d)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		y := i % k
+		labels[i] = y
+		row := hvs.Row(i)
+		copy(row, protos[y])
+		for j := range row {
+			if rng.Float64() < 0.25 {
+				row[j] = -row[j]
+			}
+		}
+	}
+	m := hdlearn.NewModel(k, d)
+	m.InitBundle(hvs, labels)
+	m.TrainMASS(hvs, labels, hdlearn.MASSConfig{Epochs: 3, LR: 0.3}, nil)
+
+	q := QuantizeHD(m)
+	gotQ, err := q.PredictBatch(hvs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotF := m.PredictBatch(hvs)
+	agree := 0
+	for i := range gotF {
+		if gotF[i] == gotQ[i] {
+			agree++
+		}
+	}
+	if float64(agree)/float64(n) < 0.97 {
+		t.Fatalf("int8 HD path agrees with float on only %d/%d", agree, n)
+	}
+	if q.MemoryBytes() != k*d {
+		t.Fatalf("MemoryBytes = %d", q.MemoryBytes())
+	}
+}
+
+func TestQuantizedHDShapeError(t *testing.T) {
+	m := hdlearn.NewModel(2, 64)
+	q := QuantizeHD(m)
+	if _, err := q.PredictBatch(tensor.New(3, 32)); err == nil {
+		t.Fatal("expected shape error")
+	}
+}

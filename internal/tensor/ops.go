@@ -1,0 +1,334 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// AddInto computes dst = a + b elementwise. All three must share a shape
+// (dst may alias a or b).
+func AddInto(dst, a, b *Tensor) {
+	checkSame3(dst, a, b, "AddInto")
+	for i := range dst.Data {
+		dst.Data[i] = a.Data[i] + b.Data[i]
+	}
+}
+
+// Add returns a + b elementwise.
+func Add(a, b *Tensor) *Tensor {
+	out := New(a.Shape...)
+	AddInto(out, a, b)
+	return out
+}
+
+// SubInto computes dst = a - b elementwise.
+func SubInto(dst, a, b *Tensor) {
+	checkSame3(dst, a, b, "SubInto")
+	for i := range dst.Data {
+		dst.Data[i] = a.Data[i] - b.Data[i]
+	}
+}
+
+// Sub returns a - b elementwise.
+func Sub(a, b *Tensor) *Tensor {
+	out := New(a.Shape...)
+	SubInto(out, a, b)
+	return out
+}
+
+// MulInto computes dst = a * b elementwise (Hadamard product).
+func MulInto(dst, a, b *Tensor) {
+	checkSame3(dst, a, b, "MulInto")
+	for i := range dst.Data {
+		dst.Data[i] = a.Data[i] * b.Data[i]
+	}
+}
+
+// Mul returns the elementwise product a * b.
+func Mul(a, b *Tensor) *Tensor {
+	out := New(a.Shape...)
+	MulInto(out, a, b)
+	return out
+}
+
+// Scale multiplies every element of t by s in place.
+func (t *Tensor) Scale(s float32) {
+	for i := range t.Data {
+		t.Data[i] *= s
+	}
+}
+
+// AXPY computes t += alpha*x elementwise in place.
+func (t *Tensor) AXPY(alpha float32, x *Tensor) {
+	if !t.SameShape(x) {
+		panic(fmt.Sprintf("tensor: AXPY shape mismatch %v vs %v", t.Shape, x.Shape))
+	}
+	for i := range t.Data {
+		t.Data[i] += alpha * x.Data[i]
+	}
+}
+
+func checkSame3(dst, a, b *Tensor, op string) {
+	if !dst.SameShape(a) || !dst.SameShape(b) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %v %v %v", op, dst.Shape, a.Shape, b.Shape))
+	}
+}
+
+// Dot returns the inner product of a and b, which must have equal lengths.
+func Dot(a, b []float32) float32 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("tensor: Dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float32
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// matmulMinParallel is the M*N*K product above which MatMulInto fans out
+// across goroutines; below it the goroutine overhead dominates.
+const matmulMinParallel = 1 << 16
+
+// MatMulInto computes dst = a(M×K) @ b(K×N). dst must be M×N and must not
+// alias a or b.
+func MatMulInto(dst, a, b *Tensor) {
+	if a.Rank() != 2 || b.Rank() != 2 || dst.Rank() != 2 {
+		panic("tensor: MatMul requires rank-2 tensors")
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 || dst.Shape[0] != m || dst.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMul shape mismatch %v @ %v -> %v", a.Shape, b.Shape, dst.Shape))
+	}
+	rowKernel := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out := dst.Data[i*n : (i+1)*n]
+			clear(out)
+			arow := a.Data[i*k : (i+1)*k]
+			for p, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := b.Data[p*n : (p+1)*n]
+				for j, bv := range brow {
+					out[j] += av * bv
+				}
+			}
+		}
+	}
+	if m*n*k < matmulMinParallel {
+		rowKernel(0, m)
+		return
+	}
+	parallelRows(m, rowKernel)
+}
+
+// MatMul returns a @ b for rank-2 tensors.
+func MatMul(a, b *Tensor) *Tensor {
+	out := New(a.Shape[0], b.Shape[1])
+	MatMulInto(out, a, b)
+	return out
+}
+
+// MatMulT returns a(M×K) @ bᵀ where b is N×K. This is the layout used for
+// similarity of a query batch against class hypervectors.
+func MatMulT(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 || a.Shape[1] != b.Shape[1] {
+		panic(fmt.Sprintf("tensor: MatMulT shape mismatch %v @ %vᵀ", a.Shape, b.Shape))
+	}
+	m, k, n := a.Shape[0], a.Shape[1], b.Shape[0]
+	out := New(m, n)
+	kernel := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			orow := out.Data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				orow[j] = Dot(arow, b.Data[j*k:(j+1)*k])
+			}
+		}
+	}
+	if m*n*k < matmulMinParallel {
+		kernel(0, m)
+	} else {
+		parallelRows(m, kernel)
+	}
+	return out
+}
+
+// TransposeMatMul returns aᵀ(K×M) @ b(K×N) = M×N. Used for gradient
+// accumulation (e.g. weight gradients from input and output deltas).
+func TransposeMatMul(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 || a.Shape[0] != b.Shape[0] {
+		panic(fmt.Sprintf("tensor: TransposeMatMul shape mismatch %vᵀ @ %v", a.Shape, b.Shape))
+	}
+	k, m := a.Shape[0], a.Shape[1]
+	n := b.Shape[1]
+	out := New(m, n)
+	for p := 0; p < k; p++ {
+		arow := a.Data[p*m : (p+1)*m]
+		brow := b.Data[p*n : (p+1)*n]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.Data[i*n : (i+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// Transpose returns the transpose of a rank-2 tensor.
+func Transpose(a *Tensor) *Tensor {
+	if a.Rank() != 2 {
+		panic("tensor: Transpose requires rank-2 tensor")
+	}
+	m, n := a.Shape[0], a.Shape[1]
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.Data[j*m+i] = a.Data[i*n+j]
+		}
+	}
+	return out
+}
+
+// parallelRows splits [0,m) into chunks and runs kernel on each chunk in its
+// own goroutine, blocking until all complete.
+func parallelRows(m int, kernel func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > m {
+		workers = m
+	}
+	if workers <= 1 {
+		kernel(0, m)
+		return
+	}
+	chunk := (m + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < m; lo += chunk {
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			kernel(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Softmax writes the softmax of src into dst (both length n), using the
+// max-subtraction trick for numerical stability.
+func Softmax(dst, src []float32) {
+	if len(dst) != len(src) {
+		panic("tensor: Softmax length mismatch")
+	}
+	if len(src) == 0 {
+		return
+	}
+	maxv := src[0]
+	for _, v := range src[1:] {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var sum float64
+	for i, v := range src {
+		e := math.Exp(float64(v - maxv))
+		dst[i] = float32(e)
+		sum += e
+	}
+	inv := float32(1.0 / sum)
+	for i := range dst {
+		dst[i] *= inv
+	}
+}
+
+// SoftmaxT applies temperature-scaled softmax: softmax(src/T).
+func SoftmaxT(dst, src []float32, temperature float64) {
+	if temperature <= 0 {
+		panic("tensor: SoftmaxT requires positive temperature")
+	}
+	tmp := make([]float32, len(src))
+	for i, v := range src {
+		tmp[i] = float32(float64(v) / temperature)
+	}
+	Softmax(dst, tmp)
+}
+
+// LogSumExp returns log(sum(exp(x))) computed stably.
+func LogSumExp(x []float32) float64 {
+	if len(x) == 0 {
+		return math.Inf(-1)
+	}
+	maxv := x[0]
+	for _, v := range x[1:] {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var s float64
+	for _, v := range x {
+		s += math.Exp(float64(v - maxv))
+	}
+	return float64(maxv) + math.Log(s)
+}
+
+// ArgmaxRows returns the argmax of each row of a 2-D tensor.
+func ArgmaxRows(t *Tensor) []int {
+	if t.Rank() != 2 {
+		panic("tensor: ArgmaxRows requires rank-2 tensor")
+	}
+	out := make([]int, t.Shape[0])
+	for i := range out {
+		row := t.Row(i)
+		best, at := row[0], 0
+		for j, v := range row {
+			if v > best {
+				best, at = v, j
+			}
+		}
+		out[i] = at
+	}
+	return out
+}
+
+// Sign returns a tensor of -1/+1 elements matching sign(t); zero maps to +1
+// (the convention used by bipolar hypervectors).
+func Sign(t *Tensor) *Tensor {
+	out := New(t.Shape...)
+	for i, v := range t.Data {
+		if v < 0 {
+			out.Data[i] = -1
+		} else {
+			out.Data[i] = 1
+		}
+	}
+	return out
+}
+
+// Clamp limits every element of t to [lo, hi] in place.
+func (t *Tensor) Clamp(lo, hi float32) {
+	for i, v := range t.Data {
+		if v < lo {
+			t.Data[i] = lo
+		} else if v > hi {
+			t.Data[i] = hi
+		}
+	}
+}
+
+// ParallelFor splits [0,n) into contiguous chunks and runs kernel on each in
+// its own goroutine, blocking until all complete. It is the exported hook the
+// nn and hdc packages use to parallelize per-sample work.
+func ParallelFor(n int, kernel func(lo, hi int)) {
+	parallelRows(n, kernel)
+}

@@ -1,0 +1,171 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewShapesAndLen(t *testing.T) {
+	x := New(2, 3, 4)
+	if x.Len() != 24 {
+		t.Fatalf("Len = %d, want 24", x.Len())
+	}
+	if x.Rank() != 3 || x.Dim(0) != 2 || x.Dim(1) != 3 || x.Dim(2) != 4 {
+		t.Fatalf("bad shape metadata: %v", x.Shape)
+	}
+	for _, v := range x.Data {
+		if v != 0 {
+			t.Fatal("New must zero-initialize")
+		}
+	}
+}
+
+func TestFromSliceMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched data length")
+		}
+	}()
+	FromSlice([]float32{1, 2, 3}, 2, 2)
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	x := New(3, 4)
+	x.Set(7.5, 2, 1)
+	if got := x.At(2, 1); got != 7.5 {
+		t.Fatalf("At = %v, want 7.5", got)
+	}
+	if got := x.Data[2*4+1]; got != 7.5 {
+		t.Fatalf("row-major layout violated: flat value %v", got)
+	}
+}
+
+func TestAtOutOfRangePanics(t *testing.T) {
+	x := New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range index")
+		}
+	}()
+	x.At(2, 0)
+}
+
+func TestReshapeSharesData(t *testing.T) {
+	x := New(2, 6)
+	x.Data[5] = 3
+	y := x.Reshape(3, 4)
+	if y.Data[5] != 3 {
+		t.Fatal("Reshape must alias underlying data")
+	}
+	y.Data[0] = 9
+	if x.Data[0] != 9 {
+		t.Fatal("write through reshaped tensor not visible in original")
+	}
+}
+
+func TestReshapeInfer(t *testing.T) {
+	x := New(4, 6)
+	y := x.Reshape(2, -1)
+	if y.Shape[1] != 12 {
+		t.Fatalf("inferred dim = %d, want 12", y.Shape[1])
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic reshaping to incompatible shape")
+		}
+	}()
+	x.Reshape(5, -1)
+}
+
+func TestCloneIndependence(t *testing.T) {
+	x := New(3)
+	x.Fill(2)
+	y := x.Clone()
+	y.Data[0] = -1
+	if x.Data[0] != 2 {
+		t.Fatal("Clone must not share data")
+	}
+}
+
+func TestSumMeanStd(t *testing.T) {
+	x := FromSlice([]float32{1, 2, 3, 4}, 4)
+	if got := x.Sum(); got != 10 {
+		t.Fatalf("Sum = %v", got)
+	}
+	if got := x.Mean(); got != 2.5 {
+		t.Fatalf("Mean = %v", got)
+	}
+	want := math.Sqrt(1.25)
+	if got := x.Std(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Std = %v, want %v", got, want)
+	}
+}
+
+func TestMaxMinArgmax(t *testing.T) {
+	x := FromSlice([]float32{3, -1, 7, 7, 0}, 5)
+	if v, i := x.Max(); v != 7 || i != 2 {
+		t.Fatalf("Max = %v@%d, want 7@2 (first occurrence)", v, i)
+	}
+	if v, i := x.Min(); v != -1 || i != 1 {
+		t.Fatalf("Min = %v@%d", v, i)
+	}
+	if x.Argmax() != 2 {
+		t.Fatal("Argmax mismatch")
+	}
+}
+
+func TestRowAliases(t *testing.T) {
+	x := New(2, 3)
+	r := x.Row(1)
+	r[0] = 5
+	if x.At(1, 0) != 5 {
+		t.Fatal("Row must alias tensor data")
+	}
+}
+
+func TestApplyMap(t *testing.T) {
+	x := FromSlice([]float32{1, -2}, 2)
+	y := x.Map(func(v float32) float32 { return v * v })
+	if y.Data[0] != 1 || y.Data[1] != 4 {
+		t.Fatalf("Map result %v", y.Data)
+	}
+	if x.Data[1] != -2 {
+		t.Fatal("Map must not mutate receiver")
+	}
+	x.Apply(func(v float32) float32 { return -v })
+	if x.Data[1] != 2 {
+		t.Fatal("Apply must mutate in place")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	x := FromSlice([]float32{-5, 0.5, 5}, 3)
+	x.Clamp(-1, 1)
+	if x.Data[0] != -1 || x.Data[1] != 0.5 || x.Data[2] != 1 {
+		t.Fatalf("Clamp result %v", x.Data)
+	}
+}
+
+func TestL2Norm(t *testing.T) {
+	x := FromSlice([]float32{3, 4}, 2)
+	if got := x.L2Norm(); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("L2Norm = %v", got)
+	}
+}
+
+// Property: for any data, Reshape preserves the multiset of values and Sum.
+func TestReshapePreservesSumProperty(t *testing.T) {
+	f := func(vals []float32) bool {
+		n := len(vals)
+		if n == 0 {
+			return true
+		}
+		x := FromSlice(append([]float32(nil), vals...), n)
+		y := x.Reshape(1, n)
+		return math.Abs(x.Sum()-y.Sum()) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,167 @@
+package tsne
+
+import (
+	"math"
+	"testing"
+
+	"nshd/internal/tensor"
+)
+
+// blobs builds n points in f dims grouped into k well-separated Gaussian
+// clusters.
+func blobs(seed int64, n, f, k int, sep float64) (*tensor.Tensor, []int) {
+	rng := tensor.NewRNG(seed)
+	centers := tensor.New(k, f)
+	rng.FillNormal(centers, 0, float32(sep))
+	data := tensor.New(n, f)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		y := i % k
+		labels[i] = y
+		row := data.Row(i)
+		copy(row, centers.Row(y))
+		for j := range row {
+			row[j] += float32(rng.NormFloat64()) * 0.3
+		}
+	}
+	return data, labels
+}
+
+func TestConfigValidate(t *testing.T) {
+	cfg := DefaultConfig()
+	if err := cfg.Validate(100); err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Validate(3); err == nil {
+		t.Fatal("expected too-few-points error")
+	}
+	cfg.Perplexity = 200
+	if err := cfg.Validate(100); err == nil {
+		t.Fatal("expected perplexity error")
+	}
+	cfg = DefaultConfig()
+	cfg.Iters = 1
+	if err := cfg.Validate(100); err == nil {
+		t.Fatal("expected iteration error")
+	}
+}
+
+func TestPCA2RecoversDominantDirection(t *testing.T) {
+	// Points along a line in 5-D: first PC must capture nearly all
+	// variance.
+	rng := tensor.NewRNG(2)
+	n := 60
+	data := tensor.New(n, 5)
+	dir := []float32{1, 2, -1, 0.5, 3}
+	for i := 0; i < n; i++ {
+		tpos := float32(rng.NormFloat64()) * 4
+		row := data.Row(i)
+		for j := range row {
+			row[j] = tpos*dir[j] + float32(rng.NormFloat64())*0.05
+		}
+	}
+	y := PCA2(data)
+	var var0, var1 float64
+	for i := 0; i < n; i++ {
+		var0 += float64(y.At(i, 0)) * float64(y.At(i, 0))
+		var1 += float64(y.At(i, 1)) * float64(y.At(i, 1))
+	}
+	if var0 < 100*var1 {
+		t.Fatalf("first PC variance %v not dominant over %v", var0, var1)
+	}
+}
+
+func TestEmbedSeparatesBlobs(t *testing.T) {
+	data, labels := blobs(3, 90, 16, 3, 8)
+	cfg := DefaultConfig()
+	cfg.Perplexity = 10
+	cfg.Iters = 250
+	y, err := Embed(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.Shape[0] != 90 || y.Shape[1] != 2 {
+		t.Fatalf("embedding shape %v", y.Shape)
+	}
+	for _, v := range y.Data {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			t.Fatal("embedding contains NaN/Inf")
+		}
+	}
+	purity := KNNPurity(y, labels, 10)
+	if purity < 0.9 {
+		t.Fatalf("well-separated blobs should embed with high purity, got %v", purity)
+	}
+}
+
+func TestEmbedKLDecreasesVsPCA(t *testing.T) {
+	data, _ := blobs(4, 60, 12, 3, 6)
+	cfg := DefaultConfig()
+	cfg.Perplexity = 8
+	cfg.Iters = 200
+	y, err := Embed(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pca := PCA2(data)
+	normalizeInit(pca)
+	if KL(data, y, 8) >= KL(data, pca, 8) {
+		t.Fatal("optimized embedding must have lower KL than its init")
+	}
+}
+
+func TestEmbedRejectsBadInput(t *testing.T) {
+	if _, err := Embed(tensor.New(8), DefaultConfig()); err == nil {
+		t.Fatal("expected rank error")
+	}
+	cfg := DefaultConfig()
+	cfg.Perplexity = 50
+	if _, err := Embed(tensor.New(10, 4), cfg); err == nil {
+		t.Fatal("expected perplexity error")
+	}
+}
+
+func TestKNNPurityBounds(t *testing.T) {
+	// Perfectly separated 1-D clusters embed to purity 1.
+	y := tensor.New(10, 2)
+	labels := make([]int, 10)
+	for i := 0; i < 10; i++ {
+		cls := i / 5
+		labels[i] = cls
+		y.Set(float32(cls)*100+float32(i), i, 0)
+	}
+	if p := KNNPurity(y, labels, 3); p != 1 {
+		t.Fatalf("purity = %v, want 1", p)
+	}
+	// Interleaved labels give low purity.
+	for i := range labels {
+		labels[i] = i % 2
+	}
+	if p := KNNPurity(y, labels, 3); p > 0.6 {
+		t.Fatalf("interleaved purity = %v, want low", p)
+	}
+}
+
+func TestKNNPurityClampsK(t *testing.T) {
+	y := tensor.New(4, 2)
+	labels := []int{0, 0, 1, 1}
+	// k >= n must not panic.
+	_ = KNNPurity(y, labels, 10)
+}
+
+func TestEmbedDeterministicBySeed(t *testing.T) {
+	data, _ := blobs(5, 40, 8, 2, 5)
+	cfg := DefaultConfig()
+	cfg.Perplexity = 8
+	cfg.Iters = 60
+	a, err := Embed(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Embed(data, cfg)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("same seed must reproduce the same embedding")
+		}
+	}
+}
