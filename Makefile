@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: check vet build test race bench perf
+
+# The full gate: what CI (and any PR) must keep green.
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detect the packages with hand-rolled parallelism.
+race:
+	$(GO) test -race ./internal/parallel/... ./internal/tensor/... ./internal/nn/... ./internal/hdc/... ./internal/hdlearn/...
+
+# Kernel microbenchmarks (tensor package) with allocation counts.
+bench:
+	$(GO) test -run xxx -bench . -benchmem ./internal/tensor/ ./internal/parallel/
+
+# Regenerate the machine-readable compute-core perf report.
+perf:
+	$(GO) run ./cmd/nshd-bench -perf BENCH_PR1.json

@@ -367,3 +367,37 @@ func BenchmarkShiftAugment(b *testing.B) {
 		aug(sample, []int{3, 32, 32}, rng)
 	}
 }
+
+// BenchmarkPredictFloatVsPacked measures the deployment win of the packed
+// binary inference path at paper-scale D, asserting first that both paths
+// predict identically on the sign-quantized model (the packed kernel is a
+// representation change, not an approximation).
+func BenchmarkPredictFloatVsPacked(b *testing.B) {
+	const k, d, n = 10, 10000, 64
+	rng := tensor.NewRNG(11)
+	m := hdlearn.NewModel(k, d)
+	rng.FillNormal(m.M, 0, 1)
+	quantized := m.SignQuantized()
+	pm := hdlearn.PackModel(m)
+	q := tensor.New(n, d)
+	rng.FillBipolar(q)
+	want := quantized.PredictBatch(q)
+	got := pm.PredictBatch(q)
+	for i := range want {
+		if got[i] != want[i] {
+			b.Fatalf("sample %d: packed=%d float=%d — packed path must agree bit-exactly", i, got[i], want[i])
+		}
+	}
+	b.Run("float32", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			quantized.PredictBatch(q)
+		}
+		b.ReportMetric(float64(n), "queries/op")
+	})
+	b.Run("packed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pm.PredictBatch(q)
+		}
+		b.ReportMetric(float64(n), "queries/op")
+	})
+}

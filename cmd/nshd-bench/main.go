@@ -41,8 +41,17 @@ func main() {
 		f11Model  = flag.String("fig11-model", "effnetb0", "model for the fig11 t-SNE")
 		f11Layer  = flag.Int("fig11-layer", 7, "cut layer for the fig11 t-SNE")
 		svgDir    = flag.String("svg", "", "also write figure SVGs into this directory")
+		perfOut   = flag.String("perf", "", "run compute-kernel microbenchmarks, write JSON to this file, and exit")
 	)
 	flag.Parse()
+
+	if *perfOut != "" {
+		if err := runPerf(*perfOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var env experiments.Env
 	switch *preset {

@@ -1,0 +1,156 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"nshd/internal/hdc"
+	"nshd/internal/hdlearn"
+	"nshd/internal/tensor"
+)
+
+// perfEntry is one microbenchmark row of the machine-readable perf report.
+type perfEntry struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	GFlops      float64 `json:"gflops,omitempty"`
+}
+
+// runPerf benchmarks the compute-core kernels (each "before" variant is the
+// seed implementation, kept callable precisely for this comparison) and
+// writes the results as JSON, one entry per op.
+func runPerf(path string) error {
+	var entries []perfEntry
+	add := func(name string, flops, bytes int64, fn func(b *testing.B)) {
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			fn(b)
+		})
+		ns := float64(res.NsPerOp())
+		e := perfEntry{Name: name, NsPerOp: ns, AllocsPerOp: res.AllocsPerOp()}
+		if bytes > 0 && ns > 0 {
+			e.MBPerSec = float64(bytes) / ns * 1e3 // bytes/ns → MB/s
+		}
+		if flops > 0 && ns > 0 {
+			e.GFlops = float64(flops) / ns
+		}
+		entries = append(entries, e)
+		fmt.Fprintf(os.Stderr, "%-40s %12.0f ns/op\n", name, ns)
+	}
+
+	rng := tensor.NewRNG(1)
+	for _, s := range []struct {
+		name    string
+		m, n, k int
+	}{
+		{"conv_32x1024x27", 32, 1024, 27},
+		{"proj_64x3000x100", 64, 3000, 100},
+		{"square_256", 256, 256, 256},
+	} {
+		a := tensor.New(s.m, s.k)
+		bb := tensor.New(s.k, s.n)
+		rng.FillNormal(a, 0, 1)
+		rng.FillNormal(bb, 0, 1)
+		dst := tensor.New(s.m, s.n)
+		flops := int64(2 * s.m * s.n * s.k)
+		bytes := int64(4 * (s.m*s.k + s.k*s.n + s.m*s.n))
+		add("gemm/"+s.name+"/naive", flops, bytes, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tensor.MatMulNaiveInto(dst, a, bb)
+			}
+		})
+		add("gemm/"+s.name+"/blocked", flops, bytes, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tensor.MatMulInto(dst, a, bb)
+			}
+		})
+	}
+
+	// Similarity-layout product: [64,3000] @ [10,3000]ᵀ.
+	{
+		a := tensor.New(64, 3000)
+		bt := tensor.New(10, 3000)
+		rng.FillNormal(a, 0, 1)
+		rng.FillNormal(bt, 0, 1)
+		add("matmult/sim_64x10x3000", 2*64*10*3000, 4*(64*3000+10*3000+64*10), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tensor.MatMulT(a, bt)
+			}
+		})
+	}
+
+	// Transpose: seed elementwise loop vs blocked-tile implementation.
+	{
+		const n = 1024
+		a := tensor.New(n, n)
+		rng.FillNormal(a, 0, 1)
+		bytes := int64(n * n * 4 * 2)
+		add("transpose/1024x1024/naive", 0, bytes, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				out := tensor.New(n, n)
+				for r := 0; r < n; r++ {
+					for c := 0; c < n; c++ {
+						out.Data[c*n+r] = a.Data[r*n+c]
+					}
+				}
+			}
+		})
+		add("transpose/1024x1024/blocked", 0, bytes, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tensor.Transpose(a)
+			}
+		})
+	}
+
+	// HD encoding: the projection Φ_P over a 64-sample batch.
+	{
+		pr := hdc.NewProjection(rng.Fork(), 100, 3000)
+		feats := tensor.New(64, 100)
+		rng.FillNormal(feats, 0, 1)
+		add("encode/proj_64x100_to_3000", 2*64*100*3000, 0, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pr.EncodeBatch(feats)
+			}
+		})
+	}
+
+	// Inference: float32 cosine scoring vs packed popcount scoring of the
+	// sign-quantized model at paper-scale D.
+	{
+		const k, d, n = 10, 10000, 64
+		m := hdlearn.NewModel(k, d)
+		rng.FillNormal(m.M, 0, 1)
+		quantized := m.SignQuantized()
+		pm := hdlearn.PackModel(m)
+		q := tensor.New(n, d)
+		rng.FillBipolar(q)
+		flops := int64(2 * k * d * n)
+		add("predict/float32_d10000_k10_n64", flops, 0, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				quantized.PredictBatch(q)
+			}
+		})
+		add("predict/packed_d10000_k10_n64", flops, 0, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pm.PredictBatch(q)
+			}
+		})
+		row := q.Row(0)
+		words := make([]uint64, (d+63)/64)
+		add("pack_signs/d10000", 0, int64(d*4), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tensor.PackSignsInto(words, row)
+			}
+		})
+	}
+
+	out, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

@@ -48,6 +48,13 @@ type Config struct {
 	BatchSize int
 	// Seed drives the projection and shuffling.
 	Seed int64
+	// PackedInference switches Predict/Accuracy to the binary deployment
+	// kernel: class hypervectors are sign-quantized to one bit per dimension
+	// and scored with XOR + popcount (Sec. VI). Training is unaffected — the
+	// real-valued model is quantized at prediction time, trading a small
+	// accuracy delta (the paper's binary-model gap) for ~32× smaller class
+	// memory and multiply-free scoring.
+	PackedInference bool
 }
 
 // DefaultConfig mirrors the paper's experimental setup (Sec. VII-A) at

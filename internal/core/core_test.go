@@ -262,3 +262,42 @@ func TestPipelineConfusion(t *testing.T) {
 		t.Fatalf("confusion accuracy %v != pipeline accuracy %v", got, want)
 	}
 }
+
+// TestPackedInferenceMatchesQuantizedFloat: with PackedInference on, the
+// pipeline must predict exactly what the float path predicts for the
+// sign-quantized model — packing is a representation change, not an
+// approximation, once the model is bipolar.
+func TestPackedInferenceMatchesQuantizedFloat(t *testing.T) {
+	cfg := dataset.SynthConfig{Classes: 4, Train: 48, Test: 24, Size: 16, Noise: 0.2, Seed: 51}
+	train, test := dataset.SynthCIFAR(cfg)
+	zoo := tinyZoo(52, 4)
+	p, err := New(zoo, testConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	feats := p.ExtractFeatures(train.Images)
+	_, _, signed := p.Symbolize(feats, false)
+	p.HD.InitBundle(signed, train.Labels)
+
+	want := p.HD.SignQuantized().PredictBatch(p.QueryHVs(test.Images))
+	p.Cfg.PackedInference = true
+	got := p.Predict(test.Images)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sample %d: packed=%d, quantized float=%d", i, got[i], want[i])
+		}
+	}
+	correct := 0
+	for i, pr := range got {
+		if pr == test.Labels[i] {
+			correct++
+		}
+	}
+	if acc := p.Accuracy(test); math.Abs(acc-float64(correct)/float64(len(got))) > 1e-9 {
+		t.Fatalf("packed Accuracy %v inconsistent with packed Predict", acc)
+	}
+	pq := p.PackedQueryHVs(test.Images)
+	if pq.Rows != test.Len() || pq.D != p.Cfg.D {
+		t.Fatalf("PackedQueryHVs shape %dx%d", pq.Rows, pq.D)
+	}
+}

@@ -317,11 +317,21 @@ func (p *Pipeline) TrainOnFeatures(feats *tensor.Tensor, labels []int, teacherLo
 	return report, nil
 }
 
+// classify routes signed query hypervectors to the configured inference
+// kernel: float32 cosine scoring, or — with PackedInference — popcount
+// scoring against the sign-quantized model.
+func (p *Pipeline) classify(signed *tensor.Tensor) []int {
+	if p.Cfg.PackedInference {
+		return hdlearn.PackModel(p.HD).PredictBatch(signed)
+	}
+	return p.HD.PredictBatch(signed)
+}
+
 // Predict classifies raw images.
 func (p *Pipeline) Predict(images *tensor.Tensor) []int {
 	feats := p.ExtractFeatures(images)
 	_, _, signed := p.Symbolize(feats, false)
-	return p.HD.PredictBatch(signed)
+	return p.classify(signed)
 }
 
 // Accuracy scores the pipeline on a labelled dataset.
@@ -340,6 +350,9 @@ func (p *Pipeline) Accuracy(d *dataset.Dataset) float64 {
 // repeated CNN passes during sweeps.
 func (p *Pipeline) AccuracyOnFeatures(feats *tensor.Tensor, labels []int) float64 {
 	_, _, signed := p.Symbolize(feats, false)
+	if p.Cfg.PackedInference {
+		return hdlearn.PackModel(p.HD).Accuracy(signed, labels)
+	}
 	return p.HD.Accuracy(signed, labels)
 }
 
@@ -349,6 +362,13 @@ func (p *Pipeline) QueryHVs(images *tensor.Tensor) *tensor.Tensor {
 	feats := p.ExtractFeatures(images)
 	_, _, signed := p.Symbolize(feats, false)
 	return signed
+}
+
+// PackedQueryHVs returns the query hypervectors bit-packed — the form the
+// deployment targets store and ship (64 dimensions per word). Since query
+// hypervectors are already bipolar, packing loses nothing.
+func (p *Pipeline) PackedQueryHVs(images *tensor.Tensor) *hdc.PackedMatrix {
+	return hdc.NewPackedMatrix(p.QueryHVs(images))
 }
 
 func abs64(v float32) float64 {

@@ -28,12 +28,17 @@ func NewPackedHV(d int) *PackedHV {
 // with sign(0) = +1) into bit form.
 func PackHV(h Hypervector) *PackedHV {
 	p := NewPackedHV(len(h))
-	for i, v := range h {
-		if v < 0 {
-			p.Words[i/64] |= 1 << (i % 64)
-		}
-	}
+	PackRowInto(p.Words, h)
 	return p
+}
+
+// PackRowInto sign-packs a dense row into words (bit i set iff row[i] < 0,
+// so sign(0) = +1 as everywhere else). words must hold (len(row)+63)/64
+// entries; the tail bits of the last word are left zero, which keeps Hamming
+// and PackedDot exact for any D. This is the fast path for packing whole
+// query batches — on amd64 it extracts sign bits 8 floats at a time.
+func PackRowInto(words []uint64, row []float32) {
+	tensor.PackSignsInto(words, row)
 }
 
 // RandomPacked samples a uniform packed bipolar hypervector.

@@ -1,0 +1,394 @@
+package tensor
+
+import (
+	"fmt"
+	"sync"
+
+	"nshd/internal/parallel"
+)
+
+// Blocked GEMM. The kernel is organized BLIS-style:
+//
+//   - the N dimension is walked in gemmNC-column blocks and the K dimension
+//     in gemmKC-row blocks, so the active B panel and the 4-row output slab
+//     stay cache-resident while row blocks of A stream through;
+//   - on amd64 with AVX2+FMA (detected at startup via CPUID), the B panel is
+//     packed into 16-wide column strips stored p-major and the inner product
+//     runs in a hand-written assembly micro-kernel: a 4×16 register tile held
+//     in 8 YMM accumulators, 8 fused multiply-adds per K step — roughly an
+//     order of magnitude more flops/cycle than scalar Go;
+//   - elsewhere, a pure-Go broadcast-AXPY kernel processes 4 rows per pass,
+//     quartering B traffic versus the seed's one-row-at-a-time loop (the
+//     dense path also drops the seed kernel's per-element zero test, which
+//     mispredicts on dense data).
+//
+// Parallelism splits over both M and N (tall-skinny shapes like similarity
+// scoring keep all workers busy), with chunk sizes derived from per-row flop
+// cost rather than a flat element-count cutoff. Tile boundaries are aligned
+// to the micro-kernel (gemmMR rows, gemmNR cols), which — together with a
+// fixed K-blocking schedule — makes results bit-identical no matter how the
+// work is split: see TestMatMulSerialParallelIdentical.
+const (
+	gemmMR = 4   // rows of A per micro-kernel pass
+	gemmNR = 16  // columns per packed strip (one AVX micro-kernel tile)
+	gemmKC = 256 // K-dimension block
+	gemmNC = 256 // N-dimension block (multiple of gemmNR)
+)
+
+// minParallelWork is the floor of per-task work (in elements touched or
+// flops, per the call site) below which dispatch overhead would dominate;
+// used by memory-bound ops like Transpose.
+const minParallelWork = 1 << 15
+
+// gemmMinParallelFlops is the flop floor per GEMM task. It is 8× the generic
+// floor because the AVX2 kernel retires ~40 gflops single-threaded, so a
+// task needs this many flops (~7 µs) to amortize one pool dispatch.
+const gemmMinParallelFlops = 1 << 18
+
+// panelPool recycles packed-B panel buffers across GEMM calls and workers.
+var panelPool = sync.Pool{New: func() any {
+	buf := make([]float32, gemmKC*gemmNC)
+	return &buf
+}}
+
+// MatMulInto computes dst = a(M×K) @ b(K×N) with the blocked kernel.
+// dst must be M×N and must not alias a or b. The result is deterministic:
+// serial and parallel execution produce bit-identical output because tile
+// decomposition never changes how any single element accumulates over K.
+func MatMulInto(dst, a, b *Tensor) {
+	if a.Rank() != 2 || b.Rank() != 2 || dst.Rank() != 2 {
+		panic("tensor: MatMul requires rank-2 tensors")
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 || dst.Shape[0] != m || dst.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMul shape mismatch %v @ %v -> %v", a.Shape, b.Shape, dst.Shape))
+	}
+	gemm(dst.Data, a.Data, b.Data, m, n, k)
+}
+
+// MatMul returns a @ b for rank-2 tensors.
+func MatMul(a, b *Tensor) *Tensor {
+	out := New(a.Shape[0], b.Shape[1])
+	MatMulInto(out, a, b)
+	return out
+}
+
+// MatMulNaiveInto is the seed repository's i·p·j kernel (row-major AXPY with
+// a zero-skip branch), kept serial as the reference implementation for
+// correctness tests and before/after benchmarking. New code should call
+// MatMulInto; callers multiplying a genuinely sparse LHS can use
+// MatMulSparseInto.
+func MatMulNaiveInto(dst, a, b *Tensor) {
+	if a.Rank() != 2 || b.Rank() != 2 || dst.Rank() != 2 {
+		panic("tensor: MatMul requires rank-2 tensors")
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 || dst.Shape[0] != m || dst.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMul shape mismatch %v @ %v -> %v", a.Shape, b.Shape, dst.Shape))
+	}
+	for i := 0; i < m; i++ {
+		out := dst.Data[i*n : (i+1)*n]
+		clear(out)
+		arow := a.Data[i*k : (i+1)*k]
+		for p, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[p*n : (p+1)*n]
+			for j, bv := range brow {
+				out[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulSparseInto computes dst = a @ b skipping zero elements of a — the
+// sparse-aware variant of the seed kernel, parallelized over rows. Use it
+// only when a is known to be mostly zeros (e.g. masked update matrices);
+// for dense inputs the branch costs more than it saves.
+func MatMulSparseInto(dst, a, b *Tensor) {
+	if a.Rank() != 2 || b.Rank() != 2 || dst.Rank() != 2 {
+		panic("tensor: MatMul requires rank-2 tensors")
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 || dst.Shape[0] != m || dst.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMul shape mismatch %v @ %v -> %v", a.Shape, b.Shape, dst.Shape))
+	}
+	grain := rowGrain(n, k)
+	parallel.ForGrain(m, grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out := dst.Data[i*n : (i+1)*n]
+			clear(out)
+			arow := a.Data[i*k : (i+1)*k]
+			for p, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := b.Data[p*n : (p+1)*n]
+				for j, bv := range brow {
+					out[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// rowGrain returns how many rows one parallel task should cover so that each
+// task performs at least gemmMinParallelFlops flops (2·n·k per row).
+func rowGrain(n, k int) int {
+	rowCost := 2 * n * k
+	if rowCost <= 0 {
+		return 1 << 30
+	}
+	g := (gemmMinParallelFlops + rowCost - 1) / rowCost
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// gemmJob is one rectangular output tile of a parallel GEMM.
+type gemmJob struct {
+	r0, r1, c0, c1 int
+}
+
+// gemmSplit decomposes an M×N output into jobs for the given worker count.
+// Rows are split first (better packing reuse); when row chunks alone cannot
+// feed every worker — small M with large N, e.g. per-sample conv matmuls —
+// columns are split too. Splits are aligned to gemmMR rows and gemmNR
+// columns so every element is computed by the same micro-kernel regardless
+// of the decomposition. Pure function, unit-tested for boundary coverage.
+func gemmSplit(m, n, k, workers int) []gemmJob {
+	rowsPer := rowGrain(n, k)
+	if rowsPer%gemmMR != 0 {
+		rowsPer += gemmMR - rowsPer%gemmMR
+	}
+	rowTasks := (m + rowsPer - 1) / rowsPer
+	if rowTasks > workers*2 {
+		rowTasks = workers * 2
+		rowsPer = (m + rowTasks - 1) / rowTasks
+		if rowsPer%gemmMR != 0 {
+			rowsPer += gemmMR - rowsPer%gemmMR
+		}
+	}
+	colTasks := 1
+	if rowTasks < workers && n >= 2*gemmNR {
+		colTasks = (workers + rowTasks - 1) / rowTasks
+		if maxCols := n / gemmNR; colTasks > maxCols {
+			colTasks = maxCols
+		}
+	}
+	colsPer := (n + colTasks - 1) / colTasks
+	if colsPer%gemmNR != 0 {
+		colsPer += gemmNR - colsPer%gemmNR
+	}
+	var jobs []gemmJob
+	for r0 := 0; r0 < m; r0 += rowsPer {
+		r1 := r0 + rowsPer
+		if r1 > m {
+			r1 = m
+		}
+		for c0 := 0; c0 < n; c0 += colsPer {
+			c1 := c0 + colsPer
+			if c1 > n {
+				c1 = n
+			}
+			jobs = append(jobs, gemmJob{r0, r1, c0, c1})
+		}
+	}
+	return jobs
+}
+
+func gemm(dst, a, b []float32, m, n, k int) {
+	if m == 0 || n == 0 {
+		return
+	}
+	if k == 0 {
+		clear(dst[:m*n])
+		return
+	}
+	workers := parallel.Workers()
+	if workers <= 1 || 2*m*n*k < 2*gemmMinParallelFlops {
+		gemmRange(dst, a, b, n, k, 0, m, 0, n)
+		return
+	}
+	jobs := gemmSplit(m, n, k, workers)
+	parallel.For(len(jobs), func(lo, hi int) {
+		for ji := lo; ji < hi; ji++ {
+			j := jobs[ji]
+			gemmRange(dst, a, b, n, k, j.r0, j.r1, j.c0, j.c1)
+		}
+	})
+}
+
+// gemmRange computes the dst tile rows [r0,r1) × cols [c0,c1), overwriting it.
+func gemmRange(dst, a, b []float32, n, k, r0, r1, c0, c1 int) {
+	for i := r0; i < r1; i++ {
+		clear(dst[i*n+c0 : i*n+c1])
+	}
+	var buf []float32
+	var bufp *[]float32
+	if useGemmAsm {
+		bufp = panelPool.Get().(*[]float32)
+		buf = *bufp
+		defer panelPool.Put(bufp)
+	}
+	for jb := c0; jb < c1; jb += gemmNC {
+		je := jb + gemmNC
+		if je > c1 {
+			je = c1
+		}
+		for pb := 0; pb < k; pb += gemmKC {
+			pe := pb + gemmKC
+			if pe > k {
+				pe = k
+			}
+			if useGemmAsm {
+				gemmAsmPart(dst, a, b, buf, n, k, r0, r1, jb, je, pb, pe)
+			} else {
+				gemmGoPart(dst, a, b, n, k, r0, r1, jb, je, pb, pe)
+			}
+		}
+	}
+}
+
+// gemmAsmPart computes rows [r0,r1) × cols [jb,je) of the K-block [pb,pe)
+// using the AVX2 micro-kernel over a packed panel for all full 4×16 tiles,
+// falling back to the scalar kernel for row/column tails.
+func gemmAsmPart(dst, a, b, buf []float32, n, k, r0, r1, jb, je, pb, pe int) {
+	kc := pe - pb
+	nFull := (je - jb) / gemmNR * gemmNR
+	if nFull > 0 {
+		packPanel16(buf, b, n, pb, pe, jb, jb+nFull)
+		i := r0
+		for ; i+gemmMR <= r1; i += gemmMR {
+			for js := 0; js < nFull; js += gemmNR {
+				strip := buf[js*kc:]
+				gemm4x16(kc,
+					&a[i*k+pb], &a[(i+1)*k+pb], &a[(i+2)*k+pb], &a[(i+3)*k+pb],
+					&strip[0],
+					&dst[i*n+jb+js], &dst[(i+1)*n+jb+js], &dst[(i+2)*n+jb+js], &dst[(i+3)*n+jb+js])
+			}
+		}
+		if i < r1 {
+			gemmGoPart(dst, a, b, n, k, i, r1, jb, jb+nFull, pb, pe)
+		}
+	}
+	if jb+nFull < je {
+		gemmGoPart(dst, a, b, n, k, r0, r1, jb+nFull, je, pb, pe)
+	}
+}
+
+// packPanel16 copies B rows [pb,pe) × cols [jb,jfullEnd) — a whole number of
+// 16-column strips — into buf, strip-major then p-major, so the micro-kernel
+// reads the panel strictly sequentially.
+func packPanel16(buf, b []float32, n, pb, pe, jb, jfullEnd int) {
+	si := 0
+	for js := jb; js < jfullEnd; js += gemmNR {
+		for p := pb; p < pe; p++ {
+			copy(buf[si:si+gemmNR], b[p*n+js:][:gemmNR])
+			si += gemmNR
+		}
+	}
+}
+
+// gemmGoPart is the portable kernel: a 4-row broadcast-AXPY over contiguous
+// B row segments. Each B element loaded once serves four output rows, and
+// the NC blocking keeps the four active output segments L1-resident.
+func gemmGoPart(dst, a, b []float32, n, k, r0, r1, jb, je, pb, pe int) {
+	i := r0
+	for ; i+gemmMR <= r1; i += gemmMR {
+		o0 := dst[i*n+jb : i*n+je]
+		o1 := dst[(i+1)*n+jb : (i+1)*n+je]
+		o2 := dst[(i+2)*n+jb : (i+2)*n+je]
+		o3 := dst[(i+3)*n+jb : (i+3)*n+je]
+		for p := pb; p < pe; p++ {
+			brow := b[p*n+jb : p*n+je]
+			axpy4(a[i*k+p], a[(i+1)*k+p], a[(i+2)*k+p], a[(i+3)*k+p], brow, o0, o1, o2, o3)
+		}
+	}
+	for ; i < r1; i++ {
+		o0 := dst[i*n+jb : i*n+je]
+		for p := pb; p < pe; p++ {
+			axpy1(a[i*k+p], b[p*n+jb:p*n+je], o0)
+		}
+	}
+}
+
+// axpy4 computes o_r += av_r * brow for four rows, reusing each loaded B
+// element four times.
+func axpy4(av0, av1, av2, av3 float32, brow, o0, o1, o2, o3 []float32) {
+	o0 = o0[:len(brow)]
+	o1 = o1[:len(brow)]
+	o2 = o2[:len(brow)]
+	o3 = o3[:len(brow)]
+	for j, bv := range brow {
+		o0[j] += av0 * bv
+		o1[j] += av1 * bv
+		o2[j] += av2 * bv
+		o3[j] += av3 * bv
+	}
+}
+
+func axpy1(av float32, brow, o0 []float32) {
+	o0 = o0[:len(brow)]
+	for j, bv := range brow {
+		o0[j] += av * bv
+	}
+}
+
+// MatMulT returns a(M×K) @ bᵀ where b is N×K — the layout used for similarity
+// of a query batch against class hypervectors. Both operands are K-contiguous;
+// each output element accumulates over the full K range independently, which
+// keeps results identical for any parallel row split.
+func MatMulT(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 || a.Shape[1] != b.Shape[1] {
+		panic(fmt.Sprintf("tensor: MatMulT shape mismatch %v @ %vᵀ", a.Shape, b.Shape))
+	}
+	m, k, n := a.Shape[0], a.Shape[1], b.Shape[0]
+	out := New(m, n)
+	if m == 0 || n == 0 || k == 0 {
+		return out
+	}
+	grain := rowGrain(n, k)
+	parallel.ForGrain(m, grain, func(lo, hi int) {
+		matMulTRange(out.Data, a.Data, b.Data, n, k, lo, hi)
+	})
+	return out
+}
+
+func matMulTRange(dst, a, b []float32, n, k, r0, r1 int) {
+	if useGemmAsm {
+		for i := r0; i < r1; i++ {
+			arow := a[i*k:][:k]
+			for j := 0; j < n; j++ {
+				dst[i*n+j] = dotAsm(arow, b[j*k:][:k])
+			}
+		}
+		return
+	}
+	for i := r0; i < r1; i++ {
+		arow := a[i*k:][:k]
+		for j := 0; j < n; j++ {
+			dst[i*n+j] = Dot(arow, b[j*k:][:k])
+		}
+	}
+}
+
+// dotAsm computes an inner product with the AVX2 kernel, falling back to the
+// scalar Dot below the vector width.
+func dotAsm(x, y []float32) float32 {
+	k := len(x)
+	wide := k / 8 * 8
+	var s float32
+	if wide > 0 {
+		s = dot8(wide, &x[0], &y[0])
+	}
+	for p := wide; p < k; p++ {
+		s += x[p] * y[p]
+	}
+	return s
+}

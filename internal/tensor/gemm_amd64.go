@@ -1,0 +1,58 @@
+package tensor
+
+// useGemmAsm gates the AVX2+FMA assembly micro-kernels in gemm_amd64.s.
+// Detected once at startup; requires FMA, AVX2, and OS-managed YMM state
+// (OSXSAVE set and XCR0 reporting XMM+YMM enabled), so it is safe under
+// virtualization and on pre-AVX hardware, where the pure-Go kernel runs
+// instead.
+var useGemmAsm = detectAVX2FMA()
+
+func detectAVX2FMA() bool {
+	maxID, _, _, _ := cpuidex(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	const (
+		fmaBit     = 1 << 12
+		osxsaveBit = 1 << 27
+		avxBit     = 1 << 28
+	)
+	_, _, c1, _ := cpuidex(1, 0)
+	if c1&fmaBit == 0 || c1&osxsaveBit == 0 || c1&avxBit == 0 {
+		return false
+	}
+	// XCR0 bits 1 (SSE) and 2 (AVX) must both be set by the OS.
+	xlo, _ := xgetbv0()
+	if xlo&0x6 != 0x6 {
+		return false
+	}
+	const avx2Bit = 1 << 5
+	_, b7, _, _ := cpuidex(7, 0)
+	return b7&avx2Bit != 0
+}
+
+// cpuidex executes CPUID with the given leaf and subleaf.
+func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv0 reads XCR0, the extended-state enable register.
+func xgetbv0() (eax, edx uint32)
+
+// gemm4x16 accumulates a 4×16 output tile over kc steps of K:
+// o[r][0:16] += Σ_p a_r[p] * bp[16p:16p+16], with bp a packed p-major strip.
+// kc must be ≥ 1; each o_r must have at least 16 addressable elements.
+//
+//go:noescape
+func gemm4x16(kc int, a0, a1, a2, a3, bp, o0, o1, o2, o3 *float32)
+
+// dot8 returns the inner product of x[0:n] and y[0:n]; n must be a positive
+// multiple of 8.
+//
+//go:noescape
+func dot8(n int, x, y *float32) float32
+
+// packSignsAsm writes nwords uint64 sign masks: bit i of word w is set iff
+// src[64w+i] < 0 (VCMPPS with the LT predicate, so -0/NaN pack as 0 exactly
+// like the Go comparison). nwords must be ≥ 1.
+//
+//go:noescape
+func packSignsAsm(nwords int, src *float32, dst *uint64)

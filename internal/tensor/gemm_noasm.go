@@ -1,0 +1,18 @@
+//go:build !amd64
+
+package tensor
+
+// Non-amd64 builds always use the portable broadcast-AXPY kernel.
+const useGemmAsm = false
+
+func gemm4x16(kc int, a0, a1, a2, a3, bp, o0, o1, o2, o3 *float32) {
+	panic("tensor: gemm4x16 requires amd64")
+}
+
+func dot8(n int, x, y *float32) float32 {
+	panic("tensor: dot8 requires amd64")
+}
+
+func packSignsAsm(nwords int, src *float32, dst *uint64) {
+	panic("tensor: packSignsAsm requires amd64")
+}

@@ -3,8 +3,8 @@ package tensor
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
+
+	"nshd/internal/parallel"
 )
 
 // AddInto computes dst = a + b elementwise. All three must share a shape
@@ -88,78 +88,11 @@ func Dot(a, b []float32) float32 {
 	return s
 }
 
-// matmulMinParallel is the M*N*K product above which MatMulInto fans out
-// across goroutines; below it the goroutine overhead dominates.
-const matmulMinParallel = 1 << 16
-
-// MatMulInto computes dst = a(M×K) @ b(K×N). dst must be M×N and must not
-// alias a or b.
-func MatMulInto(dst, a, b *Tensor) {
-	if a.Rank() != 2 || b.Rank() != 2 || dst.Rank() != 2 {
-		panic("tensor: MatMul requires rank-2 tensors")
-	}
-	m, k := a.Shape[0], a.Shape[1]
-	k2, n := b.Shape[0], b.Shape[1]
-	if k != k2 || dst.Shape[0] != m || dst.Shape[1] != n {
-		panic(fmt.Sprintf("tensor: MatMul shape mismatch %v @ %v -> %v", a.Shape, b.Shape, dst.Shape))
-	}
-	rowKernel := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			out := dst.Data[i*n : (i+1)*n]
-			clear(out)
-			arow := a.Data[i*k : (i+1)*k]
-			for p, av := range arow {
-				if av == 0 {
-					continue
-				}
-				brow := b.Data[p*n : (p+1)*n]
-				for j, bv := range brow {
-					out[j] += av * bv
-				}
-			}
-		}
-	}
-	if m*n*k < matmulMinParallel {
-		rowKernel(0, m)
-		return
-	}
-	parallelRows(m, rowKernel)
-}
-
-// MatMul returns a @ b for rank-2 tensors.
-func MatMul(a, b *Tensor) *Tensor {
-	out := New(a.Shape[0], b.Shape[1])
-	MatMulInto(out, a, b)
-	return out
-}
-
-// MatMulT returns a(M×K) @ bᵀ where b is N×K. This is the layout used for
-// similarity of a query batch against class hypervectors.
-func MatMulT(a, b *Tensor) *Tensor {
-	if a.Rank() != 2 || b.Rank() != 2 || a.Shape[1] != b.Shape[1] {
-		panic(fmt.Sprintf("tensor: MatMulT shape mismatch %v @ %vᵀ", a.Shape, b.Shape))
-	}
-	m, k, n := a.Shape[0], a.Shape[1], b.Shape[0]
-	out := New(m, n)
-	kernel := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Data[i*k : (i+1)*k]
-			orow := out.Data[i*n : (i+1)*n]
-			for j := 0; j < n; j++ {
-				orow[j] = Dot(arow, b.Data[j*k:(j+1)*k])
-			}
-		}
-	}
-	if m*n*k < matmulMinParallel {
-		kernel(0, m)
-	} else {
-		parallelRows(m, kernel)
-	}
-	return out
-}
-
 // TransposeMatMul returns aᵀ(K×M) @ b(K×N) = M×N. Used for gradient
-// accumulation (e.g. weight gradients from input and output deltas).
+// accumulation (e.g. weight gradients from input and output deltas). The
+// zero-skip branch is kept deliberately: the update matrices flowing through
+// this path are genuinely sparse (correctly-classified samples contribute
+// zero rows), so the branch wins where it would lose in the dense GEMM.
 func TransposeMatMul(a, b *Tensor) *Tensor {
 	if a.Rank() != 2 || b.Rank() != 2 || a.Shape[0] != b.Shape[0] {
 		panic(fmt.Sprintf("tensor: TransposeMatMul shape mismatch %vᵀ @ %v", a.Shape, b.Shape))
@@ -183,46 +116,45 @@ func TransposeMatMul(a, b *Tensor) *Tensor {
 	return out
 }
 
-// Transpose returns the transpose of a rank-2 tensor.
+// transposeBlock is the square tile edge used by Transpose. A 32×32 float32
+// tile is 4 KiB — two tiles (source + destination working set) sit easily in
+// L1, so both the row-strided reads and column-strided writes stay within
+// cached lines instead of thrashing one line per element.
+const transposeBlock = 32
+
+// Transpose returns the transpose of a rank-2 tensor, copying cache-friendly
+// square tiles; large matrices are tiled in parallel over row blocks.
 func Transpose(a *Tensor) *Tensor {
 	if a.Rank() != 2 {
 		panic("tensor: Transpose requires rank-2 tensor")
 	}
 	m, n := a.Shape[0], a.Shape[1]
 	out := New(n, m)
-	for i := 0; i < m; i++ {
-		for j := 0; j < n; j++ {
-			out.Data[j*m+i] = a.Data[i*n+j]
+	rowBlocks := (m + transposeBlock - 1) / transposeBlock
+	// One task must move at least minParallelWork elements to be worth
+	// dispatching.
+	grain := 1 + minParallelWork/(transposeBlock*n+1)
+	parallel.ForGrain(rowBlocks, grain, func(blo, bhi int) {
+		for ib := blo * transposeBlock; ib < bhi*transposeBlock && ib < m; ib += transposeBlock {
+			ie := ib + transposeBlock
+			if ie > m {
+				ie = m
+			}
+			for jb := 0; jb < n; jb += transposeBlock {
+				je := jb + transposeBlock
+				if je > n {
+					je = n
+				}
+				for i := ib; i < ie; i++ {
+					src := a.Data[i*n+jb : i*n+je]
+					for jo, v := range src {
+						out.Data[(jb+jo)*m+i] = v
+					}
+				}
+			}
 		}
-	}
+	})
 	return out
-}
-
-// parallelRows splits [0,m) into chunks and runs kernel on each chunk in its
-// own goroutine, blocking until all complete.
-func parallelRows(m int, kernel func(lo, hi int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > m {
-		workers = m
-	}
-	if workers <= 1 {
-		kernel(0, m)
-		return
-	}
-	chunk := (m + workers - 1) / workers
-	var wg sync.WaitGroup
-	for lo := 0; lo < m; lo += chunk {
-		hi := lo + chunk
-		if hi > m {
-			hi = m
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			kernel(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
 }
 
 // Softmax writes the softmax of src into dst (both length n), using the
@@ -326,9 +258,18 @@ func (t *Tensor) Clamp(lo, hi float32) {
 	}
 }
 
-// ParallelFor splits [0,n) into contiguous chunks and runs kernel on each in
-// its own goroutine, blocking until all complete. It is the exported hook the
-// nn and hdc packages use to parallelize per-sample work.
+// ParallelFor splits [0,n) into contiguous chunks and runs kernel on each
+// via the persistent worker pool, blocking until all complete. It is the
+// exported hook the nn and hdc packages use to parallelize per-sample work;
+// per-item cost is assumed to be large (a whole conv sample, a record
+// encoding), so no work-size floor is applied.
 func ParallelFor(n int, kernel func(lo, hi int)) {
-	parallelRows(n, kernel)
+	parallel.For(n, kernel)
+}
+
+// ParallelForGrain is ParallelFor with a minimum number of items per task,
+// for callers whose per-item cost is small enough that flat chunking would
+// lose to dispatch overhead.
+func ParallelForGrain(n, grain int, kernel func(lo, hi int)) {
+	parallel.ForGrain(n, grain, kernel)
 }

@@ -1,0 +1,40 @@
+package tensor
+
+// PackSignsInto packs the signs of row into words: bit i is set iff
+// row[i] < 0 (so -0, +0 and NaN all pack as "non-negative"). words must hold
+// (len(row)+63)/64 entries; tail bits of the last word are written zero.
+// On amd64 with AVX2 the full words go through an assembly kernel that
+// extracts 8 sign-compare bits per instruction (VCMPPS + VMOVMSKPS), which
+// makes bit-packing whole query batches cheap relative to scoring them.
+func PackSignsInto(words []uint64, row []float32) {
+	nw := len(row) / 64
+	if nw > 0 {
+		_ = words[nw-1]
+		if useGemmAsm {
+			packSignsAsm(nw, &row[0], &words[0])
+		} else {
+			packSignsGeneric(words[:nw], row[:nw*64])
+		}
+	}
+	if tail := len(row) % 64; tail != 0 {
+		var bw uint64
+		for b, v := range row[nw*64:] {
+			if v < 0 {
+				bw |= 1 << uint(b)
+			}
+		}
+		words[nw] = bw
+	}
+}
+
+func packSignsGeneric(words []uint64, row []float32) {
+	for w := range words {
+		var bw uint64
+		for b, v := range row[w*64 : w*64+64] {
+			if v < 0 {
+				bw |= 1 << uint(b)
+			}
+		}
+		words[w] = bw
+	}
+}

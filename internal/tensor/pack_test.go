@@ -1,0 +1,54 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPackSignsMatchesGeneric cross-checks the vectorized sign packer against
+// the portable word builder, including -0, NaN, exact zeros, and ragged tails.
+func TestPackSignsMatchesGeneric(t *testing.T) {
+	rng := NewRNG(17)
+	for _, n := range []int{0, 1, 7, 63, 64, 65, 128, 192, 1000, 4096, 10007} {
+		row := make([]float32, n)
+		for i := range row {
+			row[i] = float32(rng.NormFloat64())
+		}
+		// Plant special values the sign convention must get right.
+		for i := 0; i+5 < n; i += 5 {
+			switch i % 20 {
+			case 0:
+				row[i] = 0
+			case 5:
+				row[i] = float32(math.Copysign(0, -1)) // -0 packs as non-negative
+			case 10:
+				row[i] = float32(math.NaN()) // NaN is not < 0
+			}
+		}
+		nw := (n + 63) / 64
+		got := make([]uint64, nw)
+		want := make([]uint64, nw)
+		PackSignsInto(got, row)
+		// Reference: one bit at a time straight from the comparison.
+		for i, v := range row {
+			if v < 0 {
+				want[i/64] |= 1 << (i % 64)
+			}
+		}
+		for w := range want {
+			if got[w] != want[w] {
+				t.Fatalf("n=%d word %d: got %016x want %016x", n, w, got[w], want[w])
+			}
+		}
+	}
+}
+
+func BenchmarkPackSigns(b *testing.B) {
+	row := make([]float32, 10000)
+	NewRNG(1).FillNormal(FromSlice(row, 10000), 0, 1)
+	words := make([]uint64, (len(row)+63)/64)
+	b.SetBytes(int64(len(row) * 4))
+	for i := 0; i < b.N; i++ {
+		PackSignsInto(words, row)
+	}
+}
