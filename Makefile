@@ -1,9 +1,14 @@
 GO ?= go
 
-.PHONY: check vet build test race bench perf
+.PHONY: check vet build test race alloc bench perf
 
 # The full gate: what CI (and any PR) must keep green.
-check: vet build test race
+check: vet build test race alloc
+
+# Allocation-regression gate: the serving engine must stay heap-free in
+# steady state (AllocsPerRun == 0 for both classifier kernels).
+alloc:
+	$(GO) test -run TestEngineZeroAlloc -count 1 ./internal/engine/
 
 vet:
 	$(GO) vet ./...
@@ -16,12 +21,12 @@ test:
 
 # Race-detect the packages with hand-rolled parallelism.
 race:
-	$(GO) test -race ./internal/parallel/... ./internal/tensor/... ./internal/nn/... ./internal/hdc/... ./internal/hdlearn/...
+	$(GO) test -race ./internal/parallel/... ./internal/tensor/... ./internal/nn/... ./internal/hdc/... ./internal/hdlearn/... ./internal/engine/...
 
 # Kernel microbenchmarks (tensor package) with allocation counts.
 bench:
 	$(GO) test -run xxx -bench . -benchmem ./internal/tensor/ ./internal/parallel/
 
-# Regenerate the machine-readable compute-core perf report.
+# Regenerate the machine-readable perf report (end-to-end serving + kernels).
 perf:
-	$(GO) run ./cmd/nshd-bench -perf BENCH_PR1.json
+	$(GO) run ./cmd/nshd-bench -perf BENCH_PR2.json

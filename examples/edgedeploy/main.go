@@ -1,7 +1,8 @@
 // Edgedeploy: estimates what deploying NSHD buys on edge hardware — the
 // Xavier-class energy model (Fig. 4), the ZCU104 DPU resource/throughput
 // model (Table I / Fig. 6), and the int8 quantization the FPGA flow applies
-// (Sec. VI-B) — for every zoo model without any training.
+// (Sec. VI-B) — for every zoo model without any gradient training, then
+// measures real serving throughput through the compiled inference engine.
 //
 //	go run ./examples/edgedeploy
 package main
@@ -9,6 +10,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"time"
 
 	"nshd"
 )
@@ -64,5 +66,47 @@ func main() {
 		}
 		c := p.Costs()
 		fmt.Printf("%8d %12.0f %12d %12d\n", d, dpu.NSHDFPS(c), c.ProjectionBytes, c.ClassHVBytes)
+	}
+
+	// Measured (not modeled) serving throughput on this machine: freeze the
+	// pipeline into the zero-allocation inference engine and time it. The
+	// class model is single-pass bundled — deployment cares about the data
+	// path, not the decision quality of an untrained model.
+	fmt.Println("\nserving engine (mobilenetv2 @ layer 5, D=3000, this CPU):")
+	train, _ := nshd.SynthCIFAR(nshd.SynthConfig{
+		Classes: 10, Train: 64, Test: 8, Size: 32, Noise: 0.2, Seed: 9,
+	})
+	for _, packed := range []bool{false, true} {
+		cfg := nshd.DefaultConfig(5, 10)
+		cfg.PackedInference = packed
+		p, err := nshd.New(zoo, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		feats := p.ExtractFeatures(train.Images)
+		_, _, signed := p.Symbolize(feats, false)
+		p.HD.InitBundle(signed, train.Labels)
+		eng, err := nshd.Compile(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := eng.Predict(train.Images); err != nil { // warm
+			log.Fatal(err)
+		}
+		const reps = 3
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			if _, err := eng.Predict(train.Images); err != nil {
+				log.Fatal(err)
+			}
+		}
+		n := train.Images.Shape[0]
+		fps := float64(reps*n) / time.Since(start).Seconds()
+		kernel := "float "
+		if packed {
+			kernel = "packed"
+		}
+		fmt.Printf("  %s kernel: %6.1f img/s  (chunk %d, scratch %.1f MiB/worker, stages %v)\n",
+			kernel, fps, eng.ChunkSize(), float64(eng.ArenaBytes())/(1<<20), eng.Stages())
 	}
 }

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"testing"
+
+	"nshd/internal/dataset"
+	"nshd/internal/tensor"
+)
+
+// Empty batches used to slip through as nil tensors (ExtractFeatures) and
+// NaN scores (Accuracy's divide by zero). They must instead produce empty,
+// well-shaped results.
+func TestEmptyBatchEdgeCases(t *testing.T) {
+	zoo := tinyZoo(71, 4)
+	p, err := New(zoo, testConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := tensor.New(0, 3, 16, 16)
+
+	feats := p.ExtractFeatures(empty)
+	if feats == nil {
+		t.Fatal("ExtractFeatures returned nil for an empty batch")
+	}
+	wantShape := append([]int{0}, p.FeatShape...)
+	for i, s := range wantShape {
+		if feats.Shape[i] != s {
+			t.Fatalf("empty feature shape %v, want %v", feats.Shape, wantShape)
+		}
+	}
+
+	if preds := p.Predict(empty); len(preds) != 0 {
+		t.Fatalf("Predict on empty batch returned %v", preds)
+	}
+	if preds := p.PredictDirect(empty); len(preds) != 0 {
+		t.Fatalf("PredictDirect on empty batch returned %v", preds)
+	}
+	if preds := p.Predict(nil); len(preds) != 0 {
+		t.Fatalf("Predict(nil) returned %v", preds)
+	}
+
+	hvs := p.QueryHVs(empty)
+	if hvs == nil || hvs.Shape[0] != 0 || hvs.Shape[1] != p.Cfg.D {
+		t.Fatalf("QueryHVs on empty batch returned %v", hvs)
+	}
+
+	d := &dataset.Dataset{Name: "empty", Images: empty, Labels: nil, Classes: 4}
+	if acc := p.Accuracy(d); acc != 0 {
+		t.Fatalf("Accuracy on empty dataset = %v, want 0 (not NaN)", acc)
+	}
+	if acc := p.AccuracyOnFeatures(feats, nil); acc != 0 {
+		t.Fatalf("AccuracyOnFeatures on empty features = %v, want 0", acc)
+	}
+}

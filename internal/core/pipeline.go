@@ -40,6 +40,13 @@ type Pipeline struct {
 	HD *hdlearn.Model
 
 	rng *tensor.RNG
+
+	// Cached serving engine (see serving.go), keyed on the HD model version
+	// and the inference-kernel config.
+	srv        Predictor
+	srvVersion uint64
+	srvPacked  bool
+	srvTried   bool
 }
 
 // New assembles an NSHD pipeline over a (pretrained) zoo model.
@@ -113,9 +120,12 @@ func NewBaselineHD(zoo *cnn.Model, cfg Config) (*Pipeline, error) {
 // returning the [N, C, H, W] feature tensor.
 func (p *Pipeline) ExtractFeatures(images *tensor.Tensor) *tensor.Tensor {
 	n := images.Shape[0]
+	out := tensor.New(append([]int{n}, p.FeatShape...)...)
+	if n == 0 {
+		return out
+	}
 	bs := p.Cfg.BatchSize
 	sampleLen := images.Len() / n
-	var out *tensor.Tensor
 	featLen := p.FeatShape[0] * p.FeatShape[1] * p.FeatShape[2]
 	for start := 0; start < n; start += bs {
 		end := start + bs
@@ -125,9 +135,6 @@ func (p *Pipeline) ExtractFeatures(images *tensor.Tensor) *tensor.Tensor {
 		batchShape := append([]int{end - start}, images.Shape[1:]...)
 		bx := tensor.FromSlice(images.Data[start*sampleLen:end*sampleLen], batchShape...)
 		feats := p.Extractor.Forward(bx, false)
-		if out == nil {
-			out = tensor.New(append([]int{n}, p.FeatShape...)...)
-		}
 		copy(out.Data[start*featLen:end*featLen], feats.Data)
 	}
 	return out
@@ -319,24 +326,53 @@ func (p *Pipeline) TrainOnFeatures(feats *tensor.Tensor, labels []int, teacherLo
 
 // classify routes signed query hypervectors to the configured inference
 // kernel: float32 cosine scoring, or — with PackedInference — popcount
-// scoring against the sign-quantized model.
+// scoring against the sign-quantized model. The packed form comes from the
+// model's version-keyed cache, so repeated classifications do not re-pack
+// all K·D weights per call.
 func (p *Pipeline) classify(signed *tensor.Tensor) []int {
 	if p.Cfg.PackedInference {
-		return hdlearn.PackModel(p.HD).PredictBatch(signed)
+		return p.HD.Packed().PredictBatch(signed)
 	}
 	return p.HD.PredictBatch(signed)
 }
 
-// Predict classifies raw images.
+// Predict classifies raw images. When a serving engine is registered (any
+// binary importing internal/engine or the public nshd package), the batch
+// runs through the compiled zero-allocation path; otherwise — or if
+// compilation fails for this model — it falls back to PredictDirect. Both
+// paths produce identical predictions per sample.
 func (p *Pipeline) Predict(images *tensor.Tensor) []int {
+	if images == nil || images.Rank() == 0 || images.Shape[0] == 0 {
+		return []int{}
+	}
+	if s := p.server(); s != nil {
+		if preds, err := s.Predict(images); err == nil {
+			return preds
+		}
+	}
+	return p.PredictDirect(images)
+}
+
+// PredictDirect classifies raw images through the training-side tensor path:
+// extract all-N features, symbolize, classify. It is the reference
+// implementation the engine is validated against, and the fallback when no
+// engine is registered.
+func (p *Pipeline) PredictDirect(images *tensor.Tensor) []int {
+	if images == nil || images.Rank() == 0 || images.Shape[0] == 0 {
+		return []int{}
+	}
 	feats := p.ExtractFeatures(images)
 	_, _, signed := p.Symbolize(feats, false)
 	return p.classify(signed)
 }
 
-// Accuracy scores the pipeline on a labelled dataset.
+// Accuracy scores the pipeline on a labelled dataset. An empty dataset
+// scores 0.
 func (p *Pipeline) Accuracy(d *dataset.Dataset) float64 {
 	preds := p.Predict(d.Images)
+	if len(preds) == 0 {
+		return 0
+	}
 	correct := 0
 	for i, pr := range preds {
 		if pr == d.Labels[i] {
@@ -349,16 +385,29 @@ func (p *Pipeline) Accuracy(d *dataset.Dataset) float64 {
 // AccuracyOnFeatures scores using precomputed extractor features, avoiding
 // repeated CNN passes during sweeps.
 func (p *Pipeline) AccuracyOnFeatures(feats *tensor.Tensor, labels []int) float64 {
+	if len(labels) == 0 {
+		return 0
+	}
 	_, _, signed := p.Symbolize(feats, false)
 	if p.Cfg.PackedInference {
-		return hdlearn.PackModel(p.HD).Accuracy(signed, labels)
+		return p.HD.Packed().Accuracy(signed, labels)
 	}
 	return p.HD.Accuracy(signed, labels)
 }
 
 // QueryHVs returns the signed query hypervectors of a dataset — the
 // symbolic representation used by the explainability analysis (Fig. 11).
+// Served through the compiled engine when one is registered, streaming
+// chunks instead of materializing the all-N feature tensor.
 func (p *Pipeline) QueryHVs(images *tensor.Tensor) *tensor.Tensor {
+	if images == nil || images.Rank() == 0 || images.Shape[0] == 0 {
+		return tensor.New(0, p.Cfg.D)
+	}
+	if s := p.server(); s != nil {
+		if hvs, err := s.QueryHVs(images); err == nil {
+			return hvs
+		}
+	}
 	feats := p.ExtractFeatures(images)
 	_, _, signed := p.Symbolize(feats, false)
 	return signed

@@ -87,5 +87,6 @@ func Load(path string) (*Pipeline, error) {
 		return nil, fmt.Errorf("core: class matrix has %d elems, want %d", len(s.M), p.HD.M.Len())
 	}
 	copy(p.HD.M.Data, s.M)
+	p.HD.Invalidate()
 	return p, nil
 }

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"nshd/internal/tensor"
+)
+
+// Predictor is the serving-side contract a compiled inference engine
+// satisfies. internal/engine implements it; core only consumes it, which
+// keeps the dependency one-way (engine imports core, never the reverse).
+type Predictor interface {
+	// Predict classifies a [N, C, H, W] image batch.
+	Predict(images *tensor.Tensor) ([]int, error)
+	// QueryHVs returns the signed [N, D] query hypervectors of a batch.
+	QueryHVs(images *tensor.Tensor) (*tensor.Tensor, error)
+}
+
+// engineCompiler is installed by internal/engine's init. When nil (a binary
+// that never imports the engine), pipelines serve through the direct path.
+var engineCompiler func(*Pipeline) (Predictor, error)
+
+// RegisterEngineCompiler installs the engine compiler used to accelerate
+// Pipeline.Predict/Accuracy/QueryHVs. Called from internal/engine's init;
+// exported so alternative serving backends can slot in the same way.
+func RegisterEngineCompiler(f func(*Pipeline) (Predictor, error)) {
+	engineCompiler = f
+}
+
+// server returns the cached compiled engine for the pipeline's current
+// weights, recompiling whenever the HD model's version counter moved. Every
+// training procedure that touches the manifold also updates the class
+// hypervectors in the same batch (ApplyUpdate / the finalization re-bundle),
+// so the HD version is a faithful staleness signal for the whole pipeline.
+// Returns nil — caller falls back to the direct path — when no compiler is
+// registered or compilation failed for this version.
+func (p *Pipeline) server() Predictor {
+	if engineCompiler == nil || p.HD == nil {
+		return nil
+	}
+	v := p.HD.Version()
+	if !p.srvTried || p.srvVersion != v || p.srvPacked != p.Cfg.PackedInference {
+		p.srv = nil
+		p.srvTried = true
+		p.srvVersion = v
+		p.srvPacked = p.Cfg.PackedInference
+		if s, err := engineCompiler(p); err == nil {
+			p.srv = s
+		}
+	}
+	return p.srv
+}

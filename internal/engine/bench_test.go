@@ -1,0 +1,57 @@
+package engine_test
+
+import (
+	"testing"
+
+	"nshd/internal/cnn"
+	"nshd/internal/core"
+	"nshd/internal/dataset"
+	"nshd/internal/engine"
+	"nshd/internal/tensor"
+)
+
+// benchSetup mirrors the perf harness: mobilenetv2 prefix, paper-scale D.
+func benchSetup(b *testing.B, packed bool) (*core.Pipeline, *engine.Engine, *tensor.Tensor) {
+	b.Helper()
+	train, _ := dataset.SynthCIFAR(dataset.SynthConfig{
+		Classes: 10, Train: 256, Test: 8, Size: 32, Noise: 0.2, Seed: 21,
+	})
+	zoo, err := cnn.Build("mobilenetv2", tensor.NewRNG(22), 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.DefaultConfig(5, 10)
+	cfg.Seed = 23
+	cfg.PackedInference = packed
+	p, err := core.New(zoo, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	feats := p.ExtractFeatures(train.Images)
+	_, _, signed := p.Symbolize(feats, false)
+	p.HD.InitBundle(signed, train.Labels)
+	e, err := engine.Compile(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p, e, train.Images
+}
+
+func BenchmarkEnginePredict(b *testing.B) {
+	_, e, imgs := benchSetup(b, false)
+	preds := make([]int, imgs.Shape[0])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.PredictInto(imgs, preds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPipelineDirectPredict(b *testing.B) {
+	p, _, imgs := benchSetup(b, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.PredictDirect(imgs)
+	}
+}

@@ -1,0 +1,464 @@
+// Package engine is the serving side of NSHD: a frozen inference Engine
+// compiled from a trained core.Pipeline.
+//
+// The training object (core.Pipeline) re-allocates every intermediate tensor
+// per batch, materializes the full feature tensor for all N samples before
+// symbolizing, and its layers cache state, so it can never be shared across
+// goroutines. The Engine is the opposite trade: Compile snapshots the
+// classifier, sizes per-worker scratch arenas by measuring one warmup batch,
+// and from then on the steady-state forward pass — extractor → manifold/LSH →
+// projection → classifier — performs zero heap allocations and is safe for
+// concurrent use. Batches stream through in chunks so feature extraction and
+// symbolization pipeline across the worker pool instead of ever holding the
+// all-N feature tensor.
+//
+// This mirrors the deployment argument of the paper's Sec. VI (and DPQ-HD):
+// HD's efficiency win comes from a dedicated inference path distinct from the
+// training loop.
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"nshd/internal/core"
+	"nshd/internal/hdc"
+	"nshd/internal/hdlearn"
+	"nshd/internal/manifold"
+	"nshd/internal/nn"
+	"nshd/internal/parallel"
+	"nshd/internal/tensor"
+)
+
+// arenaBudgetBytes caps one worker arena's slab memory. When a warmup batch
+// measures larger, the chunk size shrinks proportionally — trading a little
+// GEMM efficiency for bounded residency.
+const arenaBudgetBytes = 256 << 20
+
+// Stage is one step of the compiled symbolization chain. Run consumes an
+// arena-owned activation (it may overwrite it in place) and returns the next
+// activation, allocated from the same arena. Implementations are state-free
+// and strictly serial; the engine parallelizes across chunks, never inside a
+// stage.
+type Stage interface {
+	Name() string
+	Run(x *tensor.Tensor, ar *tensor.Arena) *tensor.Tensor
+}
+
+// classifier terminates the chain: signed query hypervectors to class
+// predictions, with scratch (if any) taken from the worker's arena.
+type classifier interface {
+	Classify(hvs *tensor.Tensor, preds []int, ar *tensor.Arena)
+}
+
+// Engine is a frozen, immutable serving plan. Safe for concurrent use: the
+// classifier holds a snapshot of the class hypervectors, stage weights are
+// shared read-only with the pipeline, and all mutable scratch lives in
+// per-worker arenas handed out through a freelist.
+//
+// The Engine reflects the pipeline at Compile time. Training afterwards
+// changes weights the stages share (manifold) and leaves the classifier
+// snapshot behind — recompile after training. core.Pipeline does this
+// automatically, keyed on the HD model's version counter.
+type Engine struct {
+	inShape   [3]int // per-sample image shape [C, H, W]
+	sampleLen int    // C·H·W
+	d         int    // hypervector dimension
+	chunk     int    // max samples per worker chunk
+	stages    []Stage
+	cls       classifier
+
+	// Arena freelist: proto is the frozen warmup arena; clones are created
+	// lazily (first use per worker) up to maxArenas, then recycled through
+	// the channel. Steady state never touches the heap.
+	proto     *tensor.Arena
+	arenas    chan *tensor.Arena
+	created   atomic.Int32
+	maxArenas int32
+}
+
+type extractStage struct{ ex *nn.Sequential }
+
+func (s extractStage) Name() string { return "extract" }
+func (s extractStage) Run(x *tensor.Tensor, ar *tensor.Arena) *tensor.Tensor {
+	return s.ex.ForwardInfer(x, ar)
+}
+
+type manifoldStage struct{ ml *manifold.Learner }
+
+func (s manifoldStage) Name() string { return "manifold" }
+func (s manifoldStage) Run(x *tensor.Tensor, ar *tensor.Arena) *tensor.Tensor {
+	return s.ml.ForwardInfer(x, ar)
+}
+
+// flattenStage reshapes [N, C, H, W] features to [N, F] for the LSH and
+// direct-projection paths (a view, no copy).
+type flattenStage struct{}
+
+func (flattenStage) Name() string { return "flatten" }
+func (flattenStage) Run(x *tensor.Tensor, ar *tensor.Arena) *tensor.Tensor {
+	n := x.Shape[0]
+	return ar.Wrap(x.Data, n, x.Len()/n)
+}
+
+// projectStage runs a binary random projection (the LSH reduction or Φ_P),
+// keeping only the signed output.
+type projectStage struct {
+	name string
+	pr   *hdc.Projection
+}
+
+func (s projectStage) Name() string { return s.name }
+func (s projectStage) Run(x *tensor.Tensor, ar *tensor.Arena) *tensor.Tensor {
+	out := ar.Alloc(x.Shape[0], s.pr.D)
+	m := ar.Mark()
+	scratch := ar.Floats(tensor.GemmScratch())
+	s.pr.EncodeBatchInto(x, out, out, scratch)
+	ar.Release(m)
+	return out
+}
+
+type floatClassifier struct{ s *hdlearn.FloatScorer }
+
+func (c floatClassifier) Classify(hvs *tensor.Tensor, preds []int, ar *tensor.Arena) {
+	c.s.PredictInto(hvs, preds)
+}
+
+type packedClassifier struct{ pm *hdlearn.PackedModel }
+
+func (c packedClassifier) Classify(hvs *tensor.Tensor, preds []int, ar *tensor.Arena) {
+	m := ar.Mark()
+	q := ar.Words(c.pm.WordsPerRow())
+	c.pm.PredictBatchInto(hvs, preds, q)
+	ar.Release(m)
+}
+
+// Compile freezes a trained pipeline into an Engine. It validates that every
+// extractor layer has an inference path, snapshots the classifier (packed or
+// float, per cfg.PackedInference), then runs one warmup chunk of zeros
+// through the stage chain on a measuring arena to size the per-worker slabs.
+// Predictions agree with the pipeline's direct path per-sample, bit-for-bit:
+// every stage reuses the training kernels' exact accumulation order.
+func Compile(p *core.Pipeline) (*Engine, error) {
+	if p == nil {
+		return nil, fmt.Errorf("engine: nil pipeline")
+	}
+	if err := nn.InferSupported(p.Extractor); err != nil {
+		return nil, fmt.Errorf("engine: extractor not servable: %w", err)
+	}
+	in := p.Zoo.InShape
+	if len(in) != 3 {
+		return nil, fmt.Errorf("engine: zoo input shape %v, want [C H W]", in)
+	}
+
+	e := &Engine{
+		inShape:   [3]int{in[0], in[1], in[2]},
+		sampleLen: in[0] * in[1] * in[2],
+		d:         p.Cfg.D,
+	}
+	e.stages = append(e.stages, extractStage{p.Extractor})
+	switch {
+	case p.Manifold != nil:
+		e.stages = append(e.stages, manifoldStage{p.Manifold})
+	case p.LSH != nil:
+		e.stages = append(e.stages, flattenStage{}, projectStage{"lsh", p.LSH})
+	default:
+		e.stages = append(e.stages, flattenStage{})
+	}
+	e.stages = append(e.stages, projectStage{"project", p.Proj})
+	if p.Cfg.PackedInference {
+		e.cls = packedClassifier{hdlearn.PackModel(p.HD)}
+	} else {
+		e.cls = floatClassifier{hdlearn.NewFloatScorer(p.HD)}
+	}
+
+	// Size the chunk: start from the training batch size, shrink until the
+	// measured arena fits the budget.
+	chunk := p.Cfg.BatchSize
+	if chunk < 1 {
+		chunk = 1
+	}
+	for {
+		ar := tensor.NewArena()
+		if err := e.warmup(ar, chunk); err != nil {
+			return nil, err
+		}
+		ar.Freeze()
+		foot := ar.FootprintBytes()
+		if foot <= arenaBudgetBytes || chunk == 1 {
+			e.proto = ar
+			e.chunk = chunk
+			break
+		}
+		next := int(int64(chunk) * arenaBudgetBytes / foot)
+		if next < 1 {
+			next = 1
+		}
+		if next >= chunk {
+			next = chunk - 1
+		}
+		chunk = next
+	}
+
+	w := parallel.Workers()
+	if w < 1 {
+		w = 1
+	}
+	e.maxArenas = int32(w)
+	e.arenas = make(chan *tensor.Arena, w)
+	e.arenas <- e.proto
+	e.created.Store(1)
+	return e, nil
+}
+
+// warmup drives one all-zero chunk through the full chain so the measuring
+// arena records its high-water marks.
+func (e *Engine) warmup(ar *tensor.Arena, chunk int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("engine: warmup failed: %v", r)
+		}
+	}()
+	zero := make([]float32, chunk*e.sampleLen)
+	preds := make([]int, chunk)
+	hv := e.runChunk(ar, zero, chunk)
+	if hv.Rank() != 2 || hv.Shape[1] != e.d {
+		return fmt.Errorf("engine: stage chain produced %v, want [N %d]", hv.Shape, e.d)
+	}
+	e.cls.Classify(hv, preds, ar)
+	return nil
+}
+
+// getArena takes a worker arena from the freelist, cloning a new one only
+// while the fleet is still below maxArenas (startup); afterwards this is a
+// single allocation-free channel receive.
+func (e *Engine) getArena() *tensor.Arena {
+	select {
+	case ar := <-e.arenas:
+		return ar
+	default:
+	}
+	if e.created.Add(1) <= e.maxArenas {
+		return e.proto.CloneEmpty()
+	}
+	e.created.Add(-1)
+	return <-e.arenas
+}
+
+func (e *Engine) putArena(ar *tensor.Arena) { e.arenas <- ar }
+
+// runChunk copies one chunk of images into the arena (inference layers write
+// activations in place, so user memory is never touched) and runs the stage
+// chain, returning the [n, D] signed query hypervectors.
+func (e *Engine) runChunk(ar *tensor.Arena, seg []float32, n int) *tensor.Tensor {
+	ar.Reset()
+	x := ar.Alloc(n, e.inShape[0], e.inShape[1], e.inShape[2])
+	copy(x.Data, seg)
+	for _, st := range e.stages {
+		x = st.Run(x, ar)
+	}
+	return x
+}
+
+func (e *Engine) checkImages(images *tensor.Tensor) error {
+	if images == nil || images.Rank() != 4 {
+		return fmt.Errorf("engine: Predict expects [N C H W] images")
+	}
+	if images.Shape[1] != e.inShape[0] || images.Shape[2] != e.inShape[1] || images.Shape[3] != e.inShape[2] {
+		return fmt.Errorf("engine: image shape %v, engine compiled for [N %d %d %d]",
+			images.Shape, e.inShape[0], e.inShape[1], e.inShape[2])
+	}
+	return nil
+}
+
+// Predict classifies a batch of images. N = 0 returns an empty slice.
+func (e *Engine) Predict(images *tensor.Tensor) ([]int, error) {
+	if err := e.checkImages(images); err != nil {
+		return nil, err
+	}
+	preds := make([]int, images.Shape[0])
+	if err := e.PredictInto(images, preds); err != nil {
+		return nil, err
+	}
+	return preds, nil
+}
+
+// PredictInto classifies a batch of images into caller-owned preds (length
+// N). A batch that fits one chunk runs entirely on the calling goroutine and
+// performs zero heap allocations in steady state (see TestEngineZeroAlloc);
+// larger batches fan chunks out across the worker pool, pipelining
+// extraction and symbolization of later chunks with classification of
+// earlier ones.
+func (e *Engine) PredictInto(images *tensor.Tensor, preds []int) error {
+	if err := e.checkImages(images); err != nil {
+		return err
+	}
+	n := images.Shape[0]
+	if len(preds) != n {
+		return fmt.Errorf("engine: preds length %d, want %d", len(preds), n)
+	}
+	if n == 0 {
+		return nil
+	}
+	if n <= e.chunk {
+		ar := e.getArena()
+		hv := e.runChunk(ar, images.Data, n)
+		e.cls.Classify(hv, preds, ar)
+		e.putArena(ar)
+		return nil
+	}
+	nChunks := (n + e.chunk - 1) / e.chunk
+	parallel.For(nChunks, func(lo, hi int) {
+		for ci := lo; ci < hi; ci++ {
+			start := ci * e.chunk
+			end := start + e.chunk
+			if end > n {
+				end = n
+			}
+			ar := e.getArena()
+			hv := e.runChunk(ar, images.Data[start*e.sampleLen:end*e.sampleLen], end-start)
+			e.cls.Classify(hv, preds[start:end], ar)
+			e.putArena(ar)
+		}
+	})
+	return nil
+}
+
+// QueryHVs returns the signed query hypervectors ([N, D]) of a batch — the
+// symbolic representation the explainability analysis consumes — streaming
+// chunk results into the output instead of materializing all-N features.
+func (e *Engine) QueryHVs(images *tensor.Tensor) (*tensor.Tensor, error) {
+	if err := e.checkImages(images); err != nil {
+		return nil, err
+	}
+	n := images.Shape[0]
+	out := tensor.New(n, e.d)
+	if n == 0 {
+		return out, nil
+	}
+	nChunks := (n + e.chunk - 1) / e.chunk
+	run := func(lo, hi int) {
+		for ci := lo; ci < hi; ci++ {
+			start := ci * e.chunk
+			end := start + e.chunk
+			if end > n {
+				end = n
+			}
+			ar := e.getArena()
+			hv := e.runChunk(ar, images.Data[start*e.sampleLen:end*e.sampleLen], end-start)
+			copy(out.Data[start*e.d:end*e.d], hv.Data)
+			e.putArena(ar)
+		}
+	}
+	if nChunks == 1 {
+		run(0, 1)
+	} else {
+		parallel.For(nChunks, run)
+	}
+	return out, nil
+}
+
+// StreamResult is one batch's outcome on the stream path.
+type StreamResult struct {
+	// Index is the batch's position in the input stream.
+	Index int
+	Preds []int
+	Err   error
+}
+
+// PredictStream serves an unbounded sequence of batches. Results are emitted
+// strictly in input order; up to a few batches are in flight at once, so
+// feature extraction of batch i+1 overlaps classification of batch i. The
+// output channel closes after the input channel closes and all in-flight
+// batches drain. A failed batch (bad shape) reports its error in the result
+// and the stream continues.
+func (e *Engine) PredictStream(in <-chan *tensor.Tensor) <-chan StreamResult {
+	workers := parallel.Workers()
+	if workers > 4 {
+		workers = 4
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	type item struct {
+		idx int
+		img *tensor.Tensor
+	}
+	tagged := make(chan item)
+	go func() {
+		i := 0
+		for b := range in {
+			tagged <- item{i, b}
+			i++
+		}
+		close(tagged)
+	}()
+
+	results := make(chan StreamResult, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := range tagged {
+				preds, err := e.Predict(it.img)
+				results <- StreamResult{Index: it.idx, Preds: preds, Err: err}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	out := make(chan StreamResult, workers)
+	go func() {
+		pending := make(map[int]StreamResult)
+		next := 0
+		for r := range results {
+			pending[r.Index] = r
+			for {
+				v, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				out <- v
+				next++
+			}
+		}
+		close(out)
+	}()
+	return out
+}
+
+// ChunkSize reports how many samples one worker chunk carries.
+func (e *Engine) ChunkSize() int { return e.chunk }
+
+// ArenaBytes reports one worker arena's slab footprint.
+func (e *Engine) ArenaBytes() int64 { return e.proto.FootprintBytes() }
+
+// Stages lists the compiled stage names, extractor first.
+func (e *Engine) Stages() []string {
+	names := make([]string, len(e.stages)+1)
+	for i, s := range e.stages {
+		names[i] = s.Name()
+	}
+	if _, ok := e.cls.(packedClassifier); ok {
+		names[len(e.stages)] = "classify-packed"
+	} else {
+		names[len(e.stages)] = "classify-float"
+	}
+	return names
+}
+
+// init hooks the engine into core: Pipeline.Predict/Accuracy/QueryHVs compile
+// and cache an Engine through this registration, keeping core free of an
+// import cycle. Any program importing this package (the public nshd surface
+// does) serves through the Engine automatically.
+func init() {
+	core.RegisterEngineCompiler(func(p *core.Pipeline) (core.Predictor, error) {
+		return Compile(p)
+	})
+}

@@ -1,0 +1,365 @@
+package engine_test
+
+import (
+	"sync"
+	"testing"
+
+	"nshd/internal/cnn"
+	"nshd/internal/core"
+	"nshd/internal/dataset"
+	"nshd/internal/engine"
+	"nshd/internal/nn"
+	"nshd/internal/tensor"
+)
+
+// tinyZoo mirrors the core test helper: a fast 2-unit CNN over 16×16 inputs.
+func tinyZoo(seed int64, classes int) *cnn.Model {
+	rng := tensor.NewRNG(seed)
+	m := &cnn.Model{Name: "tinycnn", InShape: []int{3, 16, 16}, Classes: classes}
+	m.Units = append(m.Units,
+		cnn.Unit{Index: 0, Label: "conv0", Layers: []nn.Layer{
+			nn.NewConv2D(rng, 3, 8, 3, 1, 1, true), nn.NewReLU(), nn.NewMaxPool2D(2)}},
+		cnn.Unit{Index: 1, Label: "conv1", Layers: []nn.Layer{
+			nn.NewConv2D(rng, 8, 16, 3, 1, 1, true), nn.NewReLU(), nn.NewMaxPool2D(2)}},
+	)
+	m.Head = []nn.Layer{nn.NewFlatten(), nn.NewLinear(rng, 16*4*4, classes, true)}
+	return m.Finish()
+}
+
+// variant describes one pipeline topology/kernel combination the engine must
+// reproduce bit-for-bit.
+type variant struct {
+	name string
+	mut  func(*core.Config)
+}
+
+// D = 70 everywhere: not divisible by 64, so the packed classifier's
+// tail-word masking is always on the line.
+func variants() []variant {
+	return []variant{
+		{"manifold-float", func(c *core.Config) {}},
+		{"manifold-packed", func(c *core.Config) { c.PackedInference = true }},
+		{"lsh-float", func(c *core.Config) { c.UseManifold = false; c.LSHDim = 20 }},
+		{"direct-packed", func(c *core.Config) {
+			c.UseManifold = false
+			c.LSHDim = 0
+			c.PackedInference = true
+		}},
+	}
+}
+
+// buildPipeline assembles a pipeline with bundled (nontrivial) class
+// hypervectors plus train/test splits. Bundling alone gives every class a
+// distinct hypervector without paying for the full retraining loop.
+func buildPipeline(t *testing.T, mut func(*core.Config)) (*core.Pipeline, *dataset.Dataset) {
+	t.Helper()
+	cfgD := dataset.SynthConfig{Classes: 4, Train: 40, Test: 21, Size: 16, Noise: 0.2, Seed: 61}
+	train, test := dataset.SynthCIFAR(cfgD)
+	cfg := core.DefaultConfig(1, 4)
+	cfg.D = 70
+	cfg.FHat = 16
+	cfg.Seed = 7
+	cfg.BatchSize = 8
+	mut(&cfg)
+	p, err := core.New(tinyZoo(62, 4), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feats := p.ExtractFeatures(train.Images)
+	_, _, signed := p.Symbolize(feats, false)
+	p.HD.InitBundle(signed, train.Labels)
+	return p, test
+}
+
+// TestEnginePredictMatchesPipelineDirect is the central property: per-sample
+// agreement with the training-side reference path, across every topology and
+// both classifier kernels, on a batch that spans multiple chunks including a
+// partial tail (21 samples, chunk 8).
+func TestEnginePredictMatchesPipelineDirect(t *testing.T) {
+	for _, v := range variants() {
+		t.Run(v.name, func(t *testing.T) {
+			p, test := buildPipeline(t, v.mut)
+			e, err := engine.Compile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := p.PredictDirect(test.Images)
+			got, err := e.Predict(test.Images)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("engine returned %d predictions, want %d", len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("sample %d: engine=%d direct=%d", i, got[i], want[i])
+				}
+			}
+			// Sanity: predictions span more than one class, otherwise the
+			// agreement above is vacuous.
+			seen := map[int]bool{}
+			for _, pr := range want {
+				seen[pr] = true
+			}
+			if len(seen) < 2 {
+				t.Fatal("degenerate test model: all predictions identical")
+			}
+		})
+	}
+}
+
+func TestEngineQueryHVsMatchesPipeline(t *testing.T) {
+	p, test := buildPipeline(t, func(c *core.Config) {})
+	e, err := engine.Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feats := p.ExtractFeatures(test.Images)
+	_, _, want := p.Symbolize(feats, false)
+	got, err := e.QueryHVs(test.Images)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Shape[0] != want.Shape[0] || got.Shape[1] != want.Shape[1] {
+		t.Fatalf("QueryHVs shape %v, want %v", got.Shape, want.Shape)
+	}
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatal("engine query hypervectors differ from the direct path")
+		}
+	}
+}
+
+// TestEngineZeroAlloc is the acceptance gate: a chunk-sized batch through
+// PredictInto must not touch the heap in steady state, on both classifier
+// kernels.
+func TestEngineZeroAlloc(t *testing.T) {
+	for _, v := range []variant{
+		{"float", func(c *core.Config) {}},
+		{"packed", func(c *core.Config) { c.PackedInference = true }},
+	} {
+		t.Run(v.name, func(t *testing.T) {
+			p, test := buildPipeline(t, v.mut)
+			e, err := engine.Compile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := e.ChunkSize()
+			if n > test.Len() {
+				n = test.Len()
+			}
+			sample := test.Images.Len() / test.Len()
+			imgs := tensor.FromSlice(test.Images.Data[:n*sample], n, 3, 16, 16)
+			preds := make([]int, n)
+			if err := e.PredictInto(imgs, preds); err != nil {
+				t.Fatal(err)
+			}
+			if a := testing.AllocsPerRun(100, func() {
+				if err := e.PredictInto(imgs, preds); err != nil {
+					t.Fatal(err)
+				}
+			}); a != 0 {
+				t.Fatalf("PredictInto allocated %.1f times per run in steady state", a)
+			}
+		})
+	}
+}
+
+func TestEngineEmptyAndInvalidInput(t *testing.T) {
+	p, _ := buildPipeline(t, func(c *core.Config) {})
+	e, err := engine.Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds, err := e.Predict(tensor.New(0, 3, 16, 16))
+	if err != nil || len(preds) != 0 {
+		t.Fatalf("empty batch: preds=%v err=%v", preds, err)
+	}
+	hvs, err := e.QueryHVs(tensor.New(0, 3, 16, 16))
+	if err != nil || hvs.Shape[0] != 0 || hvs.Shape[1] != 70 {
+		t.Fatalf("empty QueryHVs: shape=%v err=%v", hvs.Shape, err)
+	}
+	if _, err := e.Predict(tensor.New(2, 1, 16, 16)); err == nil {
+		t.Fatal("expected channel-mismatch error")
+	}
+	if _, err := e.Predict(tensor.New(4, 16, 16)); err == nil {
+		t.Fatal("expected rank error")
+	}
+	if err := e.PredictInto(tensor.New(3, 3, 16, 16), make([]int, 2)); err == nil {
+		t.Fatal("expected preds-length error")
+	}
+	if _, err := engine.Compile(nil); err == nil {
+		t.Fatal("expected nil-pipeline error")
+	}
+}
+
+// TestEngineConcurrentPredict hammers one engine from many goroutines (run
+// under -race by `make race`): results must stay correct and deterministic
+// while worker arenas recycle through the freelist.
+func TestEngineConcurrentPredict(t *testing.T) {
+	p, test := buildPipeline(t, func(c *core.Config) { c.PackedInference = true })
+	e, err := engine.Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := e.Predict(test.Images)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines, iters = 8, 10
+	errs := make(chan error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				got, err := e.Predict(test.Images)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						errs <- errMismatch
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+var errMismatch = &mismatchError{}
+
+type mismatchError struct{}
+
+func (*mismatchError) Error() string { return "concurrent Predict disagreed with serial Predict" }
+
+// TestEnginePredictStream checks ordering, correctness, per-batch error
+// isolation, and clean termination of the streaming path.
+func TestEnginePredictStream(t *testing.T) {
+	p, test := buildPipeline(t, func(c *core.Config) {})
+	e, err := engine.Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample := test.Images.Len() / test.Len()
+	batches := []*tensor.Tensor{
+		tensor.FromSlice(test.Images.Data[:5*sample], 5, 3, 16, 16),
+		tensor.New(0, 3, 16, 16), // empty batch
+		tensor.New(2, 1, 16, 16), // bad shape: must error, not kill the stream
+		test.Images,              // full batch, multi-chunk
+		tensor.FromSlice(test.Images.Data[:sample], 1, 3, 16, 16),
+	}
+	in := make(chan *tensor.Tensor)
+	go func() {
+		for _, b := range batches {
+			in <- b
+		}
+		close(in)
+	}()
+	var results []engine.StreamResult
+	for r := range e.PredictStream(in) {
+		results = append(results, r)
+	}
+	if len(results) != len(batches) {
+		t.Fatalf("stream produced %d results, want %d", len(results), len(batches))
+	}
+	for i, r := range results {
+		if r.Index != i {
+			t.Fatalf("result %d carries index %d: stream must preserve order", i, r.Index)
+		}
+	}
+	if results[2].Err == nil {
+		t.Fatal("bad-shape batch must report an error")
+	}
+	for _, i := range []int{0, 1, 3, 4} {
+		if results[i].Err != nil {
+			t.Fatalf("batch %d failed: %v", i, results[i].Err)
+		}
+		want, _ := e.Predict(batches[i])
+		if len(results[i].Preds) != len(want) {
+			t.Fatalf("batch %d: %d preds, want %d", i, len(results[i].Preds), len(want))
+		}
+		for j := range want {
+			if results[i].Preds[j] != want[j] {
+				t.Fatalf("batch %d sample %d: stream=%d direct=%d", i, j, results[i].Preds[j], want[j])
+			}
+		}
+	}
+}
+
+// TestPipelineServesThroughEngine: with this package imported, core routes
+// Predict through a compiled engine and recompiles when the model version or
+// the inference kernel changes.
+func TestPipelineServesThroughEngine(t *testing.T) {
+	p, test := buildPipeline(t, func(c *core.Config) {})
+	served := p.Predict(test.Images)
+	direct := p.PredictDirect(test.Images)
+	for i := range direct {
+		if served[i] != direct[i] {
+			t.Fatalf("sample %d: served=%d direct=%d", i, served[i], direct[i])
+		}
+	}
+
+	// Mutate the class hypervectors: the cached engine is stale and must be
+	// recompiled, tracking the new weights.
+	rng := tensor.NewRNG(99)
+	u := tensor.New(test.Len(), 4)
+	rng.FillNormal(u, 0, 1)
+	hvs := p.QueryHVs(test.Images)
+	p.HD.ApplyUpdate(u, hvs, 5)
+	served2 := p.Predict(test.Images)
+	direct2 := p.PredictDirect(test.Images)
+	changed := false
+	for i := range direct2 {
+		if served2[i] != direct2[i] {
+			t.Fatalf("after update, sample %d: served=%d direct=%d", i, served2[i], direct2[i])
+		}
+		if served2[i] != served[i] {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatal("large model update changed no prediction; staleness untested")
+	}
+
+	// Switch the inference kernel: the engine must recompile with the packed
+	// classifier even though the model version is unchanged.
+	p.Cfg.PackedInference = true
+	servedP := p.Predict(test.Images)
+	directP := p.PredictDirect(test.Images)
+	for i := range directP {
+		if servedP[i] != directP[i] {
+			t.Fatalf("packed, sample %d: served=%d direct=%d", i, servedP[i], directP[i])
+		}
+	}
+}
+
+func TestEngineStagesReported(t *testing.T) {
+	p, _ := buildPipeline(t, func(c *core.Config) {})
+	e, err := engine.Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := e.Stages()
+	want := []string{"extract", "manifold", "project", "classify-float"}
+	if len(names) != len(want) {
+		t.Fatalf("stages %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("stages %v, want %v", names, want)
+		}
+	}
+	if e.ChunkSize() < 1 || e.ArenaBytes() <= 0 {
+		t.Fatalf("chunk=%d arenaBytes=%d", e.ChunkSize(), e.ArenaBytes())
+	}
+}

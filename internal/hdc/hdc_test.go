@@ -541,3 +541,39 @@ func TestBundleBindInvarianceProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestEncodeBatchIntoMatchesEncodeBatch(t *testing.T) {
+	rng := tensor.NewRNG(31)
+	pr := NewProjection(rng, 24, 70) // D not divisible by 64
+	features := tensor.New(9, 24)
+	rng.FillNormal(features, 0, 1)
+	wantRaw, wantSigned := pr.EncodeBatch(features)
+
+	raw := tensor.New(9, 70)
+	signed := tensor.New(9, 70)
+	scratch := make([]float32, tensor.GemmScratch())
+	pr.EncodeBatchInto(features, raw, signed, scratch)
+	for i := range wantRaw.Data {
+		if raw.Data[i] != wantRaw.Data[i] {
+			t.Fatalf("raw[%d]=%v, want %v", i, raw.Data[i], wantRaw.Data[i])
+		}
+		if signed.Data[i] != wantSigned.Data[i] {
+			t.Fatalf("signed[%d]=%v, want %v", i, signed.Data[i], wantSigned.Data[i])
+		}
+	}
+
+	// Aliased form: signed == raw for callers that only keep the bipolar HVs.
+	alias := tensor.New(9, 70)
+	pr.EncodeBatchInto(features, alias, alias, scratch)
+	for i := range wantSigned.Data {
+		if alias.Data[i] != wantSigned.Data[i] {
+			t.Fatalf("aliased signed[%d]=%v, want %v", i, alias.Data[i], wantSigned.Data[i])
+		}
+	}
+
+	if a := testing.AllocsPerRun(20, func() {
+		pr.EncodeBatchInto(features, raw, signed, scratch)
+	}); a != 0 {
+		t.Fatalf("EncodeBatchInto allocated %.1f times per run", a)
+	}
+}

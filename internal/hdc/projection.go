@@ -66,6 +66,19 @@ func (pr *Projection) EncodeBatch(features *tensor.Tensor) (raw, signed *tensor.
 	return raw, signed
 }
 
+// EncodeBatchInto is the serving form of EncodeBatch: strictly serial,
+// writing the pre-sign bundle into raw and the bipolar quantization into
+// signed (both [N, D]; signed may alias raw for callers that only need the
+// bipolar form). scratch is the GEMM panel buffer (length ≥
+// tensor.GemmScratch()). Results are bit-identical to EncodeBatch.
+func (pr *Projection) EncodeBatchInto(features, raw, signed *tensor.Tensor, scratch []float32) {
+	if features.Rank() != 2 || features.Shape[1] != pr.F {
+		panic(fmt.Sprintf("hdc: EncodeBatchInto expects [N %d], got %v", pr.F, features.Shape))
+	}
+	tensor.MatMulSerialInto(raw, features, pr.P, scratch)
+	tensor.SignInto(signed, raw)
+}
+
 // Decode estimates the feature-space preimage of a hypervector: since the
 // rows of P are quasi-orthogonal with ⟨P_f, P_f⟩ = D, the least-squares
 // estimate of V from H ≈ Vᵀ P is (1/D)·P·H. This is the HD decoding used to

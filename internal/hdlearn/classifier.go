@@ -17,6 +17,12 @@ type Model struct {
 	K, D int
 	// M holds the (real-valued) class hypervectors.
 	M *tensor.Tensor
+
+	// version counts mutations of M (see Version/Invalidate in version.go);
+	// packed caches the sign-quantized form built at packedVersion.
+	version       uint64
+	packed        *PackedModel
+	packedVersion uint64
 }
 
 // NewModel allocates a zeroed classifier for k classes of dimension d.
@@ -35,6 +41,7 @@ func (m *Model) Class(i int) hdc.Hypervector { return hdc.Hypervector(m.M.Row(i)
 // C_k = Σ H_i. hvs is [N, D]; labels are class indices.
 func (m *Model) InitBundle(hvs *tensor.Tensor, labels []int) {
 	checkHVs(m, hvs, labels)
+	m.Invalidate()
 	m.M.Zero()
 	for i, y := range labels {
 		hdc.BundleInto(hdc.Hypervector(m.M.Row(y)), hdc.Hypervector(hvs.Row(i)))
@@ -141,6 +148,7 @@ func (m *Model) QueryGrad(u *tensor.Tensor) *tensor.Tensor {
 // NormalizeRows rescales each class hypervector to unit norm. Optional
 // stabilization after many retraining iterations.
 func (m *Model) NormalizeRows() {
+	m.Invalidate()
 	for k := 0; k < m.K; k++ {
 		row := hdc.Hypervector(m.M.Row(k))
 		n := row.Norm()

@@ -60,6 +60,7 @@ func (m *Model) TrainDistill(hvs *tensor.Tensor, labels []int, teacherLogits *te
 		return nil, fmt.Errorf("hdlearn: teacher logits shape %v, want [%d %d]", teacherLogits.Shape, hvs.Shape[0], m.K)
 	}
 	n := hvs.Shape[0]
+	m.Invalidate()
 
 	// Precompute the teacher's soft labels once; they do not change across
 	// epochs. This is the "optimized computation cost" integration the paper
@@ -154,6 +155,7 @@ func (m *Model) ApplyUpdate(u, hvs *tensor.Tensor, lr float64) {
 	if u.Shape[0] != hvs.Shape[0] || u.Shape[1] != m.K || hvs.Shape[1] != m.D {
 		panic(fmt.Sprintf("hdlearn: ApplyUpdate shapes U=%v H=%v", u.Shape, hvs.Shape))
 	}
+	m.Invalidate()
 	e := tensor.TransposeMatMul(u, hvs) // [K, D]
 	m.M.AXPY(float32(lr), e)
 }

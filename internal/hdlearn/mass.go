@@ -35,6 +35,7 @@ type EpochStats struct {
 // (pulling it toward H) and the confused classes (pushing them away).
 func (m *Model) TrainMASS(hvs *tensor.Tensor, labels []int, cfg MASSConfig, rng *tensor.RNG) []EpochStats {
 	checkHVs(m, hvs, labels)
+	m.Invalidate()
 	n := hvs.Shape[0]
 	order := make([]int, n)
 	for i := range order {
@@ -80,6 +81,7 @@ func (m *Model) TrainMASS(hvs *tensor.Tensor, labels []int, cfg MASSConfig, rng 
 // class and subtract it from the wrongly predicted class.
 func (m *Model) TrainPerceptron(hvs *tensor.Tensor, labels []int, cfg MASSConfig, rng *tensor.RNG) []EpochStats {
 	checkHVs(m, hvs, labels)
+	m.Invalidate()
 	n := hvs.Shape[0]
 	order := make([]int, n)
 	for i := range order {

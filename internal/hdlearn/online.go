@@ -21,6 +21,7 @@ import (
 // its hypervector.
 func (m *Model) TrainOnline(hvs *tensor.Tensor, labels []int, lr float64, rng *tensor.RNG) EpochStats {
 	checkHVs(m, hvs, labels)
+	m.Invalidate()
 	n := hvs.Shape[0]
 	order := make([]int, n)
 	for i := range order {

@@ -76,6 +76,21 @@ func (l *Learner) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	return l.fc.Forward(y, train)
 }
 
+// ForwardInfer is the serving-side Forward: state-free, serial, and
+// allocating only from the caller's arena (see nn.InferenceLayer). It
+// matches Forward(train=false) bit-for-bit.
+func (l *Learner) ForwardInfer(x *tensor.Tensor, ar *tensor.Arena) *tensor.Tensor {
+	if x.Rank() != 4 {
+		panic(fmt.Sprintf("manifold: ForwardInfer expects [N C H W], got %v", x.Shape))
+	}
+	y := x
+	if l.pool != nil {
+		y = l.pool.ForwardInfer(y, ar)
+	}
+	y = l.flatten.ForwardInfer(y, ar)
+	return l.fc.ForwardInfer(y, ar)
+}
+
 // Backward propagates dL/d(output) ([N, F̂]) into the FC parameters,
 // returning the gradient w.r.t. the (pre-pool) feature input. Callers that
 // freeze the CNN discard the return value.

@@ -122,3 +122,29 @@ func TestCompressionReducesEncodingCost(t *testing.T) {
 		t.Fatalf("manifold must reduce encoding cost: %d vs %d", withManifold, without)
 	}
 }
+
+func TestForwardInferMatchesForward(t *testing.T) {
+	rng := tensor.NewRNG(21)
+	for _, shape := range [][]int{{4, 8, 8}, {3, 1, 5}} { // pooled and pool-skipped
+		l, err := New(rng, shape, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := tensor.New(append([]int{6}, shape...)...)
+		rng.FillNormal(x, 0, 1)
+		want := l.Forward(x, false)
+
+		ar := tensor.NewArena()
+		in := ar.Alloc(x.Shape...)
+		copy(in.Data, x.Data)
+		got := l.ForwardInfer(in, ar)
+		if !got.SameShape(want) {
+			t.Fatalf("shape %v, want %v", got.Shape, want.Shape)
+		}
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("shape %v: ForwardInfer[%d]=%v, Forward=%v", shape, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}

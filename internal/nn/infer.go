@@ -1,0 +1,519 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"nshd/internal/tensor"
+)
+
+// InferenceLayer is the serving-side forward contract implemented by every
+// layer in this package. ForwardInfer differs from Forward(train=false) in
+// three ways that the serving engine depends on:
+//
+//   - it is state-free: no cached fields are read or written, so one layer
+//     instance can serve many goroutines concurrently over frozen weights
+//     (Forward(train=false) clears caches, which is a data race);
+//   - it allocates exclusively from the caller's arena, so a frozen arena
+//     makes the whole pass heap-allocation-free;
+//   - it runs strictly on the calling goroutine: the engine parallelizes
+//     across batch chunks, not inside layers.
+//
+// Elementwise layers may overwrite x in place and return it; callers must
+// therefore pass arena-owned activations, never model weights or user input.
+// Numerically, ForwardInfer matches Forward(train=false) bit-for-bit: it
+// reuses the same kernels in the same accumulation order (the serial GEMM
+// runs the identical tile schedule — see tensor.MatMulSerialInto).
+type InferenceLayer interface {
+	Layer
+	ForwardInfer(x *tensor.Tensor, ar *tensor.Arena) *tensor.Tensor
+}
+
+// InferSupported reports whether every layer reachable from l implements the
+// inference contract, descending into containers.
+func InferSupported(l Layer) error {
+	switch v := l.(type) {
+	case *Sequential:
+		for _, sub := range v.Layers {
+			if err := InferSupported(sub); err != nil {
+				return fmt.Errorf("%s: %w", v.Label, err)
+			}
+		}
+		return nil
+	case *Residual:
+		if err := InferSupported(v.Body); err != nil {
+			return err
+		}
+		if v.Proj != nil {
+			return InferSupported(v.Proj)
+		}
+		return nil
+	case InferenceLayer:
+		return nil
+	default:
+		return fmt.Errorf("nn: layer %s has no inference path", l.Name())
+	}
+}
+
+// ForwardInfer runs all layers in order through the inference contract.
+func (s *Sequential) ForwardInfer(x *tensor.Tensor, ar *tensor.Arena) *tensor.Tensor {
+	for i := 0; i < len(s.Layers); i++ {
+		// Peephole fusion: an elementwise activation directly after a
+		// BatchNorm2D folds into the normalization sweep. Both passes are
+		// memory-bound, so fusing halves their activation traffic; the
+		// arithmetic and comparisons are applied per element exactly as the
+		// separate passes would, keeping results bit-identical.
+		if bn, ok := s.Layers[i].(*BatchNorm2D); ok && i+1 < len(s.Layers) {
+			switch s.Layers[i+1].(type) {
+			case *ReLU6:
+				x = bn.forwardInferAct(x, actReLU6)
+				i++
+				continue
+			case *ReLU:
+				x = bn.forwardInferAct(x, actReLU)
+				i++
+				continue
+			}
+		}
+		il, ok := s.Layers[i].(InferenceLayer)
+		if !ok {
+			panic(fmt.Sprintf("nn: layer %s has no inference path", s.Layers[i].Name()))
+		}
+		x = il.ForwardInfer(x, ar)
+	}
+	return x
+}
+
+// ForwardInfer implements InferenceLayer: per-sample im2col + serial GEMM
+// with arena scratch released before returning.
+func (c *Conv2D) ForwardInfer(x *tensor.Tensor, ar *tensor.Arena) *tensor.Tensor {
+	n := batchOf(x, "Conv2D")
+	if x.Rank() != 4 || x.Shape[1] != c.InC {
+		panic(fmt.Sprintf("nn: Conv2D expects [N %d H W], got %v", c.InC, x.Shape))
+	}
+	h, w := x.Shape[2], x.Shape[3]
+	g := c.geom(h, w)
+	outH, outW := g.OutH(), g.OutW()
+	y := ar.Alloc(n, c.OutC, outH, outW)
+	if n == 0 {
+		return y
+	}
+	kdim := c.InC * c.KH * c.KW
+	m := ar.Mark()
+	wmat := ar.Wrap(c.Weight.W.Data, c.OutC, kdim)
+	// Pointwise (1×1, stride 1, no pad) convolution: im2col is the identity —
+	// the column matrix is the input sample already laid out as [InC, H*W] —
+	// so the GEMM reads the input segment directly. Same values, same layout,
+	// same kernel: bit-identical to the copying path.
+	pointwise := c.KH == 1 && c.KW == 1 && c.Stride == 1 && c.Pad == 0
+	sampleIn := c.InC * h * w
+	var cols *tensor.Tensor
+	if pointwise {
+		cols = ar.Wrap(x.Data[:sampleIn], kdim, outH*outW)
+	} else {
+		cols = ar.Alloc(kdim, outH*outW)
+	}
+	scratch := ar.Floats(tensor.GemmScratch())
+	sampleOut := c.OutC * outH * outW
+	dst := ar.Wrap(y.Data[:sampleOut], c.OutC, outH*outW)
+	for i := 0; i < n; i++ {
+		seg := y.Data[i*sampleOut : (i+1)*sampleOut]
+		dst.Data = seg
+		if pointwise {
+			cols.Data = x.Data[i*sampleIn : (i+1)*sampleIn]
+		} else {
+			tensor.Im2Col(g, x.Data[i*sampleIn:(i+1)*sampleIn], cols)
+		}
+		tensor.MatMulSerialInto(dst, wmat, cols, scratch)
+		if c.useBias {
+			for oc := 0; oc < c.OutC; oc++ {
+				b := c.Bias.W.Data[oc]
+				plane := seg[oc*outH*outW : (oc+1)*outH*outW]
+				for j := range plane {
+					plane[j] += b
+				}
+			}
+		}
+	}
+	ar.Release(m)
+	return y
+}
+
+// ForwardInfer implements InferenceLayer.
+func (d *DepthwiseConv2D) ForwardInfer(x *tensor.Tensor, ar *tensor.Arena) *tensor.Tensor {
+	n := batchOf(x, "DepthwiseConv2D")
+	if x.Rank() != 4 || x.Shape[1] != d.C {
+		panic(fmt.Sprintf("nn: DepthwiseConv2D expects [N %d H W], got %v", d.C, x.Shape))
+	}
+	h, w := x.Shape[2], x.Shape[3]
+	g := d.geom(h, w)
+	outH, outW := g.OutH(), g.OutW()
+	y := ar.Alloc(n, d.C, outH, outW)
+	chanIn := h * w
+	chanOut := outH * outW
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < d.C; ch++ {
+			src := x.Data[(i*d.C+ch)*chanIn : (i*d.C+ch+1)*chanIn]
+			dst := y.Data[(i*d.C+ch)*chanOut : (i*d.C+ch+1)*chanOut]
+			ker := d.Weight.W.Data[ch*d.KH*d.KW : (ch+1)*d.KH*d.KW]
+			d.convChannelInfer(g, src, ker, dst)
+		}
+	}
+	return y
+}
+
+// convChannelInfer computes the same depthwise channel convolution as
+// convChannel but splits each output row into boundary and interior spans:
+// interior taps never fall outside the input, so the hot loop runs without
+// per-tap bounds tests. Accumulation order (kh-major, kw-minor, single
+// float32 accumulator) is identical to convChannel, keeping the result
+// bit-exact.
+func (d *DepthwiseConv2D) convChannelInfer(g tensor.ConvGeom, src, ker, dst []float32) {
+	outH, outW := g.OutH(), g.OutW()
+	// Interior columns [wLo, wHi): every kw tap in bounds. Degenerate inputs
+	// (kernel wider than the padded row) get no interior and run fully
+	// guarded.
+	wLo := (d.Pad + d.Stride - 1) / d.Stride
+	wHi := (g.InW-d.KW+d.Pad)/d.Stride + 1
+	if wHi > outW {
+		wHi = outW
+	}
+	if wLo > outW {
+		wLo = outW
+	}
+	if wHi < wLo {
+		wLo, wHi = outW, outW
+	}
+	for oh := 0; oh < outH; oh++ {
+		ihBase := oh*d.Stride - d.Pad
+		// Valid vertical tap range for this output row.
+		khLo, khHi := 0, d.KH
+		if ihBase < 0 {
+			khLo = -ihBase
+		}
+		if over := ihBase + d.KH - g.InH; over > 0 {
+			khHi = d.KH - over
+		}
+		row := dst[oh*outW : (oh+1)*outW]
+		edge := func(lo, hi int) {
+			for ow := lo; ow < hi; ow++ {
+				iwBase := ow*d.Stride - d.Pad
+				var s float32
+				for kh := khLo; kh < khHi; kh++ {
+					srow := src[(ihBase+kh)*g.InW:]
+					krow := ker[kh*d.KW:]
+					for kw := 0; kw < d.KW; kw++ {
+						iw := iwBase + kw
+						if iw < 0 || iw >= g.InW {
+							continue
+						}
+						s += srow[iw] * krow[kw]
+					}
+				}
+				row[ow] = s
+			}
+		}
+		edge(0, wLo)
+		if d.KW == 3 && khHi-khLo == d.KH {
+			// Fully-interior 3×3: the depthwise workhorse, unrolled.
+			for ow := wLo; ow < wHi; ow++ {
+				iw := ow*d.Stride - d.Pad
+				var s float32
+				for kh := 0; kh < d.KH; kh++ {
+					sr := src[(ihBase+kh)*g.InW+iw : (ihBase+kh)*g.InW+iw+3]
+					kr := ker[kh*3 : kh*3+3]
+					s += sr[0] * kr[0]
+					s += sr[1] * kr[1]
+					s += sr[2] * kr[2]
+				}
+				row[ow] = s
+			}
+		} else {
+			for ow := wLo; ow < wHi; ow++ {
+				iw := ow*d.Stride - d.Pad
+				var s float32
+				for kh := khLo; kh < khHi; kh++ {
+					sr := src[(ihBase+kh)*g.InW+iw:]
+					kr := ker[kh*d.KW:]
+					for kw := 0; kw < d.KW; kw++ {
+						s += sr[kw] * kr[kw]
+					}
+				}
+				row[ow] = s
+			}
+		}
+		edge(wHi, outW)
+	}
+}
+
+// ForwardInfer implements InferenceLayer.
+func (m *MaxPool2D) ForwardInfer(x *tensor.Tensor, ar *tensor.Arena) *tensor.Tensor {
+	n := batchOf(x, "MaxPool2D")
+	if x.Rank() != 4 {
+		panic(fmt.Sprintf("nn: MaxPool2D expects [N C H W], got %v", x.Shape))
+	}
+	c, h, w := x.Shape[1], x.Shape[2], x.Shape[3]
+	outH, outW := h/m.K, w/m.K
+	if outH == 0 || outW == 0 {
+		panic(fmt.Sprintf("nn: MaxPool2D window %d larger than input %dx%d", m.K, h, w))
+	}
+	y := ar.Alloc(n, c, outH, outW)
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < c; ch++ {
+			inBase := (i*c + ch) * h * w
+			outBase := (i*c + ch) * outH * outW
+			for oh := 0; oh < outH; oh++ {
+				for ow := 0; ow < outW; ow++ {
+					best := float32(0)
+					bestAt := -1
+					for kh := 0; kh < m.K; kh++ {
+						ih := oh*m.K + kh
+						for kw := 0; kw < m.K; kw++ {
+							iw := ow*m.K + kw
+							v := x.Data[inBase+ih*w+iw]
+							if bestAt < 0 || v > best {
+								best, bestAt = v, inBase+ih*w+iw
+							}
+						}
+					}
+					y.Data[outBase+oh*outW+ow] = best
+				}
+			}
+		}
+	}
+	return y
+}
+
+// ForwardInfer implements InferenceLayer.
+func (m *AvgPool2D) ForwardInfer(x *tensor.Tensor, ar *tensor.Arena) *tensor.Tensor {
+	n := batchOf(x, "AvgPool2D")
+	c, h, w := x.Shape[1], x.Shape[2], x.Shape[3]
+	outH, outW := h/m.K, w/m.K
+	y := ar.Alloc(n, c, outH, outW)
+	inv := 1 / float32(m.K*m.K)
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < c; ch++ {
+			inBase := (i*c + ch) * h * w
+			outBase := (i*c + ch) * outH * outW
+			for oh := 0; oh < outH; oh++ {
+				for ow := 0; ow < outW; ow++ {
+					var s float32
+					for kh := 0; kh < m.K; kh++ {
+						for kw := 0; kw < m.K; kw++ {
+							s += x.Data[inBase+(oh*m.K+kh)*w+(ow*m.K+kw)]
+						}
+					}
+					y.Data[outBase+oh*outW+ow] = s * inv
+				}
+			}
+		}
+	}
+	return y
+}
+
+// ForwardInfer implements InferenceLayer.
+func (m *GlobalAvgPool2D) ForwardInfer(x *tensor.Tensor, ar *tensor.Arena) *tensor.Tensor {
+	n := batchOf(x, "GlobalAvgPool2D")
+	c, h, w := x.Shape[1], x.Shape[2], x.Shape[3]
+	y := ar.Alloc(n, c)
+	inv := 1 / float32(h*w)
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < c; ch++ {
+			plane := x.Data[(i*c+ch)*h*w : (i*c+ch+1)*h*w]
+			var s float32
+			for _, v := range plane {
+				s += v
+			}
+			y.Data[i*c+ch] = s * inv
+		}
+	}
+	return y
+}
+
+// ForwardInfer implements InferenceLayer: a reshaped view, no copy.
+func (f *Flatten) ForwardInfer(x *tensor.Tensor, ar *tensor.Arena) *tensor.Tensor {
+	n := batchOf(x, "Flatten")
+	return ar.Wrap(x.Data, n, x.Len()/n)
+}
+
+// ForwardInfer implements InferenceLayer via the serial transposed GEMM.
+func (l *Linear) ForwardInfer(x *tensor.Tensor, ar *tensor.Arena) *tensor.Tensor {
+	n := batchOf(x, "Linear")
+	if x.Rank() != 2 || x.Shape[1] != l.In {
+		panic(fmt.Sprintf("nn: Linear expects [N %d], got %v", l.In, x.Shape))
+	}
+	y := ar.Alloc(n, l.Out)
+	tensor.MatMulTSerialInto(y, x, l.Weight.W)
+	if l.useBias {
+		for i := 0; i < n; i++ {
+			row := y.Row(i)
+			for j := range row {
+				row[j] += l.Bias.W.Data[j]
+			}
+		}
+	}
+	return y
+}
+
+// ForwardInfer implements InferenceLayer, clamping in place.
+func (r *ReLU) ForwardInfer(x *tensor.Tensor, ar *tensor.Arena) *tensor.Tensor {
+	for i, v := range x.Data {
+		if v <= 0 {
+			x.Data[i] = 0
+		}
+	}
+	return x
+}
+
+// ForwardInfer implements InferenceLayer, clamping to [0, 6] in place.
+func (r *ReLU6) ForwardInfer(x *tensor.Tensor, ar *tensor.Arena) *tensor.Tensor {
+	for i, v := range x.Data {
+		switch {
+		case v <= 0:
+			x.Data[i] = 0
+		case v >= 6:
+			x.Data[i] = 6
+		}
+	}
+	return x
+}
+
+// ForwardInfer implements InferenceLayer in place.
+func (s *Sigmoid) ForwardInfer(x *tensor.Tensor, ar *tensor.Arena) *tensor.Tensor {
+	for i, v := range x.Data {
+		x.Data[i] = sigmoid32(v)
+	}
+	return x
+}
+
+// ForwardInfer implements InferenceLayer in place.
+func (s *SiLU) ForwardInfer(x *tensor.Tensor, ar *tensor.Arena) *tensor.Tensor {
+	for i, v := range x.Data {
+		x.Data[i] = v * sigmoid32(v)
+	}
+	return x
+}
+
+// ForwardInfer implements InferenceLayer: the eval-mode affine with running
+// statistics, applied in place.
+func (bn *BatchNorm2D) ForwardInfer(x *tensor.Tensor, ar *tensor.Arena) *tensor.Tensor {
+	return bn.forwardInferAct(x, actNone)
+}
+
+// fusedAct selects the activation folded into a BatchNorm2D inference sweep.
+type fusedAct int
+
+const (
+	actNone fusedAct = iota
+	actReLU
+	actReLU6
+)
+
+// forwardInferAct normalizes in place, optionally applying a fused
+// activation with the exact comparisons ReLU/ReLU6 use (v<=0 and v>=6), so
+// the fused sweep is bit-identical to normalize-then-activate.
+func (bn *BatchNorm2D) forwardInferAct(x *tensor.Tensor, act fusedAct) *tensor.Tensor {
+	n := batchOf(x, "BatchNorm2D")
+	if x.Rank() != 4 || x.Shape[1] != bn.C {
+		panic(fmt.Sprintf("nn: BatchNorm2D(%d) expects [N %d H W], got %v", bn.C, bn.C, x.Shape))
+	}
+	hw := x.Shape[2] * x.Shape[3]
+	for ch := 0; ch < bn.C; ch++ {
+		mean := bn.RunMean.Data[ch]
+		invStd := 1 / float32(math.Sqrt(float64(bn.RunVar.Data[ch]+bn.Eps)))
+		g, b := bn.Gamma.W.Data[ch], bn.Beta.W.Data[ch]
+		for i := 0; i < n; i++ {
+			seg := x.Data[(i*bn.C+ch)*hw : (i*bn.C+ch+1)*hw]
+			switch act {
+			case actReLU:
+				for j, v := range seg {
+					y := g*(v-mean)*invStd + b
+					if y <= 0 {
+						y = 0
+					}
+					seg[j] = y
+				}
+			case actReLU6:
+				for j, v := range seg {
+					y := g*(v-mean)*invStd + b
+					if y <= 0 {
+						y = 0
+					} else if y >= 6 {
+						y = 6
+					}
+					seg[j] = y
+				}
+			default:
+				for j, v := range seg {
+					seg[j] = g*(v-mean)*invStd + b
+				}
+			}
+		}
+	}
+	return x
+}
+
+// ForwardInfer implements InferenceLayer: identity at inference.
+func (d *Dropout) ForwardInfer(x *tensor.Tensor, ar *tensor.Arena) *tensor.Tensor { return x }
+
+// ForwardInfer implements InferenceLayer. The skip is copied before the body
+// runs because inference layers may clobber x in place.
+func (r *Residual) ForwardInfer(x *tensor.Tensor, ar *tensor.Arena) *tensor.Tensor {
+	var skip *tensor.Tensor
+	if r.Proj != nil {
+		skip = r.Proj.(InferenceLayer).ForwardInfer(x, ar)
+		// A projection never writes in place (it changes shape), so x is
+		// still intact for the body below. Guard against an aliasing Proj
+		// anyway: elementwise projections are not used by any zoo model.
+		if skip == x {
+			panic("nn: Residual.Proj must not alias its input")
+		}
+	} else {
+		skip = ar.Alloc(x.Shape...)
+		copy(skip.Data, x.Data)
+	}
+	y := r.Body.ForwardInfer(x, ar)
+	if !y.SameShape(skip) {
+		panic(fmt.Sprintf("nn: residual shape mismatch body=%v skip=%v", y.Shape, skip.Shape))
+	}
+	tensor.AddInto(y, y, skip)
+	return y
+}
+
+// ForwardInfer implements InferenceLayer: the attention MLP runs on arena
+// scratch and the channel rescale happens in place on x.
+func (se *SEBlock) ForwardInfer(x *tensor.Tensor, ar *tensor.Arena) *tensor.Tensor {
+	n := batchOf(x, "SEBlock")
+	if x.Rank() != 4 || x.Shape[1] != se.C {
+		panic(fmt.Sprintf("nn: SEBlock(%d) expects [N %d H W], got %v", se.C, se.C, x.Shape))
+	}
+	h, w := x.Shape[2], x.Shape[3]
+	m := ar.Mark()
+	pooled := ar.Alloc(n, se.C)
+	inv := 1 / float32(h*w)
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < se.C; ch++ {
+			plane := x.Data[(i*se.C+ch)*h*w : (i*se.C+ch+1)*h*w]
+			var s float32
+			for _, v := range plane {
+				s += v
+			}
+			pooled.Data[i*se.C+ch] = s * inv
+		}
+	}
+	z := se.FC1.ForwardInfer(pooled, ar)
+	z = se.act.ForwardInfer(z, ar)
+	z = se.FC2.ForwardInfer(z, ar)
+	scale := se.sig.ForwardInfer(z, ar)
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < se.C; ch++ {
+			s := scale.Data[i*se.C+ch]
+			seg := x.Data[(i*se.C+ch)*h*w : (i*se.C+ch+1)*h*w]
+			for j := range seg {
+				seg[j] *= s
+			}
+		}
+	}
+	ar.Release(m)
+	return x
+}

@@ -1,0 +1,181 @@
+package nn
+
+import (
+	"testing"
+
+	"nshd/internal/tensor"
+)
+
+// inferTestModel exercises every layer type that has an inference path:
+// conv (bias), batchnorm, relu, maxpool, depthwise conv, relu6, residual
+// with identity skip, SE block, residual with projection, avgpool, silu,
+// global-avg-pool is covered via SE; the head covers flatten, dropout,
+// linear and sigmoid.
+func inferTestModel(rng *tensor.RNG) *Sequential {
+	body := NewSequential("body",
+		NewDepthwiseConv2D(rng, 8, 3, 1, 1),
+		NewBatchNorm2D(8),
+		NewReLU6(),
+	)
+	projBody := NewSequential("projbody",
+		NewConv2D(rng, 8, 8, 3, 2, 1, false),
+		NewSiLU(),
+	)
+	return NewSequential("infer-test",
+		NewConv2D(rng, 3, 8, 3, 1, 1, true),
+		NewBatchNorm2D(8),
+		NewReLU(),
+		NewMaxPool2D(2),
+		NewResidual(body, nil),
+		NewSEBlock(rng, 8, 4),
+		NewResidual(projBody, NewConv2D(rng, 8, 8, 1, 2, 0, false)),
+		NewAvgPool2D(2),
+		NewFlatten(),
+		NewDropout(rng, 0.3),
+		NewLinear(rng, 8*2*2, 10, true),
+		NewSigmoid(),
+	)
+}
+
+// randomizeEval gives batchnorm layers non-trivial running statistics so the
+// eval path is actually exercised.
+func randomizeEval(rng *tensor.RNG, model *Sequential) {
+	for _, l := range model.Layers {
+		if bn, ok := l.(*BatchNorm2D); ok {
+			rng.FillUniform(bn.RunMean, -0.5, 0.5)
+			rng.FillUniform(bn.RunVar, 0.5, 2)
+			rng.FillUniform(bn.Gamma.W, 0.5, 1.5)
+			rng.FillUniform(bn.Beta.W, -0.2, 0.2)
+		}
+		if r, ok := l.(*Residual); ok {
+			randomizeEval(rng, r.Body)
+		}
+	}
+}
+
+func TestForwardInferMatchesEvalForward(t *testing.T) {
+	rng := tensor.NewRNG(42)
+	model := inferTestModel(rng)
+	randomizeEval(rng, model)
+	if err := InferSupported(model); err != nil {
+		t.Fatalf("InferSupported: %v", err)
+	}
+
+	x := tensor.New(5, 3, 16, 16)
+	rng.FillNormal(x, 0, 1)
+	want := model.Forward(x, false)
+
+	ar := tensor.NewArena()
+	in := ar.Alloc(x.Shape...)
+	copy(in.Data, x.Data)
+	got := model.ForwardInfer(in, ar)
+
+	if !got.SameShape(want) {
+		t.Fatalf("shape %v, want %v", got.Shape, want.Shape)
+	}
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("ForwardInfer[%d]=%v, Forward(eval)=%v", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestForwardInferZeroAllocWhenFrozen(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	model := inferTestModel(rng)
+	randomizeEval(rng, model)
+
+	x := tensor.New(3, 3, 16, 16)
+	rng.FillNormal(x, 0, 1)
+
+	ar := tensor.NewArena()
+	in := ar.Alloc(x.Shape...)
+	copy(in.Data, x.Data)
+	model.ForwardInfer(in, ar)
+	ar.Freeze()
+
+	allocs := testing.AllocsPerRun(10, func() {
+		ar.Reset()
+		in := ar.Alloc(3, 3, 16, 16)
+		copy(in.Data, x.Data)
+		model.ForwardInfer(in, ar)
+	})
+	if allocs != 0 {
+		t.Fatalf("frozen ForwardInfer allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+func TestForwardInferDoesNotMutateState(t *testing.T) {
+	rng := tensor.NewRNG(9)
+	model := inferTestModel(rng)
+	randomizeEval(rng, model)
+	x := tensor.New(2, 3, 16, 16)
+	rng.FillNormal(x, 0, 1)
+
+	// Train-mode forward fills caches; an inference pass must not disturb
+	// them (it may run concurrently with nothing, but must stay state-free).
+	model.Forward(x, true)
+	conv := model.Layers[0].(*Conv2D)
+	if conv.cachedX == nil {
+		t.Fatal("expected training cache to be set")
+	}
+	ar := tensor.NewArena()
+	in := ar.Alloc(x.Shape...)
+	copy(in.Data, x.Data)
+	model.ForwardInfer(in, ar)
+	if conv.cachedX == nil {
+		t.Fatal("ForwardInfer cleared the training cache; it must be state-free")
+	}
+}
+
+func TestInferSupportedRejectsUnknownLayer(t *testing.T) {
+	model := NewSequential("bad", badLayer{})
+	if err := InferSupported(model); err == nil {
+		t.Fatal("expected error for a layer without an inference path")
+	}
+}
+
+type badLayer struct{}
+
+func (badLayer) Name() string                                        { return "bad" }
+func (badLayer) Forward(x *tensor.Tensor, train bool) *tensor.Tensor { return x }
+func (badLayer) Backward(g *tensor.Tensor) *tensor.Tensor            { return g }
+func (badLayer) Params() []*Param                                    { return nil }
+func (badLayer) OutShape(in []int) []int                             { return in }
+func (badLayer) Stats(in []int) Stats                                { return Stats{} }
+
+// TestDepthwiseInferMatchesForwardGeometries drives the boundary/interior
+// split of convChannelInfer through awkward geometries: strides, pads,
+// kernels wider than the padded input (no interior columns at all), and
+// non-square inputs.
+func TestDepthwiseInferMatchesForwardGeometries(t *testing.T) {
+	cases := []struct {
+		c, k, stride, pad, h, w int
+	}{
+		{4, 3, 1, 1, 8, 8},
+		{3, 3, 2, 1, 9, 7},
+		{2, 5, 1, 2, 6, 6},
+		{2, 3, 1, 0, 5, 5},
+		{3, 3, 2, 0, 7, 7},
+		{2, 5, 2, 2, 3, 2}, // kernel wider than the row: fully guarded path
+		{1, 1, 1, 0, 4, 4},
+	}
+	for _, tc := range cases {
+		rng := tensor.NewRNG(int64(tc.c*100 + tc.k*10 + tc.stride))
+		d := NewDepthwiseConv2D(rng, tc.c, tc.k, tc.stride, tc.pad)
+		x := tensor.New(2, tc.c, tc.h, tc.w)
+		rng.FillNormal(x, 0, 1)
+		want := d.Forward(x, false)
+		ar := tensor.NewArena()
+		got := d.ForwardInfer(x, ar)
+		if len(got.Data) != len(want.Data) {
+			t.Fatalf("k=%d s=%d p=%d: shape %v want %v", tc.k, tc.stride, tc.pad, got.Shape, want.Shape)
+		}
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("k=%d s=%d p=%d %dx%d: element %d differs: %v vs %v",
+					tc.k, tc.stride, tc.pad, tc.h, tc.w, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}

@@ -225,16 +225,25 @@ func gemm(dst, a, b []float32, m, n, k int) {
 }
 
 // gemmRange computes the dst tile rows [r0,r1) × cols [c0,c1), overwriting it.
+// The packed-B panel comes from panelPool; callers that must not touch the
+// heap (the serving engine) use gemmRangeScratch with their own buffer.
 func gemmRange(dst, a, b []float32, n, k, r0, r1, c0, c1 int) {
-	for i := r0; i < r1; i++ {
-		clear(dst[i*n+c0 : i*n+c1])
-	}
 	var buf []float32
 	var bufp *[]float32
 	if useGemmAsm {
 		bufp = panelPool.Get().(*[]float32)
 		buf = *bufp
 		defer panelPool.Put(bufp)
+	}
+	gemmRangeScratch(dst, a, b, buf, n, k, r0, r1, c0, c1)
+}
+
+// gemmRangeScratch is gemmRange with a caller-owned packed-panel buffer
+// (length ≥ GemmScratch(); ignored on the pure-Go path). It runs the exact
+// same tile schedule as gemmRange, so results are bit-identical.
+func gemmRangeScratch(dst, a, b, buf []float32, n, k, r0, r1, c0, c1 int) {
+	for i := r0; i < r1; i++ {
+		clear(dst[i*n+c0 : i*n+c1])
 	}
 	for jb := c0; jb < c1; jb += gemmNC {
 		je := jb + gemmNC
@@ -338,6 +347,78 @@ func axpy1(av float32, brow, o0 []float32) {
 	for j, bv := range brow {
 		o0[j] += av * bv
 	}
+}
+
+// GemmScratch returns the packed-panel buffer length (in float32 elements)
+// that MatMulSerialInto needs; zero on targets without the asm micro-kernel.
+func GemmScratch() int {
+	if useGemmAsm {
+		return gemmKC * gemmNC
+	}
+	return 0
+}
+
+// MatMulSerialInto computes dst = a(M×K) @ b(K×N) strictly on the calling
+// goroutine with caller-owned panel scratch (length ≥ GemmScratch(); nil is
+// accepted when GemmScratch() == 0). It performs no heap allocation and no
+// pool dispatch, and — because it runs the same fixed tile schedule as the
+// parallel kernel — its results are bit-identical to MatMulInto. This is the
+// serving engine's GEMM: the engine parallelizes across batch chunks, so each
+// chunk's GEMM must stay on its worker.
+func MatMulSerialInto(dst, a, b *Tensor, scratch []float32) {
+	if a.Rank() != 2 || b.Rank() != 2 || dst.Rank() != 2 {
+		panic("tensor: MatMul requires rank-2 tensors")
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 || dst.Shape[0] != m || dst.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMul shape mismatch %v @ %v -> %v", a.Shape, b.Shape, dst.Shape))
+	}
+	if m == 0 || n == 0 {
+		return
+	}
+	if k == 0 {
+		clear(dst.Data[:m*n])
+		return
+	}
+	if useGemmAsm && len(scratch) < gemmKC*gemmNC {
+		panic(fmt.Sprintf("tensor: MatMulSerialInto scratch %d < GemmScratch %d", len(scratch), gemmKC*gemmNC))
+	}
+	gemmRangeScratch(dst.Data, a.Data, b.Data, scratch, n, k, 0, m, 0, n)
+}
+
+// MatMulTSerialInto computes dst = a(M×K) @ bᵀ (b is N×K) on the calling
+// goroutine with zero allocations, using the same dot kernel as MatMulT so
+// results are bit-identical to the parallel path.
+func MatMulTSerialInto(dst, a, b *Tensor) {
+	if a.Rank() != 2 || b.Rank() != 2 || a.Shape[1] != b.Shape[1] {
+		panic(fmt.Sprintf("tensor: MatMulT shape mismatch %v @ %vᵀ", a.Shape, b.Shape))
+	}
+	m, k, n := a.Shape[0], a.Shape[1], b.Shape[0]
+	if dst.Shape[0] != m || dst.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulT dst shape %v, want [%d %d]", dst.Shape, m, n))
+	}
+	if m == 0 || n == 0 {
+		return
+	}
+	if k == 0 {
+		clear(dst.Data[:m*n])
+		return
+	}
+	matMulTRange(dst.Data, a.Data, b.Data, n, k, 0, m)
+}
+
+// DotFast returns the inner product of x and y through the same kernel
+// MatMulT uses (AVX2 when available, scalar otherwise), so scores computed
+// one vector at a time match batched similarity scores bit-for-bit.
+func DotFast(x, y []float32) float32 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("tensor: Dot length mismatch %d vs %d", len(x), len(y)))
+	}
+	if useGemmAsm {
+		return dotAsm(x, y)
+	}
+	return Dot(x, y)
 }
 
 // MatMulT returns a(M×K) @ bᵀ where b is N×K — the layout used for similarity

@@ -247,6 +247,42 @@ func Sign(t *Tensor) *Tensor {
 	return out
 }
 
+// SignInto writes sign(src) into dst with the same zero→+1 convention as
+// Sign. dst and src must share a shape; dst may alias src.
+func SignInto(dst, src *Tensor) {
+	if !dst.SameShape(src) {
+		panic(fmt.Sprintf("tensor: SignInto shape mismatch %v vs %v", dst.Shape, src.Shape))
+	}
+	for i, v := range src.Data {
+		if v < 0 {
+			dst.Data[i] = -1
+		} else {
+			dst.Data[i] = 1
+		}
+	}
+}
+
+// ArgmaxRowsInto writes the argmax of each row of a 2-D tensor into out
+// (length = rows), with the same first-wins tie rule as ArgmaxRows.
+func ArgmaxRowsInto(out []int, t *Tensor) {
+	if t.Rank() != 2 {
+		panic("tensor: ArgmaxRows requires rank-2 tensor")
+	}
+	if len(out) != t.Shape[0] {
+		panic(fmt.Sprintf("tensor: ArgmaxRowsInto out length %d, want %d", len(out), t.Shape[0]))
+	}
+	for i := range out {
+		row := t.Row(i)
+		best, at := row[0], 0
+		for j, v := range row {
+			if v > best {
+				best, at = v, j
+			}
+		}
+		out[i] = at
+	}
+}
+
 // Clamp limits every element of t to [lo, hi] in place.
 func (t *Tensor) Clamp(lo, hi float32) {
 	for i, v := range t.Data {

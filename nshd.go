@@ -31,6 +31,7 @@ import (
 	"nshd/internal/cnn"
 	"nshd/internal/core"
 	"nshd/internal/dataset"
+	"nshd/internal/engine"
 	"nshd/internal/hdc"
 	"nshd/internal/hwsim"
 	"nshd/internal/metrics"
@@ -65,6 +66,25 @@ func NewBaselineHD(zoo *Model, cfg Config) (*Pipeline, error) { return core.NewB
 
 // LoadPipeline restores a pipeline saved with Pipeline.Save.
 func LoadPipeline(path string) (*Pipeline, error) { return core.Load(path) }
+
+// --- serving ---
+
+// Engine is a frozen, zero-allocation inference engine compiled from a
+// trained pipeline: the classifier is snapshotted, per-worker scratch arenas
+// are sized once at compile time, and steady-state batches run without
+// touching the heap. Safe for concurrent use. Pipeline.Predict/Accuracy/
+// QueryHVs already serve through a cached Engine transparently; compile one
+// explicitly for a serving process, for streaming, or to pin a model version:
+//
+//	eng, _ := nshd.Compile(model)
+//	preds, _ := eng.Predict(test.Images)
+type Engine = engine.Engine
+
+// StreamResult is one batch's outcome on Engine.PredictStream.
+type StreamResult = engine.StreamResult
+
+// Compile freezes a trained pipeline into a serving Engine.
+func Compile(p *Pipeline) (*Engine, error) { return engine.Compile(p) }
 
 // --- model zoo ---
 
