@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race alloc bench perf
+.PHONY: check vet build test race alloc bench perf bench-train
 
 # The full gate: what CI (and any PR) must keep green.
 check: vet build test race alloc
@@ -27,6 +27,12 @@ race:
 bench:
 	$(GO) test -run xxx -bench . -benchmem ./internal/tensor/ ./internal/parallel/
 
-# Regenerate the machine-readable perf report (end-to-end serving + kernels).
+# Regenerate the machine-readable perf report (end-to-end serving + kernels
+# + training path).
 perf:
-	$(GO) run ./cmd/nshd-bench -perf BENCH_PR2.json
+	$(GO) run ./cmd/nshd-bench -perf BENCH_PR3.json
+
+# Re-run only the training-path benchmarks and diff them against the
+# committed BENCH_PR3.json baseline (writes the fresh rows to a scratch file).
+bench-train:
+	$(GO) run ./cmd/nshd-bench -perf-train /tmp/nshd_bench_train.json -perf-baseline BENCH_PR3.json

@@ -42,11 +42,20 @@ func main() {
 		f11Layer  = flag.Int("fig11-layer", 7, "cut layer for the fig11 t-SNE")
 		svgDir    = flag.String("svg", "", "also write figure SVGs into this directory")
 		perfOut   = flag.String("perf", "", "run compute-kernel microbenchmarks, write JSON to this file, and exit")
+		perfTrain = flag.String("perf-train", "", "run only the training-path benchmarks, write JSON to this file, and exit")
+		perfBase  = flag.String("perf-baseline", "", "with -perf-train: print deltas against this committed baseline JSON")
 	)
 	flag.Parse()
 
 	if *perfOut != "" {
 		if err := runPerf(*perfOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *perfTrain != "" {
+		if err := runPerfTrain(*perfTrain, *perfBase); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

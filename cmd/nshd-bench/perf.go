@@ -166,6 +166,12 @@ func runPerf(path string) error {
 		})
 	}
 
+	// Training path: GEMM-ified backward passes and batched MASS retraining
+	// against their kept per-sample/scalar references.
+	if err := perfTraining(addRes); err != nil {
+		return err
+	}
+
 	out, err := json.MarshalIndent(entries, "", "  ")
 	if err != nil {
 		return err

@@ -33,6 +33,7 @@ func main() {
 		alpha      = flag.Float64("alpha", 0.7, "distillation alpha")
 		temp       = flag.Float64("temp", 15, "distillation temperature")
 		hdEpochs   = flag.Int("hd-epochs", 10, "HD retraining epochs")
+		batch      = flag.Int("batch", 0, "training batch size (0 = config default)")
 		preEpochs  = flag.Int("pretrain-epochs", 12, "teacher pretraining epochs")
 		seed       = flag.Int64("seed", 1, "seed")
 		cache      = flag.String("cache", ".cache", "teacher cache directory")
@@ -94,6 +95,9 @@ func main() {
 	cfg.Temp = *temp
 	cfg.Epochs = *hdEpochs
 	cfg.Seed = *seed
+	if *batch > 0 {
+		cfg.BatchSize = *batch
+	}
 
 	var p *nshd.Pipeline
 	if *baselineHD {

@@ -233,6 +233,13 @@ func (p *Pipeline) TrainOnFeatures(feats *tensor.Tensor, labels []int, teacherLo
 		alpha, temp = p.Cfg.Alpha, p.Cfg.Temp
 	}
 
+	// Gather buffers are allocated once at the full batch size and re-sliced
+	// for the tail batch, so the joint loop performs no per-step allocations
+	// on the batching side.
+	bFeatsBuf := tensor.New(append([]int{p.Cfg.BatchSize}, p.FeatShape...)...)
+	bLabelsBuf := make([]int, p.Cfg.BatchSize)
+	bTeacherBuf := tensor.New(p.Cfg.BatchSize, p.Cfg.Classes)
+
 	for epoch := 1; epoch <= p.Cfg.Epochs; epoch++ {
 		p.rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
 		correct := 0
@@ -243,9 +250,9 @@ func (p *Pipeline) TrainOnFeatures(feats *tensor.Tensor, labels []int, teacherLo
 				end = n
 			}
 			bs := end - start
-			bFeats := tensor.New(append([]int{bs}, p.FeatShape...)...)
-			bLabels := make([]int, bs)
-			bTeacher := tensor.New(bs, p.Cfg.Classes)
+			bFeats := tensor.FromSlice(bFeatsBuf.Data[:bs*featLen], append([]int{bs}, p.FeatShape...)...)
+			bLabels := bLabelsBuf[:bs]
+			bTeacher := tensor.FromSlice(bTeacherBuf.Data[:bs*p.Cfg.Classes], bs, p.Cfg.Classes)
 			for bi := 0; bi < bs; bi++ {
 				src := order[start+bi]
 				copy(bFeats.Data[bi*featLen:(bi+1)*featLen], feats.Data[src*featLen:(src+1)*featLen])
@@ -308,15 +315,19 @@ func (p *Pipeline) TrainOnFeatures(feats *tensor.Tensor, labels []int, teacherLo
 		_, _, finalSigned := p.Symbolize(feats, false)
 		p.HD.InitBundle(finalSigned, labels)
 		refine := p.Cfg.Epochs/2 + 1
+		// The refinement runs on the batched trainers: one GEMM per batch of
+		// similarities and one rank-B GEMM per update, with the pipeline's
+		// configured batch size.
 		if p.Cfg.UseKD {
-			if _, err := p.HD.TrainDistill(finalSigned, labels, teacherLogits, hdlearn.DistillConfig{
+			if _, err := p.HD.TrainDistillBatch(finalSigned, labels, teacherLogits, hdlearn.DistillConfig{
 				Epochs: refine, LR: p.Cfg.LR, Alpha: p.Cfg.Alpha, Temp: p.Cfg.Temp, Shuffle: true,
+				Batch: p.Cfg.BatchSize,
 			}, p.rng); err != nil {
 				return nil, err
 			}
 		} else {
-			p.HD.TrainMASS(finalSigned, labels, hdlearn.MASSConfig{
-				Epochs: refine, LR: p.Cfg.LR, Shuffle: true,
+			p.HD.TrainMASSBatch(finalSigned, labels, hdlearn.MASSConfig{
+				Epochs: refine, LR: p.Cfg.LR, Shuffle: true, Batch: p.Cfg.BatchSize,
 			}, p.rng)
 		}
 	}

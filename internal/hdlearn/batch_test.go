@@ -1,0 +1,170 @@
+package hdlearn
+
+import (
+	"math"
+	"testing"
+
+	"nshd/internal/hdc"
+	"nshd/internal/tensor"
+)
+
+// makeBatchFixture builds a K-class problem of separable clusters plus an
+// InitBundle'd model, deterministically from seed.
+func makeBatchFixture(seed int64, k, d, n int) (*Model, *tensor.Tensor, []int) {
+	rng := tensor.NewRNG(seed)
+	protos := tensor.New(k, d)
+	rng.FillNormal(protos, 0, 1)
+	hvs := tensor.New(n, d)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		labels[i] = i % k
+		row := hvs.Row(i)
+		copy(row, protos.Row(labels[i]))
+		for j := range row {
+			row[j] += float32(rng.NormFloat64()) * 0.8
+		}
+	}
+	m := NewModel(k, d)
+	m.InitBundle(hvs, labels)
+	return m, hvs, labels
+}
+
+func requireBitEqualModels(t *testing.T, a, b *Model) {
+	t.Helper()
+	for i := range a.M.Data {
+		if math.Float32bits(a.M.Data[i]) != math.Float32bits(b.M.Data[i]) {
+			t.Fatalf("M[%d] diverges: %v (%08x) vs %v (%08x)", i,
+				a.M.Data[i], math.Float32bits(a.M.Data[i]),
+				b.M.Data[i], math.Float32bits(b.M.Data[i]))
+		}
+	}
+}
+
+func requireEqualHistory(t *testing.T, a, b []EpochStats) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("history length %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("epoch %d stats diverge: %+v vs %+v", i+1, a[i], b[i])
+		}
+	}
+}
+
+// TestTrainMASSBatchB1BitExact is the proof-backed contract test: at Batch=1
+// the batched trainer must reproduce the per-sample trainer bit for bit —
+// identical float32 model and float64-equal epoch stats, shuffling included.
+func TestTrainMASSBatchB1BitExact(t *testing.T) {
+	ref, hvs, labels := makeBatchFixture(3, 5, 256, 60)
+	batched := ref.Clone()
+	cfg := MASSConfig{Epochs: 3, LR: 0.07, Shuffle: true}
+	refHist := ref.TrainMASS(hvs, labels, cfg, tensor.NewRNG(99))
+	cfg.Batch = 1
+	batHist := batched.TrainMASSBatch(hvs, labels, cfg, tensor.NewRNG(99))
+	requireEqualHistory(t, refHist, batHist)
+	requireBitEqualModels(t, ref, batched)
+}
+
+// TestTrainDistillBatchB1BitExact: same contract for Algorithm 1.
+func TestTrainDistillBatchB1BitExact(t *testing.T) {
+	ref, hvs, labels := makeBatchFixture(5, 4, 192, 48)
+	teacher := tensor.New(48, 4)
+	tensor.NewRNG(7).FillNormal(teacher, 0, 2)
+	batched := ref.Clone()
+	cfg := DistillConfig{Epochs: 3, LR: 0.05, Alpha: 0.4, Temp: 2, Shuffle: true}
+	refHist, err := ref.TrainDistill(hvs, labels, teacher, cfg, tensor.NewRNG(55))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Batch = 1
+	batHist, err := batched.TrainDistillBatch(hvs, labels, teacher, cfg, tensor.NewRNG(55))
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireEqualHistory(t, refHist, batHist)
+	requireBitEqualModels(t, ref, batched)
+}
+
+// TestTrainMASSBatchLearns checks the batched path at a realistic batch size
+// actually trains: accuracy on the separable fixture should end high, and the
+// update mass should shrink.
+func TestTrainMASSBatchLearns(t *testing.T) {
+	m, hvs, labels := makeBatchFixture(11, 6, 512, 240)
+	cfg := MASSConfig{Epochs: 12, LR: 0.05, Shuffle: true, Batch: 32}
+	hist := m.TrainMASSBatch(hvs, labels, cfg, tensor.NewRNG(13))
+	if len(hist) != cfg.Epochs {
+		t.Fatalf("expected %d epochs, got %d", cfg.Epochs, len(hist))
+	}
+	if acc := m.Accuracy(hvs, labels); acc < 0.95 {
+		t.Fatalf("batched MASS train accuracy %.3f < 0.95", acc)
+	}
+	if hist[len(hist)-1].MeanUpdateNorm >= hist[0].MeanUpdateNorm {
+		t.Fatalf("update mass did not shrink: %v → %v",
+			hist[0].MeanUpdateNorm, hist[len(hist)-1].MeanUpdateNorm)
+	}
+}
+
+// TestTrainDistillBatchLearns: the batched KD path with a well-informed
+// teacher should also converge on the fixture.
+func TestTrainDistillBatchLearns(t *testing.T) {
+	m, hvs, labels := makeBatchFixture(17, 4, 384, 160)
+	// Teacher logits: confident, correct predictions.
+	teacher := tensor.New(160, 4)
+	for i, y := range labels {
+		teacher.Row(i)[y] = 6
+	}
+	cfg := DistillConfig{Epochs: 10, LR: 0.05, Alpha: 0.5, Temp: 4, Shuffle: true, Batch: 16}
+	if _, err := m.TrainDistillBatch(hvs, labels, teacher, cfg, tensor.NewRNG(19)); err != nil {
+		t.Fatal(err)
+	}
+	if acc := m.Accuracy(hvs, labels); acc < 0.95 {
+		t.Fatalf("batched distill train accuracy %.3f < 0.95", acc)
+	}
+}
+
+// TestClassNormCacheInvalidation mutates M directly (with Invalidate, as the
+// contract requires) and checks Similarity picks up the new norms instead of
+// serving stale cached values.
+func TestClassNormCacheInvalidation(t *testing.T) {
+	m, hvs, _ := makeBatchFixture(23, 3, 64, 6)
+	h := hdc.Hypervector(hvs.Row(0))
+	before := m.Similarity(h) // primes the norm cache
+
+	// Mutate class 1 drastically and invalidate.
+	row := m.M.Row(1)
+	for j := range row {
+		row[j] *= 10
+	}
+	m.Invalidate()
+	after := m.Similarity(h)
+
+	// Cosine is scale-invariant, so a correctly refreshed cache reproduces
+	// the same similarity for class 1; a stale cache (old, 10× smaller norm)
+	// would report a wildly larger value.
+	fresh := m.Clone().Similarity(h) // Clone has no cache at all
+	for k := range after {
+		if math.Abs(float64(after[k]-fresh[k])) > 1e-6 {
+			t.Fatalf("class %d similarity %v differs from cache-free %v", k, after[k], fresh[k])
+		}
+	}
+	_ = before
+
+	// And the batch path must agree with the per-sample path post-mutation.
+	sims := m.SimilarityBatch(hvs)
+	single := m.Similarity(hdc.Hypervector(hvs.Row(2)))
+	for k := range single {
+		if math.Float32bits(sims.Row(2)[k]) != math.Float32bits(single[k]) {
+			t.Fatalf("SimilarityBatch[2][%d]=%v, Similarity=%v", k, sims.Row(2)[k], single[k])
+		}
+	}
+}
+
+// TestTrainMASSBatchEmptySet: the batched trainer returns nil on an empty
+// training set instead of dividing by zero.
+func TestTrainMASSBatchEmptySet(t *testing.T) {
+	m := NewModel(3, 32)
+	if hist := m.TrainMASSBatch(tensor.New(0, 32), nil, MASSConfig{Epochs: 2, LR: 0.1}, nil); hist != nil {
+		t.Fatalf("expected nil history, got %v", hist)
+	}
+}

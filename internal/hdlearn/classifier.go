@@ -23,6 +23,13 @@ type Model struct {
 	version       uint64
 	packed        *PackedModel
 	packedVersion uint64
+
+	// norms caches the per-class L2 row norms computed at normsVersion.
+	// Similarity and SimilarityBatch recompute it only after a mutation, so
+	// retraining epochs stop paying K·D norm flops per query.
+	norms        []float64
+	normsVersion uint64
+	normsValid   bool
 }
 
 // NewModel allocates a zeroed classifier for k classes of dimension d.
@@ -48,9 +55,30 @@ func (m *Model) InitBundle(hvs *tensor.Tensor, labels []int) {
 	}
 }
 
+// classNorms returns the per-class L2 norms, recomputing them only when the
+// model has been mutated since the last call (keyed on the version counter).
+func (m *Model) classNorms() []float64 {
+	if !m.normsValid || m.normsVersion != m.version {
+		if m.norms == nil {
+			m.norms = make([]float64, m.K)
+		}
+		for k := 0; k < m.K; k++ {
+			m.norms[k] = hdc.Hypervector(m.M.Row(k)).Norm()
+		}
+		m.normsVersion = m.version
+		m.normsValid = true
+	}
+	return m.norms
+}
+
 // Similarity returns δ(M, H) — cosine similarity of h against every class
 // hypervector, as a length-K vector in [-1, 1]. Cosine keeps similarity on
 // the same scale as one-hot targets, which MASS updates difference against.
+//
+// It shares its dot kernel (tensor.DotFast), cached class norms, and cosine
+// rounding (float32 ← float64 dot / den, den==0 → 0) with SimilarityBatch, so
+// the two are bit-identical — the invariant the batched trainers' B=1
+// bit-exactness proofs rest on.
 func (m *Model) Similarity(h hdc.Hypervector) []float32 {
 	if len(h) != m.D {
 		panic(fmt.Sprintf("hdlearn: Similarity got dim %d, model has D=%d", len(h), m.D))
@@ -60,13 +88,13 @@ func (m *Model) Similarity(h hdc.Hypervector) []float32 {
 	if hn == 0 {
 		return out
 	}
+	norms := m.classNorms()
 	for k := 0; k < m.K; k++ {
-		row := hdc.Hypervector(m.M.Row(k))
-		rn := row.Norm()
+		rn := norms[k]
 		if rn == 0 {
 			continue
 		}
-		out[k] = float32(hdc.Dot(row, h) / (rn * hn))
+		out[k] = float32(float64(tensor.DotFast(h, m.M.Row(k))) / (rn * hn))
 	}
 	return out
 }
@@ -74,18 +102,28 @@ func (m *Model) Similarity(h hdc.Hypervector) []float32 {
 // SimilarityBatch computes the [N, K] cosine similarity matrix of a batch of
 // query hypervectors against the class hypervectors.
 func (m *Model) SimilarityBatch(hvs *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(hvs.Shape[0], m.K)
+	m.SimilarityBatchInto(out, hvs)
+	return out
+}
+
+// SimilarityBatchInto is SimilarityBatch into a caller-owned [N, K] dst, so
+// batched retraining epochs reuse one similarity buffer: the dot products run
+// as a single GEMM (MatMulTInto) and the class norms come from the version-
+// keyed cache. Bit-identical to Similarity row by row.
+func (m *Model) SimilarityBatchInto(dst, hvs *tensor.Tensor) {
 	if hvs.Rank() != 2 || hvs.Shape[1] != m.D {
 		panic(fmt.Sprintf("hdlearn: SimilarityBatch expects [N %d], got %v", m.D, hvs.Shape))
 	}
 	n := hvs.Shape[0]
-	raw := tensor.MatMulT(hvs, m.M) // [N, K] dot products
-	norms := make([]float64, m.K)
-	for k := 0; k < m.K; k++ {
-		norms[k] = hdc.Hypervector(m.M.Row(k)).Norm()
+	if dst.Rank() != 2 || dst.Shape[0] != n || dst.Shape[1] != m.K {
+		panic(fmt.Sprintf("hdlearn: SimilarityBatchInto dst shape %v, want [%d %d]", dst.Shape, n, m.K))
 	}
+	tensor.MatMulTInto(dst, hvs, m.M) // [N, K] dot products
+	norms := m.classNorms()
 	for i := 0; i < n; i++ {
 		hn := hdc.Hypervector(hvs.Row(i)).Norm()
-		row := raw.Row(i)
+		row := dst.Row(i)
 		for k := 0; k < m.K; k++ {
 			den := hn * norms[k]
 			if den == 0 {
@@ -95,7 +133,6 @@ func (m *Model) SimilarityBatch(hvs *tensor.Tensor) *tensor.Tensor {
 			}
 		}
 	}
-	return raw
 }
 
 // Predict returns argmax_k δ(C_k, h).

@@ -22,6 +22,10 @@ type DistillConfig struct {
 	Temp float64
 	// Shuffle randomizes sample order each epoch when an RNG is supplied.
 	Shuffle bool
+	// Batch is the minibatch size of TrainDistillBatch (0 → 32). TrainDistill
+	// ignores it; TrainDistillBatch with Batch=1 is bit-identical to
+	// TrainDistill.
+	Batch int
 }
 
 // Validate rejects hyperparameters Algorithm 1 cannot run with.
@@ -96,6 +100,7 @@ func (m *Model) TrainDistill(hvs *tensor.Tensor, labels []int, teacherLogits *te
 				correct++
 			}
 			soft := softLabels.Row(idx)
+			updated := false
 			for k := 0; k < m.K; k++ {
 				// One-hot update component.
 				hard := -sims[k]
@@ -108,8 +113,119 @@ func (m *Model) TrainDistill(hvs *tensor.Tensor, labels []int, teacherLogits *te
 				updateNorm += abs64(u)
 				if u != 0 {
 					hdc.WeightedBundleInto(hdc.Hypervector(m.M.Row(k)), lr*u, h)
+					updated = true
 				}
 			}
+			if updated {
+				// The next sample's Similarity must see fresh class norms.
+				m.Invalidate()
+			}
+		}
+		history = append(history, EpochStats{
+			Epoch:          epoch,
+			TrainAccuracy:  float64(correct) / float64(n),
+			MeanUpdateNorm: updateNorm / float64(n),
+		})
+	}
+	return history, nil
+}
+
+// TrainDistillBatch is the GEMM-ified TrainDistill (Algorithm 1): similarity
+// scores for a minibatch come from one batched GEMM and the blended update is
+// applied as one rank-B GEMM E = (λU)ᵀ·H, M += E. With Batch=1 it is
+// bit-identical to TrainDistill — the per-element update formulas below are
+// copied from it verbatim (note `soft[k] − sims[k]·invT`, NOT
+// DistillUpdateBatch's `soft[k]·invT − …`: the soft labels here are already
+// temperature-divided, and the two roundings differ) and the λ-scaling /
+// rank-1 arguments of TrainMASSBatch apply unchanged.
+func (m *Model) TrainDistillBatch(hvs *tensor.Tensor, labels []int, teacherLogits *tensor.Tensor, cfg DistillConfig, rng *tensor.RNG) ([]EpochStats, error) {
+	checkHVs(m, hvs, labels)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if teacherLogits.Rank() != 2 || teacherLogits.Shape[0] != hvs.Shape[0] || teacherLogits.Shape[1] != m.K {
+		return nil, fmt.Errorf("hdlearn: teacher logits shape %v, want [%d %d]", teacherLogits.Shape, hvs.Shape[0], m.K)
+	}
+	n := hvs.Shape[0]
+	if n == 0 {
+		return nil, nil
+	}
+	batch := cfg.Batch
+	if batch <= 0 {
+		batch = 32
+	}
+	if batch > n {
+		batch = n
+	}
+	m.Invalidate()
+
+	// Teacher soft labels, precomputed once exactly as in TrainDistill.
+	softLabels := tensor.New(n, m.K)
+	for i := 0; i < n; i++ {
+		tensor.Softmax(softLabels.Row(i), teacherLogits.Row(i))
+		row := softLabels.Row(i)
+		for k := range row {
+			row[k] /= float32(cfg.Temp)
+		}
+	}
+
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	lr := float32(cfg.LR)
+	alpha := float32(cfg.Alpha)
+	invT := float32(1 / cfg.Temp)
+
+	hb := tensor.New(batch, m.D)
+	sims := tensor.New(batch, m.K)
+	u := tensor.New(batch, m.K)
+	e := tensor.New(m.K, m.D)
+	scratch := make([]float32, batch*m.K)
+
+	var history []EpochStats
+	for epoch := 1; epoch <= cfg.Epochs; epoch++ {
+		if cfg.Shuffle && rng != nil {
+			rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		}
+		correct := 0
+		var updateNorm float64
+		for start := 0; start < n; start += batch {
+			end := start + batch
+			if end > n {
+				end = n
+			}
+			bs := end - start
+			hbB := tensor.FromSlice(hb.Data[:bs*m.D], bs, m.D)
+			simsB := tensor.FromSlice(sims.Data[:bs*m.K], bs, m.K)
+			uB := tensor.FromSlice(u.Data[:bs*m.K], bs, m.K)
+			for bi := 0; bi < bs; bi++ {
+				copy(hbB.Row(bi), hvs.Row(order[start+bi]))
+			}
+			m.SimilarityBatchInto(simsB, hbB)
+			for bi := 0; bi < bs; bi++ {
+				idx := order[start+bi]
+				y := labels[idx]
+				srow := simsB.Row(bi)
+				if argmax32(srow) == y {
+					correct++
+				}
+				soft := softLabels.Row(idx)
+				urow := uB.Row(bi)
+				for k := 0; k < m.K; k++ {
+					hard := -srow[k]
+					if k == y {
+						hard += 1
+					}
+					distilled := soft[k] - srow[k]*invT
+					uv := (1-alpha)*hard + alpha*distilled
+					updateNorm += abs64(uv)
+					urow[k] = lr * uv
+				}
+			}
+			tensor.TransposeMatMulInto(e, uB, hbB, scratch)
+			m.M.AXPY(1, e)
+			m.Invalidate()
 		}
 		history = append(history, EpochStats{
 			Epoch:          epoch,

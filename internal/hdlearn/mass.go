@@ -13,6 +13,9 @@ type MASSConfig struct {
 	LR float64
 	// Shuffle randomizes sample order each epoch when an RNG is supplied.
 	Shuffle bool
+	// Batch is the minibatch size of TrainMASSBatch (0 → 32). TrainMASS
+	// ignores it; TrainMASSBatch with Batch=1 is bit-identical to TrainMASS.
+	Batch int
 }
 
 // EpochStats reports training progress for one retraining epoch.
@@ -56,6 +59,7 @@ func (m *Model) TrainMASS(hvs *tensor.Tensor, labels []int, cfg MASSConfig, rng 
 			if argmax32(sims) == y {
 				correct++
 			}
+			updated := false
 			for k := 0; k < m.K; k++ {
 				u := -sims[k]
 				if k == y {
@@ -64,8 +68,106 @@ func (m *Model) TrainMASS(hvs *tensor.Tensor, labels []int, cfg MASSConfig, rng 
 				updateNorm += abs64(u)
 				if u != 0 {
 					hdc.WeightedBundleInto(hdc.Hypervector(m.M.Row(k)), lr*u, h)
+					updated = true
 				}
 			}
+			if updated {
+				// The next sample's Similarity must see fresh class norms.
+				m.Invalidate()
+			}
+		}
+		history = append(history, EpochStats{
+			Epoch:          epoch,
+			TrainAccuracy:  float64(correct) / float64(n),
+			MeanUpdateNorm: updateNorm / float64(n),
+		})
+	}
+	return history
+}
+
+// TrainMASSBatch is the GEMM-ified TrainMASS: each minibatch computes every
+// similarity with one batched GEMM (SimilarityBatchInto) and applies the
+// accumulated update as one rank-B GEMM, E = (λU)ᵀ·H, M += E — instead of
+// K·B strided WeightedBundleInto sweeps.
+//
+// With Batch=1 it is bit-identical to TrainMASS, by construction:
+//
+//   - Similarity and SimilarityBatchInto share the dot kernel, cached norms
+//     and cosine rounding (see Similarity), so sims match bit-for-bit;
+//   - U is scaled by λ BEFORE the outer product, so the B=1 update element is
+//     the identical float32 chain (λ·u)·h[j] that WeightedBundleInto applies;
+//   - the rank-1 GEMM accumulates exactly one product per element (no
+//     reassociation), and M += 1·E adds it with the same single rounding;
+//   - argmax, update-mass accumulation order, and shuffle consumption of the
+//     RNG are identical, so the EpochStats history is float64-equal.
+//
+// TestTrainMASSBatchB1BitExact enforces this contract.
+func (m *Model) TrainMASSBatch(hvs *tensor.Tensor, labels []int, cfg MASSConfig, rng *tensor.RNG) []EpochStats {
+	checkHVs(m, hvs, labels)
+	n := hvs.Shape[0]
+	if n == 0 {
+		return nil
+	}
+	batch := cfg.Batch
+	if batch <= 0 {
+		batch = 32
+	}
+	if batch > n {
+		batch = n
+	}
+	m.Invalidate()
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	lr := float32(cfg.LR)
+
+	// All per-batch workspaces are allocated once and re-sliced for the tail.
+	hb := tensor.New(batch, m.D)   // gathered query rows
+	sims := tensor.New(batch, m.K) // batched similarities
+	u := tensor.New(batch, m.K)    // λ-scaled update matrix
+	e := tensor.New(m.K, m.D)      // bundled class-wise error E = (λU)ᵀ·H
+	scratch := make([]float32, batch*m.K)
+
+	var history []EpochStats
+	for epoch := 1; epoch <= cfg.Epochs; epoch++ {
+		if cfg.Shuffle && rng != nil {
+			rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		}
+		correct := 0
+		var updateNorm float64
+		for start := 0; start < n; start += batch {
+			end := start + batch
+			if end > n {
+				end = n
+			}
+			bs := end - start
+			hbB := tensor.FromSlice(hb.Data[:bs*m.D], bs, m.D)
+			simsB := tensor.FromSlice(sims.Data[:bs*m.K], bs, m.K)
+			uB := tensor.FromSlice(u.Data[:bs*m.K], bs, m.K)
+			for bi := 0; bi < bs; bi++ {
+				copy(hbB.Row(bi), hvs.Row(order[start+bi]))
+			}
+			m.SimilarityBatchInto(simsB, hbB)
+			for bi := 0; bi < bs; bi++ {
+				y := labels[order[start+bi]]
+				srow := simsB.Row(bi)
+				if argmax32(srow) == y {
+					correct++
+				}
+				urow := uB.Row(bi)
+				for k := 0; k < m.K; k++ {
+					uv := -srow[k]
+					if k == y {
+						uv += 1
+					}
+					updateNorm += abs64(uv)
+					urow[k] = lr * uv
+				}
+			}
+			tensor.TransposeMatMulInto(e, uB, hbB, scratch)
+			m.M.AXPY(1, e)
+			m.Invalidate()
 		}
 		history = append(history, EpochStats{
 			Epoch:          epoch,
@@ -106,6 +208,7 @@ func (m *Model) TrainPerceptron(hvs *tensor.Tensor, labels []int, cfg MASSConfig
 			updateNorm += 2
 			hdc.WeightedBundleInto(hdc.Hypervector(m.M.Row(y)), lr, h)
 			hdc.WeightedBundleInto(hdc.Hypervector(m.M.Row(pred)), -lr, h)
+			m.Invalidate() // next Predict must see fresh class norms
 		}
 		history = append(history, EpochStats{
 			Epoch:          epoch,

@@ -49,6 +49,7 @@ func (m *Model) TrainOnline(hvs *tensor.Tensor, labels []int, lr float64, rng *t
 			hdc.WeightedBundleInto(hdc.Hypervector(m.M.Row(pred)), -wp, h)
 			updateNorm += abs64(wp)
 		}
+		m.Invalidate() // next sample's Similarity must see fresh class norms
 	}
 	return EpochStats{Epoch: 1, TrainAccuracy: float64(correct) / float64(n), MeanUpdateNorm: updateNorm / float64(n)}
 }

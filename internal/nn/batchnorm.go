@@ -54,17 +54,19 @@ func (bn *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	y := tensor.New(x.Shape...)
 
 	if !train {
-		for ch := 0; ch < bn.C; ch++ {
-			mean := bn.RunMean.Data[ch]
-			invStd := 1 / float32(math.Sqrt(float64(bn.RunVar.Data[ch]+bn.Eps)))
-			g, b := bn.Gamma.W.Data[ch], bn.Beta.W.Data[ch]
-			for i := 0; i < n; i++ {
-				base := (i*bn.C + ch) * hw
-				for j := 0; j < hw; j++ {
-					y.Data[base+j] = g*(x.Data[base+j]-mean)*invStd + b
+		parallelFor(bn.C, func(clo, chi int) {
+			for ch := clo; ch < chi; ch++ {
+				mean := bn.RunMean.Data[ch]
+				invStd := 1 / float32(math.Sqrt(float64(bn.RunVar.Data[ch]+bn.Eps)))
+				g, b := bn.Gamma.W.Data[ch], bn.Beta.W.Data[ch]
+				for i := 0; i < n; i++ {
+					base := (i*bn.C + ch) * hw
+					for j := 0; j < hw; j++ {
+						y.Data[base+j] = g*(x.Data[base+j]-mean)*invStd + b
+					}
 				}
 			}
-		}
+		})
 		bn.cachedXhat = nil
 		return y
 	}
@@ -72,38 +74,43 @@ func (bn *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	xhat := tensor.New(x.Shape...)
 	std := make([]float32, bn.C)
 	cnt := float64(n * hw)
-	for ch := 0; ch < bn.C; ch++ {
-		var sum float64
-		for i := 0; i < n; i++ {
-			base := (i*bn.C + ch) * hw
-			for j := 0; j < hw; j++ {
-				sum += float64(x.Data[base+j])
+	// Channels are fully independent (disjoint reads of x, disjoint writes to
+	// y/xhat/std and the running stats), so the per-channel loop parallelizes
+	// with bit-identical results regardless of worker scheduling.
+	parallelFor(bn.C, func(clo, chi int) {
+		for ch := clo; ch < chi; ch++ {
+			var sum float64
+			for i := 0; i < n; i++ {
+				base := (i*bn.C + ch) * hw
+				for j := 0; j < hw; j++ {
+					sum += float64(x.Data[base+j])
+				}
 			}
-		}
-		mean := float32(sum / cnt)
-		var vs float64
-		for i := 0; i < n; i++ {
-			base := (i*bn.C + ch) * hw
-			for j := 0; j < hw; j++ {
-				d := float64(x.Data[base+j] - mean)
-				vs += d * d
+			mean := float32(sum / cnt)
+			var vs float64
+			for i := 0; i < n; i++ {
+				base := (i*bn.C + ch) * hw
+				for j := 0; j < hw; j++ {
+					d := float64(x.Data[base+j] - mean)
+					vs += d * d
+				}
 			}
-		}
-		variance := float32(vs / cnt)
-		std[ch] = float32(math.Sqrt(float64(variance + bn.Eps)))
-		invStd := 1 / std[ch]
-		g, b := bn.Gamma.W.Data[ch], bn.Beta.W.Data[ch]
-		for i := 0; i < n; i++ {
-			base := (i*bn.C + ch) * hw
-			for j := 0; j < hw; j++ {
-				xh := (x.Data[base+j] - mean) * invStd
-				xhat.Data[base+j] = xh
-				y.Data[base+j] = g*xh + b
+			variance := float32(vs / cnt)
+			std[ch] = float32(math.Sqrt(float64(variance + bn.Eps)))
+			invStd := 1 / std[ch]
+			g, b := bn.Gamma.W.Data[ch], bn.Beta.W.Data[ch]
+			for i := 0; i < n; i++ {
+				base := (i*bn.C + ch) * hw
+				for j := 0; j < hw; j++ {
+					xh := (x.Data[base+j] - mean) * invStd
+					xhat.Data[base+j] = xh
+					y.Data[base+j] = g*xh + b
+				}
 			}
+			bn.RunMean.Data[ch] = (1-bn.Momentum)*bn.RunMean.Data[ch] + bn.Momentum*mean
+			bn.RunVar.Data[ch] = (1-bn.Momentum)*bn.RunVar.Data[ch] + bn.Momentum*variance
 		}
-		bn.RunMean.Data[ch] = (1-bn.Momentum)*bn.RunMean.Data[ch] + bn.Momentum*mean
-		bn.RunVar.Data[ch] = (1-bn.Momentum)*bn.RunVar.Data[ch] + bn.Momentum*variance
-	}
+	})
 	bn.cachedXhat = xhat
 	bn.cachedStd = std
 	bn.cachedN = n
@@ -119,29 +126,33 @@ func (bn *BatchNorm2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	n, hw := bn.cachedN, bn.cachedHW
 	m := float32(n * hw)
 	dx := tensor.New(grad.Shape...)
-	for ch := 0; ch < bn.C; ch++ {
-		var sumDy, sumDyXhat float64
-		for i := 0; i < n; i++ {
-			base := (i*bn.C + ch) * hw
-			for j := 0; j < hw; j++ {
-				dy := float64(grad.Data[base+j])
-				sumDy += dy
-				sumDyXhat += dy * float64(bn.cachedXhat.Data[base+j])
+	// Per-channel gradients are independent; see Forward for the determinism
+	// argument.
+	parallelFor(bn.C, func(clo, chi int) {
+		for ch := clo; ch < chi; ch++ {
+			var sumDy, sumDyXhat float64
+			for i := 0; i < n; i++ {
+				base := (i*bn.C + ch) * hw
+				for j := 0; j < hw; j++ {
+					dy := float64(grad.Data[base+j])
+					sumDy += dy
+					sumDyXhat += dy * float64(bn.cachedXhat.Data[base+j])
+				}
+			}
+			bn.Beta.Grad.Data[ch] += float32(sumDy)
+			bn.Gamma.Grad.Data[ch] += float32(sumDyXhat)
+			g := bn.Gamma.W.Data[ch]
+			invStd := 1 / bn.cachedStd[ch]
+			for i := 0; i < n; i++ {
+				base := (i*bn.C + ch) * hw
+				for j := 0; j < hw; j++ {
+					dy := grad.Data[base+j]
+					xh := bn.cachedXhat.Data[base+j]
+					dx.Data[base+j] = g * invStd / m * (m*dy - float32(sumDy) - xh*float32(sumDyXhat))
+				}
 			}
 		}
-		bn.Beta.Grad.Data[ch] += float32(sumDy)
-		bn.Gamma.Grad.Data[ch] += float32(sumDyXhat)
-		g := bn.Gamma.W.Data[ch]
-		invStd := 1 / bn.cachedStd[ch]
-		for i := 0; i < n; i++ {
-			base := (i*bn.C + ch) * hw
-			for j := 0; j < hw; j++ {
-				dy := grad.Data[base+j]
-				xh := bn.cachedXhat.Data[base+j]
-				dx.Data[base+j] = g * invStd / m * (m*dy - float32(sumDy) - xh*float32(sumDyXhat))
-			}
-		}
-	}
+	})
 	return dx
 }
 

@@ -6,6 +6,12 @@ import (
 	"nshd/internal/tensor"
 )
 
+// parallelFor indirects the worker-pool dispatch used by the training-side
+// layer kernels. The determinism tests swap it for a serial runner with the
+// identical chunk schedule to prove that parallel and serial backward passes
+// produce bit-identical gradients.
+var parallelFor = tensor.ParallelFor
+
 // Conv2D is a standard 2-D convolution over [N, C, H, W] inputs with weights
 // [OutC, InC, KH, KW]. Forward uses im2col + matmul; backward recomputes the
 // column matrix per sample to trade compute for memory.
@@ -68,31 +74,62 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		c.cachedX = nil
 	}
 	wmat := c.Weight.W.Reshape(c.OutC, c.InC*c.KH*c.KW)
+	kdim := c.InC * c.KH * c.KW
 	sampleIn := c.InC * h * w
 	sampleOut := c.OutC * outH * outW
-	tensor.ParallelFor(n, func(lo, hi int) {
-		cols := tensor.New(c.InC*c.KH*c.KW, outH*outW)
-		out := tensor.New(c.OutC, outH*outW)
+	// Tiny batches cannot feed the pool through per-sample splitting, so let
+	// the GEMM itself parallelize over tiles; larger batches run one serial
+	// GEMM per sample on its worker. The two GEMM paths are bit-identical, so
+	// the choice (a function of n only) never changes the output.
+	serialGemm := n >= 4
+	parallelFor(n, func(lo, hi int) {
+		colsBuf := tensor.GetFloats(kdim * outH * outW)
+		gemmBuf := tensor.GetFloats(tensor.GemmScratch())
+		cols := tensor.FromSlice(colsBuf, kdim, outH*outW)
 		for i := lo; i < hi; i++ {
 			tensor.Im2Col(g, x.Data[i*sampleIn:(i+1)*sampleIn], cols)
-			tensor.MatMulInto(out, wmat, cols)
-			dst := y.Data[i*sampleOut : (i+1)*sampleOut]
-			copy(dst, out.Data)
+			out := tensor.FromSlice(y.Data[i*sampleOut:(i+1)*sampleOut], c.OutC, outH*outW)
+			if serialGemm {
+				tensor.MatMulSerialInto(out, wmat, cols, gemmBuf)
+			} else {
+				tensor.MatMulInto(out, wmat, cols)
+			}
 			if c.useBias {
 				for oc := 0; oc < c.OutC; oc++ {
 					b := c.Bias.W.Data[oc]
-					seg := dst[oc*outH*outW : (oc+1)*outH*outW]
+					seg := out.Data[oc*outH*outW : (oc+1)*outH*outW]
 					for j := range seg {
 						seg[j] += b
 					}
 				}
 			}
 		}
+		tensor.PutFloats(gemmBuf)
+		tensor.PutFloats(colsBuf)
 	})
 	return y
 }
 
-// Backward accumulates weight/bias gradients and returns dx.
+// convBackChunk is the fixed number of samples per gradient-accumulator
+// chunk in Conv2D.Backward. It depends on nothing — in particular not on the
+// worker count — so the chunk list, each chunk's internal accumulation order,
+// and the final in-order merge are identical no matter how chunks are
+// scheduled across workers: serial and parallel backward passes produce
+// bit-identical gradients.
+const convBackChunk = 4
+
+// convAcc is one chunk's private gradient accumulator, merged deterministically
+// after the parallel loop.
+type convAcc struct {
+	dw *tensor.Tensor
+	db []float32
+}
+
+// Backward accumulates weight/bias gradients and returns dx. The hot loops
+// are GEMM calls: dW accumulates as g @ colsᵀ through the vectorized
+// MatMulT-family dot kernel, and dcols = Wᵀ @ g runs on the blocked GEMM —
+// replacing the seed's per-element scalar Dot loops (kept as
+// BackwardReference for gradient tests and before/after benchmarks).
 func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if c.cachedX == nil {
 		panic("nn: Conv2D.Backward without Forward(train=true)")
@@ -110,8 +147,81 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	wmat := c.Weight.W.Reshape(c.OutC, kdim)
 	wmatT := tensor.Transpose(wmat) // [kdim, OutC]
 
-	// Per-chunk weight gradient accumulators merged at the end to keep the
-	// batch loop lock-free.
+	numChunks := (n + convBackChunk - 1) / convBackChunk
+	accs := make([]convAcc, numChunks)
+	parallelFor(numChunks, func(clo, chi int) {
+		colsBuf := tensor.GetFloats(kdim * outH * outW)
+		dcolsBuf := tensor.GetFloats(kdim * outH * outW)
+		gemmBuf := tensor.GetFloats(tensor.GemmScratch())
+		cols := tensor.FromSlice(colsBuf, kdim, outH*outW)
+		dcols := tensor.FromSlice(dcolsBuf, kdim, outH*outW)
+		for ci := clo; ci < chi; ci++ {
+			a := convAcc{dw: tensor.New(c.OutC, kdim)}
+			if c.useBias {
+				a.db = make([]float32, c.OutC)
+			}
+			lo := ci * convBackChunk
+			hi := lo + convBackChunk
+			if hi > n {
+				hi = n
+			}
+			for i := lo; i < hi; i++ {
+				gmat := tensor.FromSlice(grad.Data[i*sampleOut:(i+1)*sampleOut], c.OutC, outH*outW)
+				// dW += g @ colsᵀ: one accumulating GEMM per sample.
+				tensor.Im2Col(g, x.Data[i*sampleIn:(i+1)*sampleIn], cols)
+				tensor.MatMulTAccSerial(a.dw, gmat, cols)
+				if c.useBias {
+					for oc := 0; oc < c.OutC; oc++ {
+						var s float32
+						for _, v := range gmat.Row(oc) {
+							s += v
+						}
+						a.db[oc] += s
+					}
+				}
+				// dcols = Wᵀ @ g ; dx = col2im(dcols)
+				tensor.MatMulSerialInto(dcols, wmatT, gmat, gemmBuf)
+				tensor.Col2Im(g, dcols, dx.Data[i*sampleIn:(i+1)*sampleIn])
+			}
+			accs[ci] = a
+		}
+		tensor.PutFloats(gemmBuf)
+		tensor.PutFloats(dcolsBuf)
+		tensor.PutFloats(colsBuf)
+	})
+	for _, a := range accs {
+		c.Weight.Grad.Reshape(c.OutC, kdim).AXPY(1, a.dw)
+		if c.useBias {
+			for oc, v := range a.db {
+				c.Bias.Grad.Data[oc] += v
+			}
+		}
+	}
+	return dx
+}
+
+// BackwardReference is the seed repository's Conv2D backward pass — scalar
+// per-element Dot loops for dW and the pool-dispatched GEMM for dcols — kept
+// verbatim as the correctness reference for the GEMM-ified Backward and as
+// the "before" side of the training benchmarks. It accumulates into the same
+// Weight/Bias gradients and returns the same dx (to float tolerance).
+func (c *Conv2D) BackwardReference(grad *tensor.Tensor) *tensor.Tensor {
+	if c.cachedX == nil {
+		panic("nn: Conv2D.Backward without Forward(train=true)")
+	}
+	x := c.cachedX
+	n := x.Shape[0]
+	h, w := x.Shape[2], x.Shape[3]
+	g := c.geom(h, w)
+	outH, outW := g.OutH(), g.OutW()
+	sampleIn := c.InC * h * w
+	sampleOut := c.OutC * outH * outW
+	kdim := c.InC * c.KH * c.KW
+
+	dx := tensor.New(n, c.InC, h, w)
+	wmat := c.Weight.W.Reshape(c.OutC, kdim)
+	wmatT := tensor.Transpose(wmat) // [kdim, OutC]
+
 	type acc struct {
 		dw *tensor.Tensor
 		db []float32
@@ -302,46 +412,63 @@ func (d *DepthwiseConv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	chanIn := h * w
 	chanOut := outH * outW
 	dx := tensor.New(n, d.C, h, w)
-	dwAll := make([]*tensor.Tensor, n)
-	tensor.ParallelFor(n, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
+	// Fixed sample chunks with one accumulator each (merged in chunk order),
+	// mirroring Conv2D.Backward: deterministic under any scheduling, and one
+	// filter-gradient allocation per chunk instead of per sample.
+	numChunks := (n + convBackChunk - 1) / convBackChunk
+	dwAll := make([]*tensor.Tensor, numChunks)
+	parallelFor(numChunks, func(clo, chi int) {
+		for ci := clo; ci < chi; ci++ {
 			dw := tensor.New(d.C, d.KH, d.KW)
-			for ch := 0; ch < d.C; ch++ {
-				src := x.Data[(i*d.C+ch)*chanIn : (i*d.C+ch+1)*chanIn]
-				gch := grad.Data[(i*d.C+ch)*chanOut : (i*d.C+ch+1)*chanOut]
-				dsrc := dx.Data[(i*d.C+ch)*chanIn : (i*d.C+ch+1)*chanIn]
-				ker := d.Weight.W.Data[ch*d.KH*d.KW : (ch+1)*d.KH*d.KW]
-				dker := dw.Data[ch*d.KH*d.KW : (ch+1)*d.KH*d.KW]
-				for oh := 0; oh < outH; oh++ {
-					for ow := 0; ow < outW; ow++ {
-						gv := gch[oh*outW+ow]
-						if gv == 0 {
-							continue
-						}
-						for kh := 0; kh < d.KH; kh++ {
-							ih := oh*d.Stride - d.Pad + kh
-							if ih < 0 || ih >= h {
-								continue
-							}
-							for kw := 0; kw < d.KW; kw++ {
-								iw := ow*d.Stride - d.Pad + kw
-								if iw < 0 || iw >= w {
-									continue
-								}
-								dker[kh*d.KW+kw] += gv * src[ih*w+iw]
-								dsrc[ih*w+iw] += gv * ker[kh*d.KW+kw]
-							}
-						}
-					}
-				}
+			lo := ci * convBackChunk
+			hi := lo + convBackChunk
+			if hi > n {
+				hi = n
 			}
-			dwAll[i] = dw
+			for i := lo; i < hi; i++ {
+				d.backwardSample(x, grad, dx, dw, g, i, chanIn, chanOut, h, w, outH, outW)
+			}
+			dwAll[ci] = dw
 		}
 	})
 	for _, dw := range dwAll {
 		d.Weight.Grad.AXPY(1, dw)
 	}
 	return dx
+}
+
+// backwardSample accumulates one sample's filter gradient into dw and its
+// input gradient into dx.
+func (d *DepthwiseConv2D) backwardSample(x, grad, dx, dw *tensor.Tensor, g tensor.ConvGeom, i, chanIn, chanOut, h, w, outH, outW int) {
+	for ch := 0; ch < d.C; ch++ {
+		src := x.Data[(i*d.C+ch)*chanIn : (i*d.C+ch+1)*chanIn]
+		gch := grad.Data[(i*d.C+ch)*chanOut : (i*d.C+ch+1)*chanOut]
+		dsrc := dx.Data[(i*d.C+ch)*chanIn : (i*d.C+ch+1)*chanIn]
+		ker := d.Weight.W.Data[ch*d.KH*d.KW : (ch+1)*d.KH*d.KW]
+		dker := dw.Data[ch*d.KH*d.KW : (ch+1)*d.KH*d.KW]
+		for oh := 0; oh < outH; oh++ {
+			for ow := 0; ow < outW; ow++ {
+				gv := gch[oh*outW+ow]
+				if gv == 0 {
+					continue
+				}
+				for kh := 0; kh < d.KH; kh++ {
+					ih := oh*d.Stride - d.Pad + kh
+					if ih < 0 || ih >= h {
+						continue
+					}
+					for kw := 0; kw < d.KW; kw++ {
+						iw := ow*d.Stride - d.Pad + kw
+						if iw < 0 || iw >= w {
+							continue
+						}
+						dker[kh*d.KW+kw] += gv * src[ih*w+iw]
+						dsrc[ih*w+iw] += gv * ker[kh*d.KW+kw]
+					}
+				}
+			}
+		}
+	}
 }
 
 // Params implements Layer.

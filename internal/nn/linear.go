@@ -58,13 +58,21 @@ func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 }
 
 // Backward accumulates dW = gradᵀ x, db = Σ grad, and returns dx = grad W.
+// dW runs on the dense blocked GEMM (TransposeMatMulInto) with pooled
+// workspaces: unlike the retraining update matrices, softmax gradients are
+// dense, so the zero-skip scalar TransposeMatMul has nothing to skip.
 func (l *Linear) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if l.cachedX == nil {
 		panic("nn: Linear.Backward without Forward(train=true)")
 	}
 	// dW[out,in] += gradᵀ[out,N] @ x[N,in]
-	dw := tensor.TransposeMatMul(grad, l.cachedX)
+	dwBuf := tensor.GetFloats(l.Out * l.In)
+	scratch := tensor.GetFloats(grad.Len())
+	dw := tensor.FromSlice(dwBuf, l.Out, l.In)
+	tensor.TransposeMatMulInto(dw, grad, l.cachedX, scratch)
 	l.Weight.Grad.AXPY(1, dw)
+	tensor.PutFloats(scratch)
+	tensor.PutFloats(dwBuf)
 	if l.useBias {
 		n := grad.Shape[0]
 		for i := 0; i < n; i++ {

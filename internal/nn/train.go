@@ -34,20 +34,35 @@ type EpochStats struct {
 }
 
 // Fit trains model on images [N, ...] with integer labels, shuffling with rng
-// each epoch. It returns per-epoch stats.
+// each epoch. It returns per-epoch stats. An empty training set returns nil
+// without touching the model.
+//
+// The per-step batch tensor comes from a reusable training arena: the first
+// step runs in measuring mode, Grow sizes the slab to the observed peak, and
+// every later step bump-allocates from warm memory instead of hitting the
+// heap (tail batches are smaller and always fit).
 func (t *Trainer) Fit(model *Sequential, images *tensor.Tensor, labels []int, rng *tensor.RNG) []EpochStats {
 	n := images.Shape[0]
 	if len(labels) != n {
 		panic(fmt.Sprintf("nn: Fit got %d labels for %d samples", len(labels), n))
 	}
-	if t.BatchSize <= 0 {
-		t.BatchSize = 32
+	if n == 0 {
+		return nil
+	}
+	// Resolve the default into a local so Fit never mutates its receiver.
+	batchSize := t.BatchSize
+	if batchSize <= 0 {
+		batchSize = 32
 	}
 	sampleLen := images.Len() / n
 	order := make([]int, n)
 	for i := range order {
 		order[i] = i
 	}
+	arena := tensor.NewArena()
+	grown := false
+	batchShape := append([]int{0}, images.Shape[1:]...)
+	byBuf := make([]int, batchSize)
 	var history []EpochStats
 	for epoch := 1; epoch <= t.Epochs; epoch++ {
 		if t.LRSchedule != nil {
@@ -58,15 +73,16 @@ func (t *Trainer) Fit(model *Sequential, images *tensor.Tensor, labels []int, rn
 		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
 		var lossSum float64
 		var correct, seen int
-		for start := 0; start < n; start += t.BatchSize {
-			end := start + t.BatchSize
+		for start := 0; start < n; start += batchSize {
+			end := start + batchSize
 			if end > n {
 				end = n
 			}
 			bs := end - start
-			batchShape := append([]int{bs}, images.Shape[1:]...)
-			bx := tensor.New(batchShape...)
-			by := make([]int, bs)
+			arena.Reset()
+			batchShape[0] = bs
+			bx := arena.Alloc(batchShape...)
+			by := byBuf[:bs]
 			for bi := 0; bi < bs; bi++ {
 				src := order[start+bi]
 				sample := bx.Data[bi*sampleLen : (bi+1)*sampleLen]
@@ -99,6 +115,12 @@ func (t *Trainer) Fit(model *Sequential, images *tensor.Tensor, labels []int, rn
 				}
 			}
 			seen += bs
+			if !grown {
+				// First step measured the peak batch footprint; size the
+				// slab once so later steps allocate nothing.
+				arena.Grow()
+				grown = true
+			}
 		}
 		st := EpochStats{Epoch: epoch, Loss: lossSum / float64(seen), Accuracy: float64(correct) / float64(seen)}
 		history = append(history, st)
@@ -110,9 +132,12 @@ func (t *Trainer) Fit(model *Sequential, images *tensor.Tensor, labels []int, rn
 }
 
 // PredictLogits runs inference in eval mode over images in batches and
-// returns the [N, K] logits.
+// returns the [N, K] logits. An empty input returns an empty [0, K] tensor.
 func PredictLogits(model *Sequential, images *tensor.Tensor, batchSize int) *tensor.Tensor {
 	n := images.Shape[0]
+	if n == 0 {
+		return tensor.New(0, shapeElems(model.OutShape(images.Shape[1:])))
+	}
 	if batchSize <= 0 {
 		batchSize = 64
 	}
@@ -135,8 +160,12 @@ func PredictLogits(model *Sequential, images *tensor.Tensor, batchSize int) *ten
 	return out
 }
 
-// Evaluate returns classification accuracy of model on a labelled set.
+// Evaluate returns classification accuracy of model on a labelled set. An
+// empty set scores 0 rather than NaN.
 func Evaluate(model *Sequential, images *tensor.Tensor, labels []int, batchSize int) float64 {
+	if images.Shape[0] == 0 {
+		return 0
+	}
 	logits := PredictLogits(model, images, batchSize)
 	return Accuracy(logits, labels)
 }

@@ -190,6 +190,32 @@ func (a *Arena) Freeze() {
 	a.Reset()
 }
 
+// Grow sizes the slabs to the observed peaks WITHOUT freezing: future
+// allocations that fit are served from the slabs, while larger demands fall
+// back to the heap and raise the recorded peaks (call Grow again to absorb
+// them). This is the training-side mode — a Fit loop measures its first step,
+// grows once, and every later step reuses the slabs allocation-free — whereas
+// serving uses Freeze for a hard zero-allocation guarantee. The arena is
+// Reset as a side effect; outstanding buffers must no longer be in use.
+func (a *Arena) Grow() {
+	if a.frozen {
+		panic("tensor: Grow of frozen arena")
+	}
+	if a.fpeak > len(a.floats) {
+		a.floats = make([]float32, a.fpeak)
+	}
+	if a.wpeak > len(a.words) {
+		a.words = make([]uint64, a.wpeak)
+	}
+	if a.ipeak > len(a.ints) {
+		a.ints = make([]int, a.ipeak)
+	}
+	if a.hpeak > len(a.hdrs) {
+		a.hdrs = make([]Tensor, a.hpeak)
+	}
+	a.Reset()
+}
+
 // CloneEmpty returns a fresh frozen arena with the same slab capacities.
 // Only valid on a frozen arena; used to stamp out one arena per worker after
 // a single measuring warmup.

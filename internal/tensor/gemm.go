@@ -426,19 +426,59 @@ func DotFast(x, y []float32) float32 {
 // each output element accumulates over the full K range independently, which
 // keeps results identical for any parallel row split.
 func MatMulT(a, b *Tensor) *Tensor {
+	out := New(a.Shape[0], b.Shape[0])
+	MatMulTInto(out, a, b)
+	return out
+}
+
+// MatMulTInto computes dst = a(M×K) @ bᵀ (b is N×K) into a caller-owned dst,
+// so batched training loops can reuse one similarity buffer across steps. It
+// runs the same row-parallel dot kernel as MatMulT; results are bit-identical.
+func MatMulTInto(dst, a, b *Tensor) {
 	if a.Rank() != 2 || b.Rank() != 2 || a.Shape[1] != b.Shape[1] {
 		panic(fmt.Sprintf("tensor: MatMulT shape mismatch %v @ %vᵀ", a.Shape, b.Shape))
 	}
 	m, k, n := a.Shape[0], a.Shape[1], b.Shape[0]
-	out := New(m, n)
-	if m == 0 || n == 0 || k == 0 {
-		return out
+	if dst.Shape[0] != m || dst.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulT dst shape %v, want [%d %d]", dst.Shape, m, n))
+	}
+	if m == 0 || n == 0 {
+		return
+	}
+	if k == 0 {
+		clear(dst.Data[:m*n])
+		return
 	}
 	grain := rowGrain(n, k)
 	parallel.ForGrain(m, grain, func(lo, hi int) {
-		matMulTRange(out.Data, a.Data, b.Data, n, k, lo, hi)
+		matMulTRange(dst.Data, a.Data, b.Data, n, k, lo, hi)
 	})
-	return out
+}
+
+// MatMulTAccSerial accumulates dst += a(M×K) @ bᵀ (b is N×K) strictly on the
+// calling goroutine. This is the weight-gradient shape of a GEMM-ified
+// backward pass — dW += g @ colsᵀ with both operands contiguous along the
+// reduction axis — run through the same vectorized dot kernel as MatMulT, so
+// per-worker gradient accumulators stay deterministic: the accumulation order
+// over K never depends on how the batch was split.
+func MatMulTAccSerial(dst, a, b *Tensor) {
+	if a.Rank() != 2 || b.Rank() != 2 || a.Shape[1] != b.Shape[1] {
+		panic(fmt.Sprintf("tensor: MatMulTAcc shape mismatch %v @ %vᵀ", a.Shape, b.Shape))
+	}
+	m, k, n := a.Shape[0], a.Shape[1], b.Shape[0]
+	if dst.Shape[0] != m || dst.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulTAcc dst shape %v, want [%d %d]", dst.Shape, m, n))
+	}
+	if k == 0 {
+		return
+	}
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k:][:k]
+		drow := dst.Data[i*n:][:n]
+		for j := 0; j < n; j++ {
+			drow[j] += DotFast(arow, b.Data[j*k:][:k])
+		}
+	}
 }
 
 func matMulTRange(dst, a, b []float32, n, k, r0, r1 int) {

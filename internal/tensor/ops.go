@@ -116,6 +116,36 @@ func TransposeMatMul(a, b *Tensor) *Tensor {
 	return out
 }
 
+// TransposeMatMulInto computes dst = aᵀ(K×M) @ b(K×N) through the blocked
+// parallel GEMM: a is transposed into scratch (length ≥ a.Len(); a fresh
+// buffer is taken from the float pool when scratch is too short) and the
+// product runs on MatMulInto. This is the dense fast path for rank-K
+// gradient/retraining updates — one batched similarity-shaped GEMM instead of
+// the zero-skip scalar loop of TransposeMatMul, which remains the right call
+// for genuinely sparse update matrices. Deterministic: the transpose is a
+// bit-copy and the GEMM's accumulation schedule is split-invariant.
+func TransposeMatMulInto(dst, a, b *Tensor, scratch []float32) {
+	if a.Rank() != 2 || b.Rank() != 2 || a.Shape[0] != b.Shape[0] {
+		panic(fmt.Sprintf("tensor: TransposeMatMul shape mismatch %vᵀ @ %v", a.Shape, b.Shape))
+	}
+	k, m := a.Shape[0], a.Shape[1]
+	n := b.Shape[1]
+	if dst.Shape[0] != m || dst.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: TransposeMatMulInto dst shape %v, want [%d %d]", dst.Shape, m, n))
+	}
+	var put bool
+	if len(scratch) < k*m {
+		scratch = GetFloats(k * m)
+		put = true
+	}
+	at := FromSlice(scratch[:m*k], m, k)
+	TransposeInto(at, a)
+	MatMulInto(dst, at, b)
+	if put {
+		PutFloats(scratch)
+	}
+}
+
 // transposeBlock is the square tile edge used by Transpose. A 32×32 float32
 // tile is 4 KiB — two tiles (source + destination working set) sit easily in
 // L1, so both the row-strided reads and column-strided writes stay within
@@ -128,8 +158,23 @@ func Transpose(a *Tensor) *Tensor {
 	if a.Rank() != 2 {
 		panic("tensor: Transpose requires rank-2 tensor")
 	}
+	out := New(a.Shape[1], a.Shape[0])
+	TransposeInto(out, a)
+	return out
+}
+
+// TransposeInto writes aᵀ into a caller-owned dst with the same blocked-tile
+// schedule as Transpose, so training loops can reuse one transpose buffer
+// across steps.
+func TransposeInto(dst, a *Tensor) {
+	if a.Rank() != 2 || dst.Rank() != 2 {
+		panic("tensor: Transpose requires rank-2 tensors")
+	}
 	m, n := a.Shape[0], a.Shape[1]
-	out := New(n, m)
+	if dst.Shape[0] != n || dst.Shape[1] != m {
+		panic(fmt.Sprintf("tensor: TransposeInto dst shape %v, want [%d %d]", dst.Shape, n, m))
+	}
+	out := dst
 	rowBlocks := (m + transposeBlock - 1) / transposeBlock
 	// One task must move at least minParallelWork elements to be worth
 	// dispatching.
@@ -154,7 +199,6 @@ func Transpose(a *Tensor) *Tensor {
 			}
 		}
 	})
-	return out
 }
 
 // Softmax writes the softmax of src into dst (both length n), using the

@@ -1,0 +1,35 @@
+package tensor
+
+import "sync"
+
+// floatPool recycles float32 workspaces across training steps. Training-side
+// kernels (im2col column matrices, gradient column buffers, transposed
+// operands) need large transient buffers on every step; serving solved this
+// with frozen arenas, but training shapes vary batch to batch, so a sync.Pool
+// of grow-only buffers is the right tool: steady-state steps reuse warm
+// buffers, odd-sized tail batches slice them short, and idle memory is
+// reclaimed by the GC.
+var floatPool = sync.Pool{New: func() any { return new([]float32) }}
+
+// GetFloats returns a float32 scratch buffer of length n with UNDEFINED
+// contents, recycled across calls. Return it with PutFloats when done. A
+// pooled buffer whose capacity is too small is discarded (the GC reclaims
+// it); over a few steps the pool converges to buffers sized for the largest
+// recurring request, which smaller requests slice down.
+func GetFloats(n int) []float32 {
+	p := floatPool.Get().(*[]float32)
+	if cap(*p) >= n {
+		return (*p)[:n]
+	}
+	return make([]float32, n)
+}
+
+// PutFloats returns a buffer obtained from GetFloats to the pool. The caller
+// must not use buf afterwards.
+func PutFloats(buf []float32) {
+	if cap(buf) == 0 {
+		return
+	}
+	buf = buf[:cap(buf)]
+	floatPool.Put(&buf)
+}

@@ -1,0 +1,121 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMatMulTIntoMatchesMatMulT(t *testing.T) {
+	rng := NewRNG(7)
+	a := New(13, 97)
+	b := New(5, 97)
+	rng.FillNormal(a, 0, 1)
+	rng.FillNormal(b, 0, 1)
+	want := MatMulT(a, b)
+	dst := New(13, 5)
+	dst.Fill(42) // must be fully overwritten
+	MatMulTInto(dst, a, b)
+	for i := range want.Data {
+		if math.Float32bits(dst.Data[i]) != math.Float32bits(want.Data[i]) {
+			t.Fatalf("MatMulTInto[%d] = %v, want %v", i, dst.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestMatMulTAccSerialAccumulates(t *testing.T) {
+	rng := NewRNG(9)
+	a := New(6, 33)
+	b := New(4, 33)
+	rng.FillNormal(a, 0, 1)
+	rng.FillNormal(b, 0, 1)
+	prod := MatMulT(a, b)
+	dst := New(6, 4)
+	dst.Fill(1)
+	MatMulTAccSerial(dst, a, b)
+	for i := range dst.Data {
+		want := prod.Data[i] + 1
+		if math.Abs(float64(dst.Data[i]-want)) > 1e-5 {
+			t.Fatalf("MatMulTAccSerial[%d] = %v, want %v", i, dst.Data[i], want)
+		}
+	}
+}
+
+func TestTransposeIntoMatchesTranspose(t *testing.T) {
+	rng := NewRNG(11)
+	a := New(70, 41)
+	rng.FillNormal(a, 0, 1)
+	want := Transpose(a)
+	dst := New(41, 70)
+	TransposeInto(dst, a)
+	for i := range want.Data {
+		if dst.Data[i] != want.Data[i] {
+			t.Fatalf("TransposeInto[%d] = %v, want %v", i, dst.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestTransposeMatMulIntoMatchesReference(t *testing.T) {
+	rng := NewRNG(13)
+	a := New(29, 7) // K×M
+	b := New(29, 11)
+	rng.FillNormal(a, 0, 1)
+	rng.FillNormal(b, 0, 1)
+	want := TransposeMatMul(a, b)
+	dst := New(7, 11)
+	TransposeMatMulInto(dst, a, b, nil)
+	for i := range want.Data {
+		if math.Abs(float64(dst.Data[i]-want.Data[i])) > 1e-5 {
+			t.Fatalf("TransposeMatMulInto[%d] = %v, want %v", i, dst.Data[i], want.Data[i])
+		}
+	}
+	// Caller-owned scratch path must agree bit-for-bit with the pooled path.
+	dst2 := New(7, 11)
+	scratch := make([]float32, a.Len())
+	TransposeMatMulInto(dst2, a, b, scratch)
+	for i := range dst.Data {
+		if math.Float32bits(dst.Data[i]) != math.Float32bits(dst2.Data[i]) {
+			t.Fatalf("scratch path diverges at %d", i)
+		}
+	}
+}
+
+func TestFloatPoolRecycles(t *testing.T) {
+	buf := GetFloats(1 << 12)
+	if len(buf) != 1<<12 {
+		t.Fatalf("GetFloats length %d", len(buf))
+	}
+	PutFloats(buf)
+	small := GetFloats(16)
+	if len(small) != 16 {
+		t.Fatalf("GetFloats length %d", len(small))
+	}
+	PutFloats(small)
+}
+
+func TestArenaGrowServesFromSlabs(t *testing.T) {
+	a := NewArena()
+	a.Alloc(128)
+	a.Floats(64)
+	a.Reset()
+	a.Grow()
+	f := a.Floats(64)
+	if len(f) != 64 {
+		t.Fatalf("Floats length %d", len(f))
+	}
+	// Within the grown slab: the second allocation must be contiguous with
+	// the first (bump allocation), proving the slab path is taken.
+	g := a.Floats(64)
+	if &f[:cap(f)][cap(f)-1] == &g[0] {
+		t.Fatal("allocations overlap")
+	}
+	// Exceeding the slab must fall back to the heap, not panic.
+	big := a.Floats(1 << 16)
+	if len(big) != 1<<16 {
+		t.Fatalf("overflow Floats length %d", len(big))
+	}
+	a.Reset()
+	a.Grow() // absorb the new peak
+	if got := a.Floats(1 << 16); len(got) != 1<<16 {
+		t.Fatalf("post-grow Floats length %d", len(got))
+	}
+}
