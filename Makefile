@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race alloc bench perf bench-train
+.PHONY: check vet build test race alloc bench perf bench-train bench-serve perf-serve
 
 # The full gate: what CI (and any PR) must keep green.
 check: vet build test race alloc
@@ -19,9 +19,10 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-detect the packages with hand-rolled parallelism.
+# Race-detect the packages with hand-rolled parallelism (the serving front
+# end's hammer test lives in internal/serve).
 race:
-	$(GO) test -race ./internal/parallel/... ./internal/tensor/... ./internal/nn/... ./internal/hdc/... ./internal/hdlearn/... ./internal/engine/...
+	$(GO) test -race ./internal/parallel/... ./internal/tensor/... ./internal/nn/... ./internal/hdc/... ./internal/hdlearn/... ./internal/engine/... ./internal/serve/...
 
 # Kernel microbenchmarks (tensor package) with allocation counts.
 bench:
@@ -36,3 +37,13 @@ perf:
 # committed BENCH_PR3.json baseline (writes the fresh rows to a scratch file).
 bench-train:
 	$(GO) run ./cmd/nshd-bench -perf-train /tmp/nshd_bench_train.json -perf-baseline BENCH_PR3.json
+
+# Re-run the serving load generator (micro-batched Batcher vs per-request
+# Engine.Predict at concurrency 1/8/64) and diff against the committed
+# BENCH_PR4.json baseline.
+bench-serve:
+	$(GO) run ./cmd/nshd-bench -perf-serve /tmp/nshd_bench_serve.json -perf-serve-baseline BENCH_PR4.json
+
+# Regenerate the committed serving baseline.
+perf-serve:
+	$(GO) run ./cmd/nshd-bench -perf-serve BENCH_PR4.json

@@ -44,6 +44,8 @@ func main() {
 		perfOut   = flag.String("perf", "", "run compute-kernel microbenchmarks, write JSON to this file, and exit")
 		perfTrain = flag.String("perf-train", "", "run only the training-path benchmarks, write JSON to this file, and exit")
 		perfBase  = flag.String("perf-baseline", "", "with -perf-train: print deltas against this committed baseline JSON")
+		perfServe = flag.String("perf-serve", "", "run the serving load generator, write JSON to this file, and exit")
+		serveBase = flag.String("perf-serve-baseline", "", "with -perf-serve: print deltas against this committed baseline JSON")
 	)
 	flag.Parse()
 
@@ -56,6 +58,13 @@ func main() {
 	}
 	if *perfTrain != "" {
 		if err := runPerfTrain(*perfTrain, *perfBase); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *perfServe != "" {
+		if err := runPerfServe(*perfServe, *serveBase); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

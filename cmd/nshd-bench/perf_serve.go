@@ -1,0 +1,319 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"nshd/internal/cnn"
+	"nshd/internal/core"
+	"nshd/internal/dataset"
+	"nshd/internal/engine"
+	"nshd/internal/serve"
+	"nshd/internal/tensor"
+)
+
+// serveEntry is one load-generator row of BENCH_PR4.json.
+type serveEntry struct {
+	Name        string  `json:"name"`
+	D           int     `json:"d"`
+	Concurrency int     `json:"concurrency"`
+	Requests    int64   `json:"requests"`
+	QPS         float64 `json:"qps"`
+	P50Us       float64 `json:"p50_us"`
+	P99Us       float64 `json:"p99_us"`
+	MeanBatch   float64 `json:"mean_batch,omitempty"`
+	MaxDelayUs  int64   `json:"max_delay_us,omitempty"`
+	OfferedQPS  float64 `json:"offered_qps,omitempty"`
+}
+
+// serveRunSecs is how long each load-generator configuration runs. Long
+// enough that hundreds of batches amortize timer noise, short enough that the
+// whole matrix stays under a minute.
+const serveRunSecs = 1.2
+
+// runPerfServe measures the serving front end: closed-loop clients at
+// concurrency 1/8/64 issuing single-sample predictions through the
+// micro-batching Batcher vs directly through per-request Engine.Predict, plus
+// one open-loop (fixed offered rate) row showing latency when the server is
+// not saturated. Rows are written as JSON to path; when baselinePath is
+// non-empty, deltas against that committed baseline are printed.
+//
+// Config: mobilenetv2 cut=1 with the packed classifier, D ∈ {3000, 10000}
+// (the span of the paper's Fig. 10 dimension sweep). At cut=1 the projection
+// GEMM dominates end-to-end cost, which is exactly the regime micro-batching
+// exists for: a single-sample call repacks the [F̂×D] projection B-panel
+// every call, a 64-sample flush repays it once.
+func runPerfServe(path, baselinePath string) error {
+	var entries []serveEntry
+
+	train, _ := dataset.SynthCIFAR(dataset.SynthConfig{
+		Classes: 10, Train: 128, Test: 64, Size: 32, Noise: 0.2, Seed: 21,
+	})
+	zoo, err := cnn.Build("mobilenetv2", tensor.NewRNG(22), 10)
+	if err != nil {
+		return err
+	}
+	sampleLen := train.Images.Len() / train.Len()
+	sampleAt := func(i int) []float32 {
+		return train.Images.Data[i*sampleLen : (i+1)*sampleLen]
+	}
+
+	for _, d := range []int{3000, 10000} {
+		cfg := core.DefaultConfig(1, 10)
+		cfg.Seed = 23
+		cfg.D = d
+		cfg.BatchSize = 64 // engine chunk = batcher MaxBatch
+		cfg.PackedInference = true
+		p, err := core.New(zoo, cfg)
+		if err != nil {
+			return err
+		}
+		feats := p.ExtractFeatures(train.Images)
+		_, _, signed := p.Symbolize(feats, false)
+		p.HD.InitBundle(signed, train.Labels)
+
+		e, err := engine.Compile(p)
+		if err != nil {
+			return err
+		}
+		const maxDelay = time.Millisecond
+		b, err := serve.New(e, serve.Options{MaxBatch: 64, MaxDelay: maxDelay, QueueCap: 256})
+		if err != nil {
+			return err
+		}
+		meanBatch := batchMeter(b)
+
+		// Parity check before timing: the batched path must agree with the
+		// engine sample-for-sample or the comparison is meaningless.
+		direct, err := e.Predict(train.Images)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < train.Len(); i++ {
+			got, err := b.Predict(context.Background(), sampleAt(i))
+			if err != nil {
+				return err
+			}
+			if got != direct[i] {
+				return fmt.Errorf("perf-serve: parity failure at sample %d: batched %d, engine %d", i, got, direct[i])
+			}
+		}
+		meanBatch() // discard the parity-check traffic from the meter
+
+		for _, conc := range []int{1, 8, 64} {
+			naive := closedLoop(conc, func(w int) error {
+				img := tensor.FromSlice(sampleAt(w%train.Len()), 1, 3, 32, 32)
+				_, err := e.Predict(img)
+				return err
+			})
+			naive.Name = fmt.Sprintf("serve/closed/naive/D%d/c%d", d, conc)
+			naive.D = d
+			entries = append(entries, naive)
+
+			batched := closedLoop(conc, func(w int) error {
+				_, err := b.Predict(context.Background(), sampleAt(w%train.Len()))
+				return err
+			})
+			batched.Name = fmt.Sprintf("serve/closed/batched/D%d/c%d", d, conc)
+			batched.D = d
+			batched.MaxDelayUs = maxDelay.Microseconds()
+			batched.MeanBatch = meanBatch()
+			entries = append(entries, batched)
+
+			fmt.Fprintf(os.Stderr, "%-34s %8.0f qps   p50 %7.0fµs  p99 %7.0fµs\n",
+				naive.Name, naive.QPS, naive.P50Us, naive.P99Us)
+			fmt.Fprintf(os.Stderr, "%-34s %8.0f qps   p50 %7.0fµs  p99 %7.0fµs  (×%.2f, mean batch %.1f)\n",
+				batched.Name, batched.QPS, batched.P50Us, batched.P99Us,
+				batched.QPS/naive.QPS, batched.MeanBatch)
+		}
+
+		// Open-loop: a fixed offered rate well below capacity. Queue delay is
+		// then bounded by MaxDelay plus at most one in-flight batch, so the
+		// recorded p50/p99 show the latency a non-saturating client sees.
+		last := entries[len(entries)-1] // batched c=64 row for this D
+		open := openLoop(last.QPS*0.25, func(w int) error {
+			_, err := b.Predict(context.Background(), sampleAt(w%train.Len()))
+			return err
+		})
+		open.Name = fmt.Sprintf("serve/open/batched/D%d", d)
+		open.D = d
+		open.MaxDelayUs = maxDelay.Microseconds()
+		open.MeanBatch = meanBatch()
+		entries = append(entries, open)
+		fmt.Fprintf(os.Stderr, "%-34s %8.0f qps   p50 %7.0fµs  p99 %7.0fµs  (offered %.0f)\n",
+			open.Name, open.QPS, open.P50Us, open.P99Us, open.OfferedQPS)
+
+		b.Close()
+	}
+
+	// Headline check: the acceptance bar is ≥3× batched vs naive at c=64.
+	byName := map[string]serveEntry{}
+	for _, en := range entries {
+		byName[en.Name] = en
+	}
+	for _, d := range []int{3000, 10000} {
+		n := byName[fmt.Sprintf("serve/closed/naive/D%d/c64", d)]
+		bt := byName[fmt.Sprintf("serve/closed/batched/D%d/c64", d)]
+		fmt.Fprintf(os.Stderr, "D=%d c=64 speedup: %.2fx (batched %.0f qps vs naive %.0f qps)\n",
+			d, bt.QPS/n.QPS, bt.QPS, n.QPS)
+	}
+
+	raw, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d rows to %s\n", len(entries), path)
+
+	if baselinePath != "" {
+		return diffServeBaseline(entries, baselinePath)
+	}
+	return nil
+}
+
+// closedLoop runs conc workers that each issue requests back-to-back for
+// serveRunSecs and reports aggregate throughput plus exact latency quantiles
+// from the full per-request sample set.
+func closedLoop(conc int, fn func(worker int) error) serveEntry {
+	lats := make([][]float64, conc)
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(time.Duration(serveRunSecs * float64(time.Second)))
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				t0 := time.Now()
+				if err := fn(w); err != nil {
+					panic(err) // load generator bug, not a measurement
+				}
+				lats[w] = append(lats[w], float64(time.Since(t0).Microseconds()))
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	all := flatten(lats)
+	return serveEntry{
+		Concurrency: conc,
+		Requests:    int64(len(all)),
+		QPS:         float64(len(all)) / elapsed,
+		P50Us:       quantileUs(all, 0.50),
+		P99Us:       quantileUs(all, 0.99),
+	}
+}
+
+// openLoop offers requests at a fixed rate (one goroutine per request, fired
+// off a ticker) so recorded latency reflects server-side queueing rather than
+// client-side pacing.
+func openLoop(rate float64, fn func(worker int) error) serveEntry {
+	if rate < 50 {
+		rate = 50
+	}
+	interval := time.Duration(float64(time.Second) / rate)
+	n := int(serveRunSecs * rate)
+	lats := make([][]float64, n)
+	var wg sync.WaitGroup
+	start := time.Now()
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for i := 0; i < n; i++ {
+		<-tick.C
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			t0 := time.Now()
+			if err := fn(i); err != nil {
+				panic(err)
+			}
+			lats[i] = []float64{float64(time.Since(t0).Microseconds())}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	all := flatten(lats)
+	return serveEntry{
+		Concurrency: 0, // open loop: unbounded client concurrency
+		Requests:    int64(len(all)),
+		QPS:         float64(len(all)) / elapsed,
+		OfferedQPS:  rate,
+		P50Us:       quantileUs(all, 0.50),
+		P99Us:       quantileUs(all, 0.99),
+	}
+}
+
+func flatten(lats [][]float64) []float64 {
+	var all []float64
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Float64s(all)
+	return all
+}
+
+// quantileUs reads an exact quantile from sorted per-request latencies.
+func quantileUs(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// batchMeter reports the mean flush size since its previous call by
+// differencing one batcher's cumulative counters.
+func batchMeter(b *serve.Batcher) func() float64 {
+	var lastServed, lastBatches int64
+	return func() float64 {
+		st := b.Stats()
+		served, batches := st.Served-lastServed, st.Batches-lastBatches
+		lastServed, lastBatches = st.Served, st.Batches
+		if batches == 0 {
+			return 0
+		}
+		return float64(served) / float64(batches)
+	}
+}
+
+// diffServeBaseline prints current-vs-committed throughput ratios so
+// `make bench-serve` can flag regressions at a glance.
+func diffServeBaseline(entries []serveEntry, baselinePath string) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base []serveEntry
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parse %s: %w", baselinePath, err)
+	}
+	byName := map[string]serveEntry{}
+	for _, e := range base {
+		byName[e.Name] = e
+	}
+	fmt.Fprintf(os.Stderr, "\nvs baseline %s:\n", baselinePath)
+	for _, e := range entries {
+		b, ok := byName[e.Name]
+		if !ok || b.QPS <= 0 {
+			fmt.Fprintf(os.Stderr, "%-34s (no baseline row)\n", e.Name)
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "%-34s qps %8.0f vs %8.0f  (%+.1f%%)\n",
+			e.Name, e.QPS, b.QPS, 100*(e.QPS-b.QPS)/b.QPS)
+	}
+	return nil
+}

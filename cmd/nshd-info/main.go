@@ -2,8 +2,9 @@
 // feature dimension and inference cost of every possible cut point, and the
 // paper's chosen cut layers.
 //
-//	nshd-info                 # summary of all models
-//	nshd-info -model vgg16    # per-layer detail
+//	nshd-info                       # summary of all models
+//	nshd-info -model vgg16          # per-layer detail
+//	nshd-info -pipeline model.gob   # serving facts for a trained snapshot
 package main
 
 import (
@@ -17,8 +18,17 @@ import (
 func main() {
 	model := flag.String("model", "", "show per-layer detail for one model")
 	classes := flag.Int("classes", 10, "class count (affects head size)")
+	pipeline := flag.String("pipeline", "", "print serving facts for a trained pipeline snapshot (nshd-train -out)")
+	packed := flag.Bool("packed", true, "with -pipeline: compile the packed popcount classifier")
 	flag.Parse()
 
+	if *pipeline != "" {
+		if err := servingFacts(*pipeline, *packed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *model != "" {
 		if err := detail(*model, *classes); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -36,6 +46,38 @@ func main() {
 		s := m.FullStats()
 		fmt.Printf("%-12s %8d %12d %12d %v\n", name, len(m.Units), s.Params, s.MACs, nshd.PaperLayers(name))
 	}
+}
+
+// servingFacts compiles a snapshot into a frozen engine and prints what an
+// operator needs to deploy it behind nshd-serve: input/batch shape, memory
+// per replica, and batcher sizing derived from the compiled chunk size.
+func servingFacts(path string, packed bool) error {
+	p, err := nshd.LoadPipeline(path)
+	if err != nil {
+		return err
+	}
+	p.Cfg.PackedInference = packed
+	eng, err := nshd.Compile(p)
+	if err != nil {
+		return err
+	}
+	kernel := "float32 dot-product"
+	if packed {
+		kernel = "packed popcount"
+	}
+	in := eng.InShape()
+	fmt.Printf("serving facts for %s\n", path)
+	fmt.Printf("  %-22s [C H W] = %v  (%d float32/sample)\n", "input shape", in, eng.SampleLen())
+	fmt.Printf("  %-22s [%d %d %d %d]  (engine chunk %d)\n", "expected batch shape",
+		eng.ChunkSize(), in[0], in[1], in[2], eng.ChunkSize())
+	fmt.Printf("  %-22s D=%d, %d classes\n", "hypervector space", eng.Dim(), eng.Classes())
+	fmt.Printf("  %-22s %d (HD model mutation counter)\n", "engine version", p.HD.Version())
+	fmt.Printf("  %-22s %s, %d bytes\n", "classifier", kernel, eng.ModelBytes())
+	fmt.Printf("  %-22s %d bytes/worker\n", "arena footprint", eng.ArenaBytes())
+	fmt.Printf("  %-22s %v\n", "stages", eng.Stages())
+	fmt.Printf("  %-22s MaxBatch=%d MaxDelay=1ms QueueCap=%d  (nshd-serve defaults)\n",
+		"batcher sizing", eng.ChunkSize(), 4*eng.ChunkSize())
+	return nil
 }
 
 func detail(name string, classes int) error {

@@ -50,6 +50,9 @@ type Stage interface {
 // predictions, with scratch (if any) taken from the worker's arena.
 type classifier interface {
 	Classify(hvs *tensor.Tensor, preds []int, ar *tensor.Arena)
+	Classes() int
+	// ModelBytes is the classifier snapshot's storage footprint.
+	ModelBytes() int64
 }
 
 // Engine is a frozen, immutable serving plan. Safe for concurrent use: the
@@ -125,6 +128,9 @@ func (c floatClassifier) Classify(hvs *tensor.Tensor, preds []int, ar *tensor.Ar
 	c.s.PredictInto(hvs, preds)
 }
 
+func (c floatClassifier) Classes() int      { return c.s.K }
+func (c floatClassifier) ModelBytes() int64 { return int64(c.s.K) * int64(c.s.D) * 4 }
+
 type packedClassifier struct{ pm *hdlearn.PackedModel }
 
 func (c packedClassifier) Classify(hvs *tensor.Tensor, preds []int, ar *tensor.Arena) {
@@ -133,6 +139,9 @@ func (c packedClassifier) Classify(hvs *tensor.Tensor, preds []int, ar *tensor.A
 	c.pm.PredictBatchInto(hvs, preds, q)
 	ar.Release(m)
 }
+
+func (c packedClassifier) Classes() int      { return c.pm.K }
+func (c packedClassifier) ModelBytes() int64 { return c.pm.MemoryBytes() }
 
 // Compile freezes a trained pipeline into an Engine. It validates that every
 // extractor layer has an inference path, snapshots the classifier (packed or
@@ -433,8 +442,39 @@ func (e *Engine) PredictStream(in <-chan *tensor.Tensor) <-chan StreamResult {
 	return out
 }
 
+// PredictChecked is the serving form of PredictInto: the same validation,
+// plus a recover barrier that converts any panic escaping the stage chain
+// (a malformed tensor whose Data is shorter than its shape claims, an arena
+// sizing bug) into an error. A serving front end must never crash the process
+// on one bad request; training-side callers keep the panicking fast paths.
+func (e *Engine) PredictChecked(images *tensor.Tensor, preds []int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("engine: predict panicked: %v", r)
+		}
+	}()
+	return e.PredictInto(images, preds)
+}
+
 // ChunkSize reports how many samples one worker chunk carries.
 func (e *Engine) ChunkSize() int { return e.chunk }
+
+// InShape reports the per-sample input shape [C, H, W] the engine was
+// compiled for.
+func (e *Engine) InShape() [3]int { return e.inShape }
+
+// SampleLen reports the flat float32 length of one input sample (C·H·W).
+func (e *Engine) SampleLen() int { return e.sampleLen }
+
+// Dim reports the hypervector dimension D of the compiled symbolization.
+func (e *Engine) Dim() int { return e.d }
+
+// Classes reports the number of classes the compiled classifier scores.
+func (e *Engine) Classes() int { return e.cls.Classes() }
+
+// ModelBytes reports the classifier snapshot's storage footprint (packed:
+// K·⌈D/64⌉ words; float: K·D float32s).
+func (e *Engine) ModelBytes() int64 { return e.cls.ModelBytes() }
 
 // ArenaBytes reports one worker arena's slab footprint.
 func (e *Engine) ArenaBytes() int64 { return e.proto.FootprintBytes() }

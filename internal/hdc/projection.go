@@ -83,16 +83,13 @@ func (pr *Projection) EncodeBatchInto(features, raw, signed *tensor.Tensor, scra
 // rows of P are quasi-orthogonal with ⟨P_f, P_f⟩ = D, the least-squares
 // estimate of V from H ≈ Vᵀ P is (1/D)·P·H. This is the HD decoding used to
 // backpropagate class-hypervector errors into the manifold layer (Sec. V-C).
+// It routes through DecodeBatch on a one-row view, so single-vector decoding
+// runs the same blocked-GEMM kernel as the batch path.
 func (pr *Projection) Decode(h Hypervector) []float32 {
 	if len(h) != pr.D {
 		panic(fmt.Sprintf("hdc: Decode got dimension %d, projection has D=%d", len(h), pr.D))
 	}
-	out := make([]float32, pr.F)
-	inv := 1 / float32(pr.D)
-	for f := 0; f < pr.F; f++ {
-		out[f] = tensor.Dot(pr.P.Row(f), h) * inv
-	}
-	return out
+	return pr.DecodeBatch(tensor.FromSlice(h, 1, pr.D)).Data
 }
 
 // DecodeBatch decodes a [K, D] matrix of hypervectors into [K, F] feature-

@@ -1,0 +1,229 @@
+package serve
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"time"
+)
+
+// Server exposes a Batcher over HTTP:
+//
+//	POST /predict  — JSON {"inputs": [[...C·H·W floats...], ...]}
+//	                 → {"classes": [...], "ms": ...}; or, with Content-Type
+//	                 application/octet-stream, a length-prefixed binary
+//	                 frame: uint32 LE sample count, then count·C·H·W
+//	                 float32 LE — answered as uint32 LE count then count
+//	                 uint32 LE class indices.
+//	GET  /healthz  — 200 "ok" while the batcher accepts work.
+//	GET  /metrics  — JSON Snapshot plus engine facts (shape, D, classes,
+//	                 chunk size, packed model bytes).
+//
+// Error mapping: malformed input 400, admission-queue overload 429 (shed,
+// don't queue), request timeout 504, draining/closed 503.
+type Server struct {
+	b *Batcher
+	// Timeout bounds one request's total time in the front end (queue wait +
+	// compute). Zero means no server-imposed timeout.
+	timeout time.Duration
+	// maxBody bounds a request body; sized from MaxBatch when zero.
+	maxBody int64
+}
+
+// NewServer wraps a batcher in the HTTP front end. timeout ≤ 0 disables the
+// per-request deadline.
+func NewServer(b *Batcher, timeout time.Duration) *Server {
+	return &Server{
+		b:       b,
+		timeout: timeout,
+		// JSON floats are ≲ 16 bytes each; allow headroom over the largest
+		// admissible batch.
+		maxBody: int64(b.opts.MaxBatch)*int64(b.sampleLen)*24 + 4096,
+	}
+}
+
+// Handler returns the route mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/predict", s.handlePredict)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+// predictRequest is the JSON request body: one row of C·H·W floats per
+// sample.
+type predictRequest struct {
+	Inputs [][]float32 `json:"inputs"`
+}
+
+// predictResponse reports one class index per input row and the server-side
+// latency of the whole request.
+type predictResponse struct {
+	Classes []int   `json:"classes"`
+	Ms      float64 `json:"ms"`
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	ctx := r.Context()
+	if s.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.timeout)
+		defer cancel()
+	}
+	start := time.Now()
+	body := http.MaxBytesReader(w, r.Body, s.maxBody)
+	if r.Header.Get("Content-Type") == "application/octet-stream" {
+		s.predictBinary(ctx, w, body)
+		return
+	}
+
+	var req predictRequest
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		http.Error(w, "bad JSON: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	n := len(req.Inputs)
+	if n == 0 {
+		http.Error(w, "no inputs", http.StatusBadRequest)
+		return
+	}
+	data := make([]float32, 0, n*s.b.sampleLen)
+	for i, row := range req.Inputs {
+		if len(row) != s.b.sampleLen {
+			http.Error(w, fmt.Sprintf("input %d has %d floats, want %d", i, len(row), s.b.sampleLen),
+				http.StatusBadRequest)
+			return
+		}
+		data = append(data, row...)
+	}
+	preds, err := s.b.PredictBatch(ctx, data, n)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(predictResponse{
+		Classes: preds,
+		Ms:      float64(time.Since(start).Microseconds()) / 1e3,
+	})
+}
+
+// predictBinary handles the length-prefixed binary frame: 4-byte LE sample
+// count, then count·sampleLen float32 LE values. The response mirrors it: a
+// 4-byte LE count followed by count uint32 LE class indices.
+func (s *Server) predictBinary(ctx context.Context, w http.ResponseWriter, body io.Reader) {
+	var nbuf [4]byte
+	if _, err := io.ReadFull(body, nbuf[:]); err != nil {
+		http.Error(w, "short frame header", http.StatusBadRequest)
+		return
+	}
+	n := int(binary.LittleEndian.Uint32(nbuf[:]))
+	if n < 1 || n > s.b.opts.MaxBatch {
+		http.Error(w, fmt.Sprintf("frame of %d samples (want 1..%d)", n, s.b.opts.MaxBatch),
+			http.StatusBadRequest)
+		return
+	}
+	raw := make([]byte, n*s.b.sampleLen*4)
+	if _, err := io.ReadFull(body, raw); err != nil {
+		http.Error(w, "short frame body", http.StatusBadRequest)
+		return
+	}
+	data := make([]float32, n*s.b.sampleLen)
+	for i := range data {
+		data[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[i*4:]))
+	}
+	preds, err := s.b.PredictBatch(ctx, data, n)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	out := make([]byte, 4+4*len(preds))
+	binary.LittleEndian.PutUint32(out, uint32(len(preds)))
+	for i, p := range preds {
+		binary.LittleEndian.PutUint32(out[4+4*i:], uint32(p))
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(out)
+}
+
+// fail maps batcher errors to HTTP statuses.
+func (s *Server) fail(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+	case errors.Is(err, ErrClosed):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.Is(err, context.DeadlineExceeded):
+		http.Error(w, err.Error(), http.StatusGatewayTimeout)
+	case errors.Is(err, context.Canceled):
+		http.Error(w, err.Error(), 499) // client closed request
+	default:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.b.mu.RLock()
+	closed := s.b.closed
+	s.b.mu.RUnlock()
+	if closed {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	io.WriteString(w, "ok\n")
+}
+
+// metricsResponse joins the batcher snapshot with the engine facts an
+// operator needs to size clients and the batcher itself.
+type metricsResponse struct {
+	Snapshot
+	Engine engineFacts `json:"engine"`
+}
+
+type engineFacts struct {
+	InShape    [3]int   `json:"in_shape"`
+	SampleLen  int      `json:"sample_floats"`
+	D          int      `json:"d"`
+	Classes    int      `json:"classes"`
+	ChunkSize  int      `json:"chunk_size"`
+	ArenaBytes int64    `json:"arena_bytes"`
+	ModelBytes int64    `json:"model_bytes"`
+	Stages     []string `json:"stages"`
+	MaxBatch   int      `json:"max_batch"`
+	MaxDelayUs int64    `json:"max_delay_us"`
+	QueueCap   int      `json:"queue_cap"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	e := s.b.Engine()
+	resp := metricsResponse{
+		Snapshot: s.b.Stats(),
+		Engine: engineFacts{
+			InShape:    e.InShape(),
+			SampleLen:  e.SampleLen(),
+			D:          e.Dim(),
+			Classes:    e.Classes(),
+			ChunkSize:  e.ChunkSize(),
+			ArenaBytes: e.ArenaBytes(),
+			ModelBytes: e.ModelBytes(),
+			Stages:     e.Stages(),
+			MaxBatch:   s.b.opts.MaxBatch,
+			MaxDelayUs: s.b.opts.MaxDelay.Microseconds(),
+			QueueCap:   s.b.opts.QueueCap,
+		},
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(resp)
+}

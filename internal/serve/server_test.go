@@ -1,0 +1,166 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// serveFixture wires a batcher + HTTP server over the tiny test engine.
+func serveFixture(t *testing.T) (*httptest.Server, *Batcher, []int, func(i int) []float32) {
+	t.Helper()
+	e, p, test := buildEngine(t, nil)
+	want := p.PredictDirect(test.Images)
+	b, err := New(e, Options{MaxBatch: 8, MaxDelay: 200 * time.Microsecond, QueueCap: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(b, 10*time.Second).Handler())
+	t.Cleanup(func() { srv.Close(); b.Close() })
+	return srv, b, want, func(i int) []float32 { return sample(test, i) }
+}
+
+func TestServerPredictJSON(t *testing.T) {
+	srv, _, want, sampleAt := serveFixture(t)
+	body, _ := json.Marshal(predictRequest{Inputs: [][]float32{sampleAt(0), sampleAt(1)}})
+	resp, err := http.Post(srv.URL+"/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var pr predictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Classes) != 2 || pr.Classes[0] != want[0] || pr.Classes[1] != want[1] {
+		t.Fatalf("classes %v, want [%d %d]", pr.Classes, want[0], want[1])
+	}
+}
+
+func TestServerPredictBinary(t *testing.T) {
+	srv, b, want, sampleAt := serveFixture(t)
+	const n = 3
+	frame := make([]byte, 4+4*n*b.sampleLen)
+	binary.LittleEndian.PutUint32(frame, n)
+	off := 4
+	for i := 0; i < n; i++ {
+		for _, v := range sampleAt(i) {
+			binary.LittleEndian.PutUint32(frame[off:], math.Float32bits(v))
+			off += 4
+		}
+	}
+	resp, err := http.Post(srv.URL+"/predict", "application/octet-stream", bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out bytes.Buffer
+	out.ReadFrom(resp.Body)
+	raw := out.Bytes()
+	if len(raw) != 4+4*n {
+		t.Fatalf("response frame %d bytes, want %d", len(raw), 4+4*n)
+	}
+	if got := binary.LittleEndian.Uint32(raw); got != n {
+		t.Fatalf("response count %d", got)
+	}
+	for i := 0; i < n; i++ {
+		if got := int(binary.LittleEndian.Uint32(raw[4+4*i:])); got != want[i] {
+			t.Fatalf("sample %d: got %d want %d", i, got, want[i])
+		}
+	}
+}
+
+func TestServerBadRequests(t *testing.T) {
+	srv, _, _, sampleAt := serveFixture(t)
+	for _, tc := range []struct {
+		name, ctype string
+		body        []byte
+		status      int
+	}{
+		{"bad json", "application/json", []byte("{nope"), http.StatusBadRequest},
+		{"no inputs", "application/json", []byte(`{"inputs":[]}`), http.StatusBadRequest},
+		{"short row", "application/json", []byte(`{"inputs":[[1,2,3]]}`), http.StatusBadRequest},
+		{"short frame", "application/octet-stream", []byte{9}, http.StatusBadRequest},
+		{"oversized frame count", "application/octet-stream", []byte{255, 255, 255, 255}, http.StatusBadRequest},
+	} {
+		resp, err := http.Post(srv.URL+"/predict", tc.ctype, bytes.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.status {
+			t.Fatalf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.status)
+		}
+	}
+	// GET on /predict is not allowed.
+	resp, err := http.Get(srv.URL + "/predict")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /predict: status %d", resp.StatusCode)
+	}
+	_ = sampleAt
+}
+
+func TestServerHealthAndMetrics(t *testing.T) {
+	srv, b, _, sampleAt := serveFixture(t)
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+
+	// Serve one request so the metrics have something to show.
+	body, _ := json.Marshal(predictRequest{Inputs: [][]float32{sampleAt(0)}})
+	if pr, err := http.Post(srv.URL+"/predict", "application/json", bytes.NewReader(body)); err != nil {
+		t.Fatal(err)
+	} else {
+		pr.Body.Close()
+	}
+
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var m metricsResponse
+	if err := json.NewDecoder(mresp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Served < 1 || m.Batches < 1 || m.QPS <= 0 {
+		t.Fatalf("metrics show no traffic: %+v", m.Snapshot)
+	}
+	if m.Engine.D != b.Engine().Dim() || m.Engine.Classes != 4 || m.Engine.SampleLen != 3*16*16 {
+		t.Fatalf("engine facts wrong: %+v", m.Engine)
+	}
+	if m.Engine.MaxBatch != 8 || m.Engine.QueueCap != 64 {
+		t.Fatalf("batcher facts wrong: %+v", m.Engine)
+	}
+
+	// After Close, health flips to draining.
+	b.Close()
+	hresp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz after close: status %d", hresp.StatusCode)
+	}
+}

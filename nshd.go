@@ -27,6 +27,8 @@
 package nshd
 
 import (
+	"time"
+
 	"nshd/internal/baseline"
 	"nshd/internal/cnn"
 	"nshd/internal/core"
@@ -35,6 +37,7 @@ import (
 	"nshd/internal/hdc"
 	"nshd/internal/hwsim"
 	"nshd/internal/metrics"
+	"nshd/internal/serve"
 	"nshd/internal/tensor"
 	"nshd/internal/tsne"
 )
@@ -85,6 +88,44 @@ type StreamResult = engine.StreamResult
 
 // Compile freezes a trained pipeline into a serving Engine.
 func Compile(p *Pipeline) (*Engine, error) { return engine.Compile(p) }
+
+// Batcher is the concurrent serving front end: it coalesces single-sample
+// (or small) requests from many goroutines into engine-sized micro-batches,
+// flushing on a size threshold or a max-queue-delay deadline, with a bounded
+// admission queue (ErrOverloaded on saturation), per-request context
+// cancellation, graceful drain via Close, and atomic engine hot-swap:
+//
+//	b, _ := nshd.NewBatcher(eng, nshd.BatcherOptions{})
+//	class, _ := b.Predict(ctx, sample) // rides a shared micro-batch
+type Batcher = serve.Batcher
+
+// BatcherOptions tune the micro-batching policy; the zero value derives
+// everything from the engine (MaxBatch = chunk size, MaxDelay = 1ms,
+// QueueCap = 4×MaxBatch).
+type BatcherOptions = serve.Options
+
+// ServeSnapshot is one point-in-time view of a Batcher's metrics.
+type ServeSnapshot = serve.Snapshot
+
+// PredictServer exposes a Batcher over HTTP (POST /predict JSON or binary,
+// GET /healthz, GET /metrics); cmd/nshd-serve is the standalone binary.
+type PredictServer = serve.Server
+
+// ErrOverloaded is returned when the batcher's admission queue is full.
+var ErrOverloaded = serve.ErrOverloaded
+
+// ErrServeClosed is returned by batcher predictions after Close.
+var ErrServeClosed = serve.ErrClosed
+
+// NewBatcher wraps a compiled engine in a micro-batching front end and
+// starts its flush loop; Close drains and stops it.
+func NewBatcher(e *Engine, opts BatcherOptions) (*Batcher, error) { return serve.New(e, opts) }
+
+// NewPredictServer wraps a batcher in the HTTP front end; timeout ≤ 0
+// disables the per-request deadline.
+func NewPredictServer(b *Batcher, timeout time.Duration) *PredictServer {
+	return serve.NewServer(b, timeout)
+}
 
 // --- model zoo ---
 
