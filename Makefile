@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race alloc bench perf bench-train bench-serve perf-serve
+.PHONY: check vet build test race alloc bench perf bench-train bench-serve perf-serve bench-quant perf-quant
 
 # The full gate: what CI (and any PR) must keep green.
 check: vet build test race alloc
@@ -22,7 +22,7 @@ test:
 # Race-detect the packages with hand-rolled parallelism (the serving front
 # end's hammer test lives in internal/serve).
 race:
-	$(GO) test -race ./internal/parallel/... ./internal/tensor/... ./internal/nn/... ./internal/hdc/... ./internal/hdlearn/... ./internal/engine/... ./internal/serve/...
+	$(GO) test -race ./internal/parallel/... ./internal/tensor/... ./internal/nn/... ./internal/quant/... ./internal/hdc/... ./internal/hdlearn/... ./internal/engine/... ./internal/serve/...
 
 # Kernel microbenchmarks (tensor package) with allocation counts.
 bench:
@@ -47,3 +47,13 @@ bench-serve:
 # Regenerate the committed serving baseline.
 perf-serve:
 	$(GO) run ./cmd/nshd-bench -perf-serve BENCH_PR4.json
+
+# Re-run the int8-vs-float engine benchmarks (quantized GEMM kernels,
+# per-stage and end-to-end engine timings) and diff against the committed
+# BENCH_PR5.json baseline.
+bench-quant:
+	$(GO) run ./cmd/nshd-bench -perf-quant /tmp/nshd_bench_quant.json -perf-quant-baseline BENCH_PR5.json
+
+# Regenerate the committed quantization baseline.
+perf-quant:
+	$(GO) run ./cmd/nshd-bench -perf-quant BENCH_PR5.json

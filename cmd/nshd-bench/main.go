@@ -46,6 +46,8 @@ func main() {
 		perfBase  = flag.String("perf-baseline", "", "with -perf-train: print deltas against this committed baseline JSON")
 		perfServe = flag.String("perf-serve", "", "run the serving load generator, write JSON to this file, and exit")
 		serveBase = flag.String("perf-serve-baseline", "", "with -perf-serve: print deltas against this committed baseline JSON")
+		perfQuant = flag.String("perf-quant", "", "run the int8-vs-float engine benchmarks, write JSON to this file, and exit")
+		quantBase = flag.String("perf-quant-baseline", "", "with -perf-quant: print deltas against this committed baseline JSON")
 	)
 	flag.Parse()
 
@@ -65,6 +67,13 @@ func main() {
 	}
 	if *perfServe != "" {
 		if err := runPerfServe(*perfServe, *serveBase); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *perfQuant != "" {
+		if err := runPerfQuant(*perfQuant, *quantBase); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

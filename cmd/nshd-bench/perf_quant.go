@@ -1,0 +1,276 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+
+	"nshd/internal/cnn"
+	"nshd/internal/core"
+	"nshd/internal/dataset"
+	"nshd/internal/engine"
+	"nshd/internal/tensor"
+)
+
+// quantEntry is one row of BENCH_PR5.json: a float-vs-int8 paired
+// measurement, either of a raw GEMM shape or of one engine stage.
+type quantEntry struct {
+	Name    string  `json:"name"`
+	M       int     `json:"m,omitempty"`
+	N       int     `json:"n,omitempty"`
+	K       int     `json:"k,omitempty"`
+	FloatUs float64 `json:"float_us"`
+	Int8Us  float64 `json:"int8_us"`
+	Speedup float64 `json:"speedup"`
+	Covered int     `json:"covered,omitempty"`
+	Total   int     `json:"total,omitempty"`
+	Agree   float64 `json:"agree_pct,omitempty"`
+}
+
+const quantReps = 11
+
+// runPerfQuant measures the int8 inference datapath against the float one:
+// raw GEMM kernels at convolution-typical shapes, then per-stage and
+// end-to-end engine timings on two committed configs — vgg16 (conv+ReLU+pool
+// only, so the whole extract→manifold chain quantizes) and mobilenetv2
+// (residual blocks fall back to float, exercising the mixed-precision
+// segments). Rows are written as JSON to path; when baselinePath is
+// non-empty, deltas against that committed baseline are printed.
+func runPerfQuant(path, baselinePath string) error {
+	var entries []quantEntry
+
+	// Raw kernel rows: float AVX2 GEMM vs int8 VNNI GEMM, both strictly
+	// serial (the engine parallelizes across batch chunks, not inside the
+	// GEMM). Shapes are im2col shapes from the engine configs below:
+	// M=OutC, N=outH·outW, K=InC·KH·KW with K quad-padded the way
+	// Int8Conv2D issues it (the 3→32 first conv's K=27 runs as 28).
+	for _, s := range [][3]int{{64, 1024, 576}, {32, 4096, 28}, {16, 256, 1152}} {
+		m, n, k := s[0], s[1], s[2]
+		rng := tensor.NewRNG(int64(41 + m))
+		af := tensor.New(m, k)
+		bf := tensor.New(k, n)
+		rng.FillNormal(af, 0, 1)
+		rng.FillNormal(bf, 0, 1)
+		cf := tensor.New(m, n)
+		fscratch := make([]float32, tensor.GemmScratch())
+
+		ai := make([]int8, m*k)
+		bi := make([]uint8, k*n)
+		for i := range ai {
+			ai[i] = int8(rng.Intn(255) - 127)
+		}
+		for i := range bi {
+			bi[i] = uint8(rng.Intn(256))
+		}
+		ci := make([]int32, m*n)
+		iscratch := make([]uint8, tensor.Int8GemmScratch())
+
+		fNs, iNs := pairedMin(
+			func() { tensor.MatMulSerialInto(cf, af, bf, fscratch) },
+			func() { tensor.MatMulInt8SerialInto(ci, ai, bi, m, n, k, iscratch) },
+			quantReps)
+		e := quantEntry{
+			Name: fmt.Sprintf("gemm/%dx%dx%d", m, n, k), M: m, N: n, K: k,
+			FloatUs: float64(fNs) / 1e3, Int8Us: float64(iNs) / 1e3,
+			Speedup: float64(fNs) / float64(iNs),
+		}
+		entries = append(entries, e)
+		fmt.Fprintf(os.Stderr, "%-28s float %9.1fµs   int8 %9.1fµs   ×%.2f\n",
+			e.Name, e.FloatUs, e.Int8Us, e.Speedup)
+	}
+
+	// Engine rows. vgg16 cut=8 is the all-quantizable config the ≥1.5×
+	// acceptance bar is committed on; mobilenetv2 cut=1 keeps its residual
+	// blocks in float and demonstrates the fallback segments.
+	configs := []struct {
+		model string
+		cut   int
+	}{
+		{"vgg16", 8},
+		{"mobilenetv2", 1},
+	}
+	train, test := dataset.SynthCIFAR(dataset.SynthConfig{
+		Classes: 10, Train: 64, Test: 128, Size: 32, Noise: 0.2, Seed: 51,
+	})
+	for _, c := range configs {
+		rows, err := perfQuantEngine(c.model, c.cut, train, test)
+		if err != nil {
+			return err
+		}
+		entries = append(entries, rows...)
+	}
+
+	raw, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d rows to %s\n", len(entries), path)
+	if baselinePath != "" {
+		return diffQuantBaseline(entries, baselinePath)
+	}
+	return nil
+}
+
+// perfQuantEngine compiles one model twice — float and int8 — and returns
+// per-stage plus end-to-end paired timings.
+func perfQuantEngine(model string, cut int, train, test *dataset.Dataset) ([]quantEntry, error) {
+	zoo, err := cnn.Build(model, tensor.NewRNG(52), 10)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.DefaultConfig(cut, 10)
+	cfg.Seed = 53
+	cfg.D = 2000
+	cfg.FHat = 64
+	cfg.BatchSize = 32
+	cfg.PackedInference = true
+	p, err := core.New(zoo, cfg)
+	if err != nil {
+		return nil, err
+	}
+	feats := p.ExtractFeatures(train.Images)
+	_, _, signed := p.Symbolize(feats, false)
+	p.HD.InitBundle(signed, train.Labels)
+
+	ef, err := engine.Compile(p)
+	if err != nil {
+		return nil, err
+	}
+	eq, err := engine.Compile(p, engine.Int8, engine.WithCalibration(train.Images))
+	if err != nil {
+		return nil, err
+	}
+	covered, total := eq.Int8Coverage()
+
+	// Prediction agreement on held-out images: a sanity signal that the
+	// speedup rows compare two engines computing the same function (the
+	// hard accuracy gate lives in the engine tests).
+	pf, err := ef.Predict(test.Images)
+	if err != nil {
+		return nil, err
+	}
+	pq, err := eq.Predict(test.Images)
+	if err != nil {
+		return nil, err
+	}
+	same := 0
+	for i := range pf {
+		if pf[i] == pq[i] {
+			same++
+		}
+	}
+	agree := 100 * float64(same) / float64(len(pf))
+
+	// Per-stage paired timing over one engine chunk.
+	fRows, err := ef.TimeStages(test.Images, quantReps)
+	if err != nil {
+		return nil, err
+	}
+	qRows, err := eq.TimeStages(test.Images, quantReps)
+	if err != nil {
+		return nil, err
+	}
+	if len(fRows) != len(qRows) {
+		return nil, fmt.Errorf("perf-quant: %s stage count mismatch: float %d, int8 %d", model, len(fRows), len(qRows))
+	}
+	var entries []quantEntry
+	var qFloat, qInt8 float64 // summed extract+manifold — the quantized span
+	for i, fr := range fRows {
+		qr := qRows[i]
+		if fr.Name != qr.Name {
+			return nil, fmt.Errorf("perf-quant: %s stage %d name mismatch: %q vs %q", model, i, fr.Name, qr.Name)
+		}
+		e := quantEntry{
+			Name:    fmt.Sprintf("engine/%s/cut%d/%s", model, cut, fr.Name),
+			FloatUs: fr.Seconds * 1e6, Int8Us: qr.Seconds * 1e6,
+			Speedup: fr.Seconds / qr.Seconds,
+		}
+		if fr.Name == "extract" || fr.Name == "manifold" {
+			qFloat += e.FloatUs
+			qInt8 += e.Int8Us
+		}
+		entries = append(entries, e)
+		fmt.Fprintf(os.Stderr, "%-34s float %9.1fµs   int8 %9.1fµs   ×%.2f\n",
+			e.Name, e.FloatUs, e.Int8Us, e.Speedup)
+	}
+	if qInt8 > 0 {
+		e := quantEntry{
+			Name:    fmt.Sprintf("engine/%s/cut%d/extract+manifold", model, cut),
+			FloatUs: qFloat, Int8Us: qInt8, Speedup: qFloat / qInt8,
+		}
+		entries = append(entries, e)
+		fmt.Fprintf(os.Stderr, "%-34s float %9.1fµs   int8 %9.1fµs   ×%.2f\n",
+			e.Name, e.FloatUs, e.Int8Us, e.Speedup)
+	}
+
+	// End-to-end chunk prediction, including the shared classify tail.
+	n := ef.ChunkSize()
+	if n > test.Len() {
+		n = test.Len()
+	}
+	sample := test.Images.Len() / test.Len()
+	imgs := tensor.FromSlice(test.Images.Data[:n*sample], n, test.Images.Shape[1], test.Images.Shape[2], test.Images.Shape[3])
+	preds := make([]int, n)
+	fNs, iNs := pairedMin(
+		func() {
+			if err := ef.PredictInto(imgs, preds); err != nil {
+				panic(err)
+			}
+		},
+		func() {
+			if err := eq.PredictInto(imgs, preds); err != nil {
+				panic(err)
+			}
+		},
+		quantReps)
+	e2e := quantEntry{
+		Name:    fmt.Sprintf("engine/%s/cut%d/e2e", model, cut),
+		FloatUs: float64(fNs) / 1e3, Int8Us: float64(iNs) / 1e3,
+		Speedup: float64(fNs) / float64(iNs),
+		Covered: covered, Total: total, Agree: agree,
+	}
+	entries = append(entries, e2e)
+	fmt.Fprintf(os.Stderr, "%-34s float %9.1fµs   int8 %9.1fµs   ×%.2f  (int8 layers %d/%d, agree %.1f%%)\n",
+		e2e.Name, e2e.FloatUs, e2e.Int8Us, e2e.Speedup, covered, total, agree)
+	return entries, nil
+}
+
+// diffQuantBaseline prints per-row speedup ratios of the fresh run against
+// the committed BENCH_PR5.json, mirroring diffServeBaseline.
+func diffQuantBaseline(entries []quantEntry, baselinePath string) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("perf-quant baseline: %w", err)
+	}
+	var base []quantEntry
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("perf-quant baseline: %w", err)
+	}
+	byName := make(map[string]quantEntry, len(base))
+	for _, b := range base {
+		byName[b.Name] = b
+	}
+	fmt.Fprintf(os.Stderr, "\nvs %s:\n", baselinePath)
+	worst := math.Inf(1)
+	for _, e := range entries {
+		b, ok := byName[e.Name]
+		if !ok || b.Int8Us <= 0 {
+			fmt.Fprintf(os.Stderr, "%-34s (no baseline row)\n", e.Name)
+			continue
+		}
+		ratio := b.Int8Us / e.Int8Us // >1: fresh int8 path is faster than committed
+		if ratio < worst {
+			worst = ratio
+		}
+		fmt.Fprintf(os.Stderr, "%-34s int8 %9.1fµs vs %9.1fµs  ratio %.2f\n",
+			e.Name, e.Int8Us, b.Int8Us, ratio)
+	}
+	if !math.IsInf(worst, 1) {
+		fmt.Fprintf(os.Stderr, "worst int8 ratio vs baseline: %.2f (>1 means faster than committed)\n", worst)
+	}
+	return nil
+}

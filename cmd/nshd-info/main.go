@@ -20,10 +20,11 @@ func main() {
 	classes := flag.Int("classes", 10, "class count (affects head size)")
 	pipeline := flag.String("pipeline", "", "print serving facts for a trained pipeline snapshot (nshd-train -out)")
 	packed := flag.Bool("packed", true, "with -pipeline: compile the packed popcount classifier")
+	precision := flag.String("precision", "float32", "with -pipeline: engine precision mode (float32 or int8)")
 	flag.Parse()
 
 	if *pipeline != "" {
-		if err := servingFacts(*pipeline, *packed); err != nil {
+		if err := servingFacts(*pipeline, *packed, *precision); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -50,14 +51,25 @@ func main() {
 
 // servingFacts compiles a snapshot into a frozen engine and prints what an
 // operator needs to deploy it behind nshd-serve: input/batch shape, memory
-// per replica, and batcher sizing derived from the compiled chunk size.
-func servingFacts(path string, packed bool) error {
+// per replica, precision mode with quantized-layer coverage, and batcher
+// sizing derived from the compiled chunk size.
+func servingFacts(path string, packed bool, precision string) error {
 	p, err := nshd.LoadPipeline(path)
 	if err != nil {
 		return err
 	}
 	p.Cfg.PackedInference = packed
-	eng, err := nshd.Compile(p)
+	var opts []nshd.Option
+	switch precision {
+	case "float32":
+	case "int8":
+		// No calibration images at inspection time: the synthetic batch
+		// stands in. Layer coverage and footprints are unaffected.
+		opts = append(opts, nshd.Int8)
+	default:
+		return fmt.Errorf("unknown precision %q (have: float32, int8)", precision)
+	}
+	eng, err := nshd.Compile(p, opts...)
 	if err != nil {
 		return err
 	}
@@ -75,6 +87,13 @@ func servingFacts(path string, packed bool) error {
 	fmt.Printf("  %-22s %s, %d bytes\n", "classifier", kernel, eng.ModelBytes())
 	fmt.Printf("  %-22s %d bytes/worker\n", "arena footprint", eng.ArenaBytes())
 	fmt.Printf("  %-22s %v\n", "stages", eng.Stages())
+	fmt.Printf("  %-22s %v\n", "precision", eng.Precision())
+	if covered, total := eng.Int8Coverage(); total > 0 {
+		fmt.Printf("  %-22s %d/%d quantizable layer groups in int8\n", "int8 coverage", covered, total)
+		for _, name := range eng.Int8Layers() {
+			fmt.Printf("  %-22s %s\n", "", name)
+		}
+	}
 	fmt.Printf("  %-22s MaxBatch=%d MaxDelay=1ms QueueCap=%d  (nshd-serve defaults)\n",
 		"batcher sizing", eng.ChunkSize(), 4*eng.ChunkSize())
 	return nil

@@ -79,6 +79,12 @@ type Engine struct {
 	arenas    chan *tensor.Arena
 	created   atomic.Int32
 	maxArenas int32
+
+	// Precision mode and int8 coverage accounting (see int8.go).
+	precision   Precision
+	int8Covered int
+	int8Total   int
+	int8Names   []string
 }
 
 type extractStage struct{ ex *nn.Sequential }
@@ -149,7 +155,16 @@ func (c packedClassifier) ModelBytes() int64 { return c.pm.MemoryBytes() }
 // through the stage chain on a measuring arena to size the per-worker slabs.
 // Predictions agree with the pipeline's direct path per-sample, bit-for-bit:
 // every stage reuses the training kernels' exact accumulation order.
-func Compile(p *core.Pipeline) (*Engine, error) {
+//
+// Options select the numeric mode: Compile(p, engine.Int8,
+// engine.WithCalibration(imgs)) rebuilds the extractor/manifold stages in
+// quantized int8 arithmetic (see Precision); with no options the engine is
+// the exact Float32 build.
+func Compile(p *core.Pipeline, opts ...Option) (*Engine, error) {
+	var o compileOptions
+	for _, opt := range opts {
+		opt.applyOption(&o)
+	}
 	if p == nil {
 		return nil, fmt.Errorf("engine: nil pipeline")
 	}
@@ -165,15 +180,22 @@ func Compile(p *core.Pipeline) (*Engine, error) {
 		inShape:   [3]int{in[0], in[1], in[2]},
 		sampleLen: in[0] * in[1] * in[2],
 		d:         p.Cfg.D,
+		precision: o.precision,
 	}
-	e.stages = append(e.stages, extractStage{p.Extractor})
-	switch {
-	case p.Manifold != nil:
-		e.stages = append(e.stages, manifoldStage{p.Manifold})
-	case p.LSH != nil:
-		e.stages = append(e.stages, flattenStage{}, projectStage{"lsh", p.LSH})
-	default:
-		e.stages = append(e.stages, flattenStage{})
+	if o.precision == Int8 {
+		if err := e.buildInt8Stages(p, &o); err != nil {
+			return nil, err
+		}
+	} else {
+		e.stages = append(e.stages, extractStage{p.Extractor})
+		switch {
+		case p.Manifold != nil:
+			e.stages = append(e.stages, manifoldStage{p.Manifold})
+		case p.LSH != nil:
+			e.stages = append(e.stages, flattenStage{}, projectStage{"lsh", p.LSH})
+		default:
+			e.stages = append(e.stages, flattenStage{})
+		}
 	}
 	e.stages = append(e.stages, projectStage{"project", p.Proj})
 	if p.Cfg.PackedInference {

@@ -1,0 +1,244 @@
+package engine_test
+
+import (
+	"strings"
+	"testing"
+
+	"nshd/internal/cnn"
+	"nshd/internal/core"
+	"nshd/internal/dataset"
+	"nshd/internal/engine"
+	"nshd/internal/nn"
+	"nshd/internal/tensor"
+)
+
+// buildInt8Pipeline mirrors buildPipeline but also returns the train split,
+// which the int8 engine uses for calibration.
+func buildInt8Pipeline(t *testing.T, mut func(*core.Config)) (*core.Pipeline, *dataset.Dataset, *dataset.Dataset) {
+	t.Helper()
+	cfgD := dataset.SynthConfig{Classes: 4, Train: 200, Test: 200, Size: 16, Noise: 0.02, Seed: 61}
+	train, test := dataset.SynthCIFAR(cfgD)
+	cfg := core.DefaultConfig(1, 4)
+	cfg.D = 512
+	cfg.FHat = 24
+	cfg.Epochs = 20
+	cfg.Seed = 7
+	cfg.BatchSize = 8
+	mut(&cfg)
+	p, err := core.New(tinyZoo(62, 4), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Train(train, nil); err != nil {
+		t.Fatal(err)
+	}
+	return p, train, test
+}
+
+func accuracyOf(preds []int, labels []int) float64 {
+	correct := 0
+	for i, p := range preds {
+		if p == labels[i] {
+			correct++
+		}
+	}
+	return 100 * float64(correct) / float64(len(preds))
+}
+
+// TestEngineInt8AccuracyWithinOnePoint is the acceptance gate for the
+// quantized datapath: on SynthCIFAR, the calibrated int8 engine's accuracy
+// must stay within one point of the float engine's.
+func TestEngineInt8AccuracyWithinOnePoint(t *testing.T) {
+	p, train, test := buildInt8Pipeline(t, func(c *core.Config) {})
+	ef, err := engine.Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := engine.Compile(p, engine.Int8, engine.WithCalibration(train.Images))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, err := ef.Predict(test.Images)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pq, err := eq.Predict(test.Images)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accF := accuracyOf(pf, test.Labels)
+	accQ := accuracyOf(pq, test.Labels)
+	t.Logf("float=%.2f%% int8=%.2f%%", accF, accQ)
+	// Chance is 25% on 4 classes; demand a clear margin so the 1-point
+	// comparison below is not vacuous.
+	if accF < 40 {
+		t.Fatalf("degenerate float model (%.2f%%): accuracy comparison vacuous", accF)
+	}
+	if d := accF - accQ; d > 1.0 || d < -1.0 {
+		t.Fatalf("int8 accuracy %.2f%% departs from float %.2f%% by more than 1 point", accQ, accF)
+	}
+}
+
+// TestEngineInt8FullCoverage: the conv/ReLU/pool extractor plus the manifold
+// quantize completely — no float fallback segments — and the engine reports
+// the mode and layer inventory.
+func TestEngineInt8FullCoverage(t *testing.T) {
+	p, train, _ := buildInt8Pipeline(t, func(c *core.Config) {})
+	e, err := engine.Compile(p, engine.Int8, engine.WithCalibration(train.Images))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Precision() != engine.Int8 {
+		t.Fatalf("precision %v, want int8", e.Precision())
+	}
+	covered, total := e.Int8Coverage()
+	if total == 0 || covered != total {
+		t.Fatalf("coverage %d/%d, want full", covered, total)
+	}
+	names := e.Int8Layers()
+	if len(names) == 0 || !strings.Contains(names[0], "Int8Conv2D") {
+		t.Fatalf("int8 layer inventory %v", names)
+	}
+	stages := e.Stages()
+	if stages[0] != "extract" || stages[1] != "manifold" {
+		t.Fatalf("stages %v", stages)
+	}
+
+	// Float32 compiles report no coverage.
+	ef, err := engine.Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ef.Precision() != engine.Float32 {
+		t.Fatalf("default precision %v", ef.Precision())
+	}
+	if c, tot := ef.Int8Coverage(); c != 0 || tot != 0 {
+		t.Fatalf("float engine coverage %d/%d, want 0/0", c, tot)
+	}
+}
+
+// fallbackZoo inserts a Sigmoid — a layer with no int8 implementation —
+// between the two conv units, forcing a float fallback segment in the
+// middle of the quantized chain.
+func fallbackZoo(seed int64, classes int) *cnn.Model {
+	rng := tensor.NewRNG(seed)
+	m := &cnn.Model{Name: "fallbackcnn", InShape: []int{3, 16, 16}, Classes: classes}
+	m.Units = append(m.Units,
+		cnn.Unit{Index: 0, Label: "conv0", Layers: []nn.Layer{
+			nn.NewConv2D(rng, 3, 8, 3, 1, 1, true), nn.NewReLU(), nn.NewMaxPool2D(2)}},
+		cnn.Unit{Index: 1, Label: "conv1", Layers: []nn.Layer{
+			nn.NewConv2D(rng, 8, 16, 3, 1, 1, true), nn.NewSigmoid(), nn.NewMaxPool2D(2)}},
+	)
+	m.Head = []nn.Layer{nn.NewFlatten(), nn.NewLinear(rng, 16*4*4, classes, true)}
+	return m.Finish()
+}
+
+// TestEngineInt8PartialFallback: a chain with an unquantizable layer still
+// compiles in int8 mode, serves valid predictions, and reports partial
+// coverage.
+func TestEngineInt8PartialFallback(t *testing.T) {
+	cfgD := dataset.SynthConfig{Classes: 4, Train: 40, Test: 21, Size: 16, Noise: 0.2, Seed: 61}
+	train, test := dataset.SynthCIFAR(cfgD)
+	cfg := core.DefaultConfig(1, 4)
+	cfg.D = 70
+	cfg.FHat = 16
+	cfg.Seed = 7
+	cfg.BatchSize = 8
+	p, err := core.New(fallbackZoo(62, 4), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feats := p.ExtractFeatures(train.Images)
+	_, _, signed := p.Symbolize(feats, false)
+	p.HD.InitBundle(signed, train.Labels)
+
+	e, err := engine.Compile(p, engine.Int8, engine.WithCalibration(train.Images))
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered, total := e.Int8Coverage()
+	if covered >= total || covered == 0 {
+		t.Fatalf("coverage %d/%d, want partial", covered, total)
+	}
+	preds, err := e.Predict(test.Images)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != test.Len() {
+		t.Fatalf("%d preds for %d images", len(preds), test.Len())
+	}
+	for _, pr := range preds {
+		if pr < 0 || pr >= 4 {
+			t.Fatalf("prediction %d out of class range", pr)
+		}
+	}
+}
+
+// TestEngineInt8ZeroAlloc: the quantized datapath must keep the frozen-arena
+// guarantee — no heap allocations in steady state.
+func TestEngineInt8ZeroAlloc(t *testing.T) {
+	p, train, test := buildInt8Pipeline(t, func(c *core.Config) { c.PackedInference = true })
+	e, err := engine.Compile(p, engine.Int8, engine.WithCalibration(train.Images))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := e.ChunkSize()
+	if n > test.Len() {
+		n = test.Len()
+	}
+	sample := test.Images.Len() / test.Len()
+	imgs := tensor.FromSlice(test.Images.Data[:n*sample], n, 3, 16, 16)
+	preds := make([]int, n)
+	if err := e.PredictInto(imgs, preds); err != nil {
+		t.Fatal(err)
+	}
+	if a := testing.AllocsPerRun(100, func() {
+		if err := e.PredictInto(imgs, preds); err != nil {
+			t.Fatal(err)
+		}
+	}); a != 0 {
+		t.Fatalf("int8 PredictInto allocated %.1f times per run in steady state", a)
+	}
+}
+
+// TestEngineInt8SyntheticCalibration: omitting WithCalibration still
+// compiles (synthetic batch) and serves — the documented accuracy-risk path.
+func TestEngineInt8SyntheticCalibration(t *testing.T) {
+	p, _, test := buildInt8Pipeline(t, func(c *core.Config) {})
+	e, err := engine.Compile(p, engine.Int8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Predict(test.Images); err != nil {
+		t.Fatal(err)
+	}
+	// Wrong-shaped calibration images must be rejected.
+	if _, err := engine.Compile(p, engine.Int8, engine.WithCalibration(tensor.New(2, 1, 16, 16))); err == nil {
+		t.Fatal("bad calibration shape must fail Compile")
+	}
+}
+
+// TestEngineInt8TimeStages: the per-stage probe reports a row per stage plus
+// the classifier, with nonnegative times.
+func TestEngineInt8TimeStages(t *testing.T) {
+	p, train, test := buildInt8Pipeline(t, func(c *core.Config) {})
+	e, err := engine.Compile(p, engine.Int8, engine.WithCalibration(train.Images))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := e.TimeStages(test.Images, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(e.Stages()) {
+		t.Fatalf("%d timing rows for %d stages", len(rows), len(e.Stages()))
+	}
+	if rows[0].Name != "extract" || rows[len(rows)-1].Name != "classify" {
+		t.Fatalf("timing rows %v", rows)
+	}
+	for _, r := range rows {
+		if r.Seconds < 0 {
+			t.Fatalf("negative stage time %v", r)
+		}
+	}
+}

@@ -91,6 +91,12 @@ func (l *Learner) ForwardInfer(x *tensor.Tensor, ar *tensor.Arena) *tensor.Tenso
 	return l.fc.ForwardInfer(y, ar)
 }
 
+// InferLayers exposes the inference sublayers — the pool (nil when the
+// feature map is too small to pool) and the FC regressor — for compilers
+// that rebuild the learner in another numeric format (the engine's int8
+// precision mode).
+func (l *Learner) InferLayers() (pool *nn.MaxPool2D, fc *nn.Linear) { return l.pool, l.fc }
+
 // Backward propagates dL/d(output) ([N, F̂]) into the FC parameters,
 // returning the gradient w.r.t. the (pre-pool) feature input. Callers that
 // freeze the CNN discard the return value.

@@ -1,0 +1,294 @@
+package nn
+
+import (
+	"fmt"
+
+	"nshd/internal/tensor"
+)
+
+// Int8Layer is the quantized counterpart of InferenceLayer: a frozen,
+// state-free op over u8 activation tensors. The contract is the same —
+// allocation only through the arena, strictly serial execution (batch-level
+// parallelism belongs to the caller), and deterministic output for a given
+// input. Layers are constructed by the engine's quantization pass
+// (internal/engine), which folds batch norm, quantizes weights per output
+// channel and computes the requantization parameters; the constructors here
+// only validate and store them.
+type Int8Layer interface {
+	ForwardInt8(x *tensor.QTensor, ar *tensor.Arena) *tensor.QTensor
+}
+
+// Int8Quant carries the activation quantization contract of one int8 layer:
+// the input parameters it was folded against (checked at run time — a
+// mismatch means the builder wired the chain wrong, not a data error) and
+// the output parameters plus clamp bounds it produces.
+//
+// The clamp encodes the fused activation: no activation clamps to the full
+// [0, 255] range, ReLU raises ClampLo to OutZero (real 0), and ReLU6 also
+// lowers ClampHi to the quantized value of 6. The clamp is applied during
+// requantization, so fused activations are free.
+type Int8Quant struct {
+	InScale  float32
+	InZero   uint8
+	OutScale float32
+	OutZero  uint8
+	ClampLo  uint8
+	ClampHi  uint8
+}
+
+func (q Int8Quant) validate(name string) {
+	if !(q.InScale > 0) || !(q.OutScale > 0) {
+		panic(fmt.Sprintf("nn: %s scales (in=%g, out=%g) must be positive", name, q.InScale, q.OutScale))
+	}
+	if q.ClampLo > q.ClampHi {
+		panic(fmt.Sprintf("nn: %s clamp [%d, %d] is empty", name, q.ClampLo, q.ClampHi))
+	}
+}
+
+// checkInt8Input panics when the incoming tensor was quantized with
+// different parameters than the layer was folded for. The layer's Bias32
+// bakes in the input zero-point and its Scales bake in the input scale, so
+// running with mismatched parameters would silently produce garbage.
+func checkInt8Input(name string, x *tensor.QTensor, q Int8Quant) {
+	if x.Scale != q.InScale || x.Zero != q.InZero {
+		panic(fmt.Sprintf("nn: %s input quantized as (scale=%g, zero=%d), layer folded for (scale=%g, zero=%d)",
+			name, x.Scale, x.Zero, q.InScale, q.InZero))
+	}
+}
+
+// Int8Conv2D is a quantized 2-D convolution with per-output-channel
+// requantization and an optionally fused clamp activation. Weights are
+// symmetric int8 (already folded with batch norm by the builder), the bias
+// is pre-combined into the int32 accumulator domain, and the mapping back
+// to u8 is one multiply per element:
+//
+//	q_y[oc] = clamp(round((ACC[oc] + Bias32[oc]) · Scales[oc]) + OutZero)
+//
+// where ACC is the exact int32 GEMM of the u8 im2col matrix against the
+// int8 weights and Scales[oc] = S_in·S_w[oc] / S_out.
+type Int8Conv2D struct {
+	InC, OutC, KH, KW, Stride, Pad int
+	W                              []int8    // [OutC, InC·KH·KW] row-major
+	Bias32                         []int32   // [OutC], accumulator-domain bias
+	Scales                         []float32 // [OutC], combined requant scales
+	Q                              Int8Quant
+
+	// kp is kdim rounded up to a multiple of 4 and wp the weights re-laid
+	// with zero-filled K tails, so the VNNI GEMM (which consumes K in quads)
+	// never falls back to the scalar remainder kernel. Zero weight × any
+	// activation contributes exactly 0, so results are unchanged.
+	kp int
+	wp []int8
+}
+
+// NewInt8Conv2D validates and assembles a quantized convolution.
+func NewInt8Conv2D(inC, outC, kh, kw, stride, pad int, w []int8, bias32 []int32, scales []float32, q Int8Quant) *Int8Conv2D {
+	if inC < 1 || outC < 1 || kh < 1 || kw < 1 || stride < 1 || pad < 0 {
+		panic(fmt.Sprintf("nn: Int8Conv2D geometry inC=%d outC=%d k=%dx%d stride=%d pad=%d", inC, outC, kh, kw, stride, pad))
+	}
+	kdim := inC * kh * kw
+	if len(w) != outC*kdim {
+		panic(fmt.Sprintf("nn: Int8Conv2D weights %d, want %d×%d", len(w), outC, kdim))
+	}
+	if len(bias32) != outC || len(scales) != outC {
+		panic(fmt.Sprintf("nn: Int8Conv2D bias/scales (%d, %d), want %d each", len(bias32), len(scales), outC))
+	}
+	q.validate("Int8Conv2D")
+	for oc, s := range scales {
+		if !(s > 0) {
+			panic(fmt.Sprintf("nn: Int8Conv2D channel %d requant scale %g, want positive", oc, s))
+		}
+	}
+	c := &Int8Conv2D{InC: inC, OutC: outC, KH: kh, KW: kw, Stride: stride, Pad: pad, W: w, Bias32: bias32, Scales: scales, Q: q}
+	c.kp = (kdim + 3) &^ 3
+	if c.kp == kdim {
+		c.wp = w
+	} else {
+		c.wp = make([]int8, outC*c.kp)
+		for oc := 0; oc < outC; oc++ {
+			copy(c.wp[oc*c.kp:oc*c.kp+kdim], w[oc*kdim:(oc+1)*kdim])
+		}
+	}
+	return c
+}
+
+func (c *Int8Conv2D) String() string {
+	return fmt.Sprintf("Int8Conv2D(%d→%d, %dx%d/%d p%d)", c.InC, c.OutC, c.KH, c.KW, c.Stride, c.Pad)
+}
+
+// ForwardInt8 runs per-sample im2col (padding with the input zero-point, so
+// padded positions contribute exactly real 0) followed by the serial int8
+// GEMM and per-channel requantization. Scratch is arena-allocated and
+// released before returning, mirroring Conv2D.ForwardInfer.
+func (c *Int8Conv2D) ForwardInt8(x *tensor.QTensor, ar *tensor.Arena) *tensor.QTensor {
+	if x.Rank() != 4 || x.Shape[1] != c.InC {
+		panic(fmt.Sprintf("nn: Int8Conv2D expects [N %d H W], got %v", c.InC, x.Shape))
+	}
+	checkInt8Input("Int8Conv2D", x, c.Q)
+	n, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
+	g := tensor.ConvGeom{InC: c.InC, InH: h, InW: w, KH: c.KH, KW: c.KW,
+		StrideH: c.Stride, StrideW: c.Stride, PadH: c.Pad, PadW: c.Pad}
+	outH, outW := g.OutH(), g.OutW()
+	y := ar.AllocU8(c.Q.OutScale, c.Q.OutZero, n, c.OutC, outH, outW)
+	if n == 0 {
+		return y
+	}
+	kdim := c.InC * c.KH * c.KW
+	outS := outH * outW
+	m := ar.Mark()
+	// Pointwise (1×1, stride 1, no pad) convolution: the column matrix is the
+	// input sample already laid out as [InC, H·W], so the GEMM reads the
+	// input segment directly — same elision as the float path. Requires
+	// kp == kdim (no K padding rows to splice in).
+	pointwise := c.KH == 1 && c.KW == 1 && c.Stride == 1 && c.Pad == 0 && c.kp == kdim
+	sampleIn := c.InC * h * w
+	var cols []uint8
+	if !pointwise {
+		cols = ar.Bytes(c.kp * outS)
+		if c.kp > kdim {
+			clear(cols[kdim*outS:])
+		}
+	}
+	scratch := ar.Bytes(tensor.Int8GemmScratch())
+	acc := ar.Int32s(c.OutC * outS)
+	sampleOut := c.OutC * outS
+	for i := 0; i < n; i++ {
+		if pointwise {
+			cols = x.Data[i*sampleIn : (i+1)*sampleIn]
+		} else {
+			tensor.Im2ColU8(g, x.Data[i*sampleIn:(i+1)*sampleIn], cols, x.Zero)
+		}
+		tensor.MatMulInt8SerialInto(acc, c.wp, cols, c.OutC, outS, c.kp, scratch)
+		seg := y.Data[i*sampleOut : (i+1)*sampleOut]
+		for oc := 0; oc < c.OutC; oc++ {
+			tensor.RequantizeU8Row(seg[oc*outS:(oc+1)*outS], acc[oc*outS:(oc+1)*outS],
+				c.Bias32[oc], c.Scales[oc], c.Q.OutZero, c.Q.ClampLo, c.Q.ClampHi)
+		}
+	}
+	ar.Release(m)
+	return y
+}
+
+// Int8Linear is a quantized fully-connected layer. Each output is one
+// u8·i8 dot product (VNNI-accelerated where available) plus the same
+// per-channel requantization as Int8Conv2D. Serving batches are small, so a
+// dot-per-output loop beats the blocked GEMM here: the GEMM's asm micro
+// kernel needs 16-column tiles, which a batch dimension of 1–16 never fills.
+type Int8Linear struct {
+	In, Out int
+	W       []int8    // [Out, In] row-major
+	Bias32  []int32   // [Out]
+	Scales  []float32 // [Out]
+	Q       Int8Quant
+}
+
+// NewInt8Linear validates and assembles a quantized fully-connected layer.
+func NewInt8Linear(in, out int, w []int8, bias32 []int32, scales []float32, q Int8Quant) *Int8Linear {
+	if in < 1 || out < 1 {
+		panic(fmt.Sprintf("nn: Int8Linear shape %d→%d", in, out))
+	}
+	if len(w) != out*in {
+		panic(fmt.Sprintf("nn: Int8Linear weights %d, want %d×%d", len(w), out, in))
+	}
+	if len(bias32) != out || len(scales) != out {
+		panic(fmt.Sprintf("nn: Int8Linear bias/scales (%d, %d), want %d each", len(bias32), len(scales), out))
+	}
+	q.validate("Int8Linear")
+	for oc, s := range scales {
+		if !(s > 0) {
+			panic(fmt.Sprintf("nn: Int8Linear output %d requant scale %g, want positive", oc, s))
+		}
+	}
+	return &Int8Linear{In: in, Out: out, W: w, Bias32: bias32, Scales: scales, Q: q}
+}
+
+func (l *Int8Linear) String() string { return fmt.Sprintf("Int8Linear(%d→%d)", l.In, l.Out) }
+
+// ForwardInt8 implements Int8Layer.
+func (l *Int8Linear) ForwardInt8(x *tensor.QTensor, ar *tensor.Arena) *tensor.QTensor {
+	if x.Rank() != 2 || x.Shape[1] != l.In {
+		panic(fmt.Sprintf("nn: Int8Linear expects [N %d], got %v", l.In, x.Shape))
+	}
+	checkInt8Input("Int8Linear", x, l.Q)
+	n := x.Shape[0]
+	y := ar.AllocU8(l.Q.OutScale, l.Q.OutZero, n, l.Out)
+	lo, hi := int32(l.Q.ClampLo), int32(l.Q.ClampHi)
+	zero := int32(l.Q.OutZero)
+	for i := 0; i < n; i++ {
+		row := x.Data[i*l.In : (i+1)*l.In]
+		out := y.Data[i*l.Out : (i+1)*l.Out]
+		for oc := 0; oc < l.Out; oc++ {
+			acc := tensor.DotU8I8(row, l.W[oc*l.In:(oc+1)*l.In]) + l.Bias32[oc]
+			q := tensor.RoundAway(float32(acc)*l.Scales[oc]) + zero
+			if q < lo {
+				q = lo
+			} else if q > hi {
+				q = hi
+			}
+			out[oc] = uint8(q)
+		}
+	}
+	return y
+}
+
+// Int8MaxPool2D is max pooling over u8 activations. Dequantization is
+// strictly increasing (scale > 0), so the u8 max selects exactly the value
+// the float max would: the op is lossless and passes the input quantization
+// parameters through unchanged.
+type Int8MaxPool2D struct {
+	K int
+}
+
+func (m *Int8MaxPool2D) String() string { return fmt.Sprintf("Int8MaxPool2D(%d)", m.K) }
+
+// ForwardInt8 implements Int8Layer.
+func (m *Int8MaxPool2D) ForwardInt8(x *tensor.QTensor, ar *tensor.Arena) *tensor.QTensor {
+	if x.Rank() != 4 {
+		panic(fmt.Sprintf("nn: Int8MaxPool2D expects [N C H W], got %v", x.Shape))
+	}
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	outH, outW := h/m.K, w/m.K
+	if outH == 0 || outW == 0 {
+		panic(fmt.Sprintf("nn: Int8MaxPool2D window %d larger than input %dx%d", m.K, h, w))
+	}
+	y := ar.AllocU8(x.Scale, x.Zero, n, c, outH, outW)
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < c; ch++ {
+			inBase := (i*c + ch) * h * w
+			outBase := (i*c + ch) * outH * outW
+			for oh := 0; oh < outH; oh++ {
+				for ow := 0; ow < outW; ow++ {
+					var best uint8
+					for kh := 0; kh < m.K; kh++ {
+						rowAt := inBase + (oh*m.K+kh)*w + ow*m.K
+						for kw := 0; kw < m.K; kw++ {
+							if v := x.Data[rowAt+kw]; kh|kw == 0 || v > best {
+								best = v
+							}
+						}
+					}
+					y.Data[outBase+oh*outW+ow] = best
+				}
+			}
+		}
+	}
+	return y
+}
+
+// Int8Flatten reshapes [N, ...] to [N, rest] as a view over the same bytes —
+// no copy, quantization parameters unchanged.
+type Int8Flatten struct{}
+
+func (Int8Flatten) String() string { return "Int8Flatten" }
+
+// ForwardInt8 implements Int8Layer.
+func (Int8Flatten) ForwardInt8(x *tensor.QTensor, ar *tensor.Arena) *tensor.QTensor {
+	if x.Rank() < 2 {
+		panic(fmt.Sprintf("nn: Int8Flatten expects rank ≥ 2, got %v", x.Shape))
+	}
+	rest := 1
+	for _, s := range x.Shape[1:] {
+		rest *= s
+	}
+	return ar.WrapU8(x.Data, x.Scale, x.Zero, x.Shape[0], rest)
+}

@@ -19,6 +19,7 @@ import (
 
 	"nshd/internal/hdlearn"
 	"nshd/internal/nn"
+	"nshd/internal/parallel"
 	"nshd/internal/tensor"
 )
 
@@ -78,24 +79,18 @@ func (q *Tensor8) MaxAbsError() float32 { return q.Scale / 2 }
 // place, returning a restore function that puts the original float weights
 // back. Batch-norm running statistics are left untouched (the DPU folds them
 // into the convolutions at full precision).
+//
+// The restore function is idempotent: only the first call writes the saved
+// weights back, so calling it again — e.g. once via defer and once
+// explicitly, a pattern that otherwise silently clobbers any training done
+// after the first restore — is a no-op.
 func FakeQuantize(model *nn.Sequential) (restore func()) {
-	var originals [][]float32
-	params := model.Params()
-	for _, p := range params {
-		originals = append(originals, append([]float32(nil), p.W.Data...))
-		q := Quantize(p.W)
-		d := q.Dequantize()
-		copy(p.W.Data, d.Data)
-	}
-	return func() {
-		for i, p := range params {
-			copy(p.W.Data, originals[i])
-		}
-	}
+	return FakeQuantizeParams(model.Params())
 }
 
 // FakeQuantizeParams round-trips an explicit parameter list (e.g. the
-// manifold learner's FC weights).
+// manifold learner's FC weights). The restore function is idempotent; see
+// FakeQuantize.
 func FakeQuantizeParams(params []*nn.Param) (restore func()) {
 	var originals [][]float32
 	for _, p := range params {
@@ -104,7 +99,12 @@ func FakeQuantizeParams(params []*nn.Param) (restore func()) {
 		d := q.Dequantize()
 		copy(p.W.Data, d.Data)
 	}
+	restored := false
 	return func() {
+		if restored {
+			return
+		}
+		restored = true
 		for i, p := range params {
 			copy(p.W.Data, originals[i])
 		}
@@ -148,36 +148,51 @@ func QuantizeHD(m *hdlearn.Model) *HDModel8 {
 }
 
 // PredictBatch classifies bipolar query hypervectors ([N, D] of ±1) using
-// int32 arithmetic only.
+// int32 arithmetic only, parallelized over queries (each query's K·D scoring
+// loop is independent, so the split cannot change any result).
 func (q *HDModel8) PredictBatch(signed *tensor.Tensor) ([]int, error) {
+	if q.K <= 0 || q.D <= 0 {
+		return nil, fmt.Errorf("quant: empty HD model (K=%d, D=%d)", q.K, q.D)
+	}
 	if signed.Rank() != 2 || signed.Shape[1] != q.D {
 		return nil, fmt.Errorf("quant: queries shape %v, want [N %d]", signed.Shape, q.D)
 	}
 	n := signed.Shape[0]
 	out := make([]int, n)
-	for i := 0; i < n; i++ {
-		row := signed.Row(i)
-		best := int32(math.MinInt32)
-		bestK := 0
-		for k := 0; k < q.K; k++ {
-			var acc int32
-			cls := q.Rows[k]
-			for j, v := range row {
-				// v is ±1: add or subtract, the FPGA datapath's operation.
-				if v >= 0 {
-					acc += int32(cls[j])
-				} else {
-					acc -= int32(cls[j])
+	// One query costs K·D adds; batch enough per task to amortize dispatch.
+	grain := 1
+	if cost := q.K * q.D; cost > 0 && cost < minBatchWork {
+		grain = (minBatchWork + cost - 1) / cost
+	}
+	parallel.ForGrain(n, grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := signed.Row(i)
+			best := int32(math.MinInt32)
+			bestK := 0
+			for k := 0; k < q.K; k++ {
+				var acc int32
+				cls := q.Rows[k]
+				for j, v := range row {
+					// v is ±1: add or subtract, the FPGA datapath's operation.
+					if v >= 0 {
+						acc += int32(cls[j])
+					} else {
+						acc -= int32(cls[j])
+					}
+				}
+				if acc > best {
+					best, bestK = acc, k
 				}
 			}
-			if acc > best {
-				best, bestK = acc, k
-			}
+			out[i] = bestK
 		}
-		out[i] = bestK
-	}
+	})
 	return out, nil
 }
+
+// minBatchWork is the per-task floor of add/sub operations below which pool
+// dispatch overhead would dominate a PredictBatch task.
+const minBatchWork = 1 << 15
 
 // MemoryBytes is the int8 model footprint.
 func (q *HDModel8) MemoryBytes() int64 { return int64(q.K) * int64(q.D) }

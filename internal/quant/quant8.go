@@ -1,0 +1,277 @@
+package quant
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"nshd/internal/tensor"
+)
+
+// Real int8 datapath support: per-output-channel weight quantization,
+// activation calibration observers, and the int32→int8 requantization
+// helper. These produce the parameters the engine's quantized layers
+// (nn.Int8Conv2D / nn.Int8Linear) consume; the arithmetic they describe is
+// executed by the kernels in internal/tensor.
+//
+// Conventions (the ones Vitis AI, gemmlowp and TFLite share):
+//
+//   - activations: unsigned 8-bit, asymmetric — real = S·(q − Z) with scale
+//     S > 0 and zero-point Z ∈ [0,255] chosen so real 0.0 is exactly
+//     representable (padding and ReLU clamps then introduce no error);
+//   - weights: signed 8-bit, symmetric per output channel — real = S_c·w,
+//     w ∈ [−127,127] (−128 unused, keeping the magnitude range symmetric);
+//   - accumulation: int32, exact;
+//   - requantization: one multiply per output element by the combined scale
+//     S_in·S_w[c]/S_out, rounding half away from zero.
+
+// Channels8 is a per-output-channel symmetric int8 quantization of a weight
+// matrix flattened to [Rows, Cols]: row r holds output channel r and
+// dequantizes as real = Scales[r] · int8.
+type Channels8 struct {
+	Data   []int8
+	Scales []float32
+	Rows   int
+	Cols   int
+}
+
+// QuantizeChannels quantizes a weight tensor per output channel: the first
+// dimension indexes channels (Conv2D [OutC,InC,KH,KW], Linear [Out,In]) and
+// each channel gets its own maxabs/127 scale — the layout int8 inference
+// stacks use because conv channels routinely differ by orders of magnitude
+// in weight range, which a per-tensor scale would collapse to a few levels.
+// An all-zero channel quantizes to scale 1.
+func QuantizeChannels(w *tensor.Tensor) *Channels8 {
+	if w.Rank() < 1 {
+		panic("quant: QuantizeChannels requires rank ≥ 1")
+	}
+	rows := w.Shape[0]
+	cols := 1
+	for _, s := range w.Shape[1:] {
+		cols *= s
+	}
+	q := &Channels8{Data: make([]int8, rows*cols), Scales: make([]float32, rows), Rows: rows, Cols: cols}
+	for r := 0; r < rows; r++ {
+		src := w.Data[r*cols : (r+1)*cols]
+		var maxAbs float32
+		for _, v := range src {
+			a := v
+			if a < 0 {
+				a = -a
+			}
+			if a > maxAbs {
+				maxAbs = a
+			}
+		}
+		scale := maxAbs / 127
+		if scale == 0 {
+			scale = 1
+		}
+		q.Scales[r] = scale
+		dst := q.Data[r*cols : (r+1)*cols]
+		for i, v := range src {
+			x := math.Round(float64(v / scale))
+			if x > 127 {
+				x = 127
+			}
+			if x < -127 {
+				x = -127
+			}
+			dst[i] = int8(x)
+		}
+	}
+	return q
+}
+
+// Observer accumulates the value distribution of one activation boundary
+// over a calibration batch and reports the range to quantize for.
+type Observer interface {
+	Observe(vals []float32)
+	// Range returns the calibrated (lo, hi). Implementations must return a
+	// range that is usable even if nothing was observed (0, 0 is fine:
+	// ActQuant widens degenerate ranges).
+	Range() (lo, hi float32)
+}
+
+// MinMaxObserver tracks the exact observed minimum and maximum — the
+// conservative default: no value ever clips, at the cost of resolution when
+// the distribution has long tails.
+type MinMaxObserver struct {
+	lo, hi float32
+	seen   bool
+}
+
+// Observe folds a slice of activations into the running range.
+func (o *MinMaxObserver) Observe(vals []float32) {
+	for _, v := range vals {
+		if !o.seen {
+			o.lo, o.hi, o.seen = v, v, true
+			continue
+		}
+		if v < o.lo {
+			o.lo = v
+		}
+		if v > o.hi {
+			o.hi = v
+		}
+	}
+}
+
+// Range returns the observed extrema (0,0 before any observation).
+func (o *MinMaxObserver) Range() (float32, float32) { return o.lo, o.hi }
+
+// maxPercentileSamples bounds PercentileObserver memory. When the reservoir
+// fills, the stride doubles and every other retained sample is dropped —
+// deterministic uniform subsampling with no RNG, so calibration is
+// reproducible run-to-run.
+const maxPercentileSamples = 1 << 16
+
+// PercentileObserver keeps a bounded deterministic subsample of the observed
+// values and clips (100−Pct)/2 percent of the mass off each tail — trading a
+// little saturation on outliers for finer resolution in the bulk of the
+// distribution (the calibration mode to reach for when MinMax scales are
+// blown out by a few extreme activations).
+type PercentileObserver struct {
+	// Pct is the central percentile to cover, e.g. 99.9. Values ≤ 0 or
+	// ≥ 100 behave like MinMax.
+	Pct     float64
+	samples []float32
+	stride  int
+	phase   int
+}
+
+// Observe folds a slice of activations into the reservoir.
+func (o *PercentileObserver) Observe(vals []float32) {
+	if o.stride == 0 {
+		o.stride = 1
+	}
+	for _, v := range vals {
+		if o.phase == 0 {
+			if len(o.samples) == maxPercentileSamples {
+				// Decimate: keep every other sample, double the stride.
+				kept := o.samples[:0]
+				for i := 0; i < len(o.samples); i += 2 {
+					kept = append(kept, o.samples[i])
+				}
+				o.samples = kept
+				o.stride *= 2
+			}
+			o.samples = append(o.samples, v)
+		}
+		o.phase++
+		if o.phase == o.stride {
+			o.phase = 0
+		}
+	}
+}
+
+// Range returns the clipped percentile range of the subsample.
+func (o *PercentileObserver) Range() (float32, float32) {
+	if len(o.samples) == 0 {
+		return 0, 0
+	}
+	s := append([]float32(nil), o.samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	if o.Pct <= 0 || o.Pct >= 100 {
+		return s[0], s[len(s)-1]
+	}
+	tail := (100 - o.Pct) / 2 / 100
+	loIdx := int(tail * float64(len(s)))
+	hiIdx := len(s) - 1 - loIdx
+	if loIdx > hiIdx {
+		loIdx, hiIdx = hiIdx, loIdx
+	}
+	return s[loIdx], s[hiIdx]
+}
+
+// ActQuant converts a calibrated activation range into u8 quantization
+// parameters. The range is first widened to include 0 so the zero-point is
+// exact; a degenerate range gets scale 1.
+func ActQuant(lo, hi float32) (scale float32, zero uint8) {
+	if lo > 0 {
+		lo = 0
+	}
+	if hi < 0 {
+		hi = 0
+	}
+	scale = (hi - lo) / 255
+	if scale <= 0 || math.IsNaN(float64(scale)) || math.IsInf(float64(scale), 0) {
+		return 1, 0
+	}
+	z := tensor.RoundAway(-lo / scale)
+	if z < 0 {
+		z = 0
+	} else if z > 255 {
+		z = 255
+	}
+	return scale, uint8(z)
+}
+
+// Requantizer maps int32 accumulators back to the quantized output domain:
+// out ≈ round(acc · real) where real = S_in·S_w/S_out. It carries the same
+// mapping in two forms:
+//
+//   - Scale: the float32 multiplier the Go/SIMD datapath applies
+//     (tensor.RequantizeU8Row) — one mul + round per element;
+//   - Mult/Shift: the normalized fixed-point form (mantissa in [2^30, 2^31),
+//     out = (acc·Mult + 2^(Shift−1)) >> Shift) that a DSP or FPGA datapath
+//     with no float unit would use, kept here as the audited reference.
+//
+// The two agree within one output step across the entire operating range
+// (|acc·real| up to ~2^20, far beyond the [0,255] clamp that bounds real
+// outputs; ties round differently, and beyond that range float32 mantissa
+// precision stops resolving single steps). The property test in
+// quant8_test.go pins that bound.
+type Requantizer struct {
+	Scale float32
+	Mult  int32
+	Shift uint
+}
+
+// NewRequantizer builds both forms from the combined real-valued scale,
+// which must be positive and finite.
+func NewRequantizer(real float64) (Requantizer, error) {
+	if !(real > 0) || math.IsInf(real, 0) {
+		return Requantizer{}, fmt.Errorf("quant: requantizer scale %g, want positive finite", real)
+	}
+	frac, exp := math.Frexp(real) // real = frac·2^exp, frac ∈ [0.5, 1)
+	mult := int64(math.Round(frac * (1 << 31)))
+	if mult == 1<<31 { // frac rounded up to 1.0
+		mult >>= 1
+		exp++
+	}
+	shift := 31 - exp
+	// Degenerate magnitudes: clamp the shift into the usable window rather
+	// than failing — scales this extreme only arise from pathological
+	// calibration and saturate to 0 or the clamp bounds anyway.
+	for shift < 1 {
+		mult <<= 1
+		shift++
+		if mult > math.MaxInt32 {
+			mult = math.MaxInt32
+		}
+	}
+	for shift > 62 {
+		mult >>= 1
+		shift--
+	}
+	if mult < 1 {
+		mult = 1
+	}
+	return Requantizer{Scale: float32(real), Mult: int32(mult), Shift: uint(shift)}, nil
+}
+
+// Apply rounds acc·Scale half away from zero — the exact arithmetic of the
+// serving datapath (tensor.RequantizeU8Row before zero-point and clamping).
+func (r Requantizer) Apply(acc int32) int32 {
+	return tensor.RoundAway(float32(acc) * r.Scale)
+}
+
+// ApplyFixed is the integer-only multiplier+shift form.
+func (r Requantizer) ApplyFixed(acc int32) int32 {
+	p := int64(acc) * int64(r.Mult)
+	if p >= 0 {
+		return int32((p + 1<<(r.Shift-1)) >> r.Shift)
+	}
+	return int32(-((-p + 1<<(r.Shift-1)) >> r.Shift))
+}

@@ -1,0 +1,177 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nshd/internal/tensor"
+)
+
+func TestQuantizeChannelsPerRowScales(t *testing.T) {
+	// Two channels with ranges three orders of magnitude apart: per-channel
+	// scales must preserve both, where a per-tensor scale would flatten the
+	// small channel to ~0 levels.
+	w := tensor.FromSlice([]float32{
+		100, -50, 25, 0,
+		0.1, -0.05, 0.025, 0,
+	}, 2, 4)
+	q := QuantizeChannels(w)
+	if q.Rows != 2 || q.Cols != 4 {
+		t.Fatalf("shape %dx%d", q.Rows, q.Cols)
+	}
+	for r := 0; r < 2; r++ {
+		for c := 0; c < 4; c++ {
+			got := float32(q.Data[r*4+c]) * q.Scales[r]
+			want := w.Data[r*4+c]
+			bound := q.Scales[r] / 2
+			if d := got - want; d > bound+1e-7 || d < -bound-1e-7 {
+				t.Fatalf("channel %d col %d: dequant %g, want %g ± %g", r, c, got, want, bound)
+			}
+		}
+	}
+	if q.Data[0] != 127 {
+		t.Fatalf("max element must hit full scale, got %d", q.Data[0])
+	}
+	// Conv-shaped weights flatten trailing dims into Cols.
+	cw := tensor.New(8, 3, 3, 3)
+	for i := range cw.Data {
+		cw.Data[i] = float32(i%13) - 6
+	}
+	cq := QuantizeChannels(cw)
+	if cq.Rows != 8 || cq.Cols != 27 {
+		t.Fatalf("conv quant shape %dx%d, want 8x27", cq.Rows, cq.Cols)
+	}
+	// All-zero channel gets scale 1.
+	zw := tensor.New(1, 4)
+	zq := QuantizeChannels(zw)
+	if zq.Scales[0] != 1 {
+		t.Fatalf("zero channel scale %g, want 1", zq.Scales[0])
+	}
+}
+
+func TestObservers(t *testing.T) {
+	var mm MinMaxObserver
+	mm.Observe([]float32{3, -2, 0.5})
+	mm.Observe([]float32{7, -1})
+	if lo, hi := mm.Range(); lo != -2 || hi != 7 {
+		t.Fatalf("minmax range (%g, %g), want (-2, 7)", lo, hi)
+	}
+
+	// Percentile clips outliers that would dominate a MinMax scale.
+	pc := &PercentileObserver{Pct: 98}
+	vals := make([]float32, 1000)
+	for i := range vals {
+		vals[i] = float32(i) / 1000 // uniform [0, 1)
+	}
+	vals[500] = 1e6 // one wild outlier
+	pc.Observe(vals)
+	_, hi := pc.Range()
+	if hi > 10 {
+		t.Fatalf("percentile hi %g still dominated by the outlier", hi)
+	}
+	var lo float32
+	if lo, _ = pc.Range(); lo > 0.05 {
+		t.Fatalf("percentile lo %g clipped too much", lo)
+	}
+
+	// The reservoir decimation keeps the range stable on long streams.
+	big := &PercentileObserver{Pct: 100}
+	chunk := make([]float32, 4096)
+	for r := 0; r < 64; r++ {
+		for i := range chunk {
+			chunk[i] = float32(r*len(chunk)+i) * 1e-5
+		}
+		big.Observe(chunk)
+	}
+	blo, bhi := big.Range()
+	if blo > 0.1 || bhi < 2.0 {
+		t.Fatalf("decimated range (%g, %g) lost the distribution", blo, bhi)
+	}
+}
+
+func TestActQuant(t *testing.T) {
+	scale, zero := ActQuant(-1, 3)
+	if scale <= 0 {
+		t.Fatal("scale must be positive")
+	}
+	// Real zero must be exactly representable.
+	if got := scale * (float32(zero) - float32(zero)); got != 0 {
+		t.Fatalf("zero not exact: %g", got)
+	}
+	real0 := scale * (0 - float32(zero))
+	if real0 < -1.02 || real0 > -0.98 {
+		t.Fatalf("q=0 maps to %g, want ≈ -1", real0)
+	}
+	// Ranges not containing zero are widened to include it.
+	scale, zero = ActQuant(2, 4)
+	if zero != 0 {
+		t.Fatalf("positive-only range zero-point %d, want 0", zero)
+	}
+	if scale*255 < 3.99 {
+		t.Fatalf("widened range must still cover hi=4, covers %g", scale*255)
+	}
+	// Degenerate range.
+	if s, z := ActQuant(0, 0); s != 1 || z != 0 {
+		t.Fatalf("degenerate range got scale=%g zero=%d", s, z)
+	}
+}
+
+// TestRequantizerFixedVsFloat pins the agreement between the float datapath
+// form and the multiplier+shift reference: for random scales and
+// accumulators they differ by at most one output step (tie rounding).
+func TestRequantizerFixedVsFloat(t *testing.T) {
+	f := func(accSeed int64, scaleSeed int64) bool {
+		rng := rand.New(rand.NewSource(scaleSeed))
+		scale := math.Exp(rng.Float64()*12 - 10) // ~[4.5e-5, 7.4]
+		r, err := NewRequantizer(scale)
+		if err != nil {
+			return false
+		}
+		arng := rand.New(rand.NewSource(accSeed))
+		for i := 0; i < 64; i++ {
+			acc := int32(arng.Intn(1<<26) - 1<<25)
+			if p := math.Abs(float64(acc) * scale); p > 1<<20 {
+				// Outside the agreement domain: float32 mantissa precision
+				// (2^24) no longer resolves single output steps. Requantized
+				// outputs clamp to [0,255], so the datapath never goes there.
+				continue
+			}
+			d := r.Apply(acc) - r.ApplyFixed(acc)
+			if d > 1 || d < -1 {
+				t.Logf("scale=%g acc=%d: float %d vs fixed %d", scale, acc, r.Apply(acc), r.ApplyFixed(acc))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRequantizerKnownValues(t *testing.T) {
+	r, err := NewRequantizer(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Apply(10); got != 5 {
+		t.Fatalf("0.5·10 = %d, want 5", got)
+	}
+	if got := r.ApplyFixed(10); got != 5 {
+		t.Fatalf("fixed 0.5·10 = %d, want 5", got)
+	}
+	if got := r.Apply(-10); got != -5 {
+		t.Fatalf("0.5·(-10) = %d, want -5", got)
+	}
+	if _, err := NewRequantizer(0); err == nil {
+		t.Fatal("zero scale must be rejected")
+	}
+	if _, err := NewRequantizer(-1); err == nil {
+		t.Fatal("negative scale must be rejected")
+	}
+	if _, err := NewRequantizer(math.Inf(1)); err == nil {
+		t.Fatal("infinite scale must be rejected")
+	}
+}

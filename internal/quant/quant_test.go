@@ -183,3 +183,82 @@ func TestQuantizedHDShapeError(t *testing.T) {
 		t.Fatal("expected shape error")
 	}
 }
+
+// TestFakeQuantizeRestoreIdempotent is the regression test for the
+// double-restore hazard: a second restore call must be a no-op, so weight
+// changes made after the first restore (e.g. continued training) survive a
+// deferred restore firing later.
+func TestFakeQuantizeRestoreIdempotent(t *testing.T) {
+	rng := tensor.NewRNG(6)
+	model := nn.NewSequential("q",
+		nn.NewLinear(rng, 8, 4, true),
+	)
+	w := model.Params()[0].W.Data
+	restore := FakeQuantize(model)
+	restore()
+
+	// Simulate post-restore training: perturb the weights.
+	after := append([]float32(nil), w...)
+	for i := range w {
+		w[i] += float32(i) + 1
+		after[i] = w[i]
+	}
+
+	restore() // second call must NOT clobber the new weights
+	for i, v := range w {
+		if v != after[i] {
+			t.Fatalf("second restore clobbered weights: w[%d]=%v, want %v", i, v, after[i])
+		}
+	}
+}
+
+func TestQuantizedHDEmptyModelError(t *testing.T) {
+	for _, q := range []*HDModel8{{K: 0, D: 64}, {K: 3, D: 0}, {}} {
+		if _, err := q.PredictBatch(tensor.New(2, q.D)); err == nil {
+			t.Fatalf("empty model K=%d D=%d must error, not panic", q.K, q.D)
+		}
+	}
+}
+
+// TestQuantizedHDParallelMatchesSerial checks the worker-pool split of
+// PredictBatch against an inline serial re-computation.
+func TestQuantizedHDParallelMatchesSerial(t *testing.T) {
+	const k, d, n = 7, 512, 300
+	rng := tensor.NewRNG(9)
+	m := hdlearn.NewModel(k, d)
+	hvs := tensor.New(n, d)
+	rng.FillBipolar(hvs)
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = i % k
+	}
+	m.InitBundle(hvs, labels)
+	q := QuantizeHD(m)
+
+	got, err := q.PredictBatch(hvs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		row := hvs.Row(i)
+		best := int32(math.MinInt32)
+		bestK := 0
+		for c := 0; c < q.K; c++ {
+			var acc int32
+			cls := q.Rows[c]
+			for j, v := range row {
+				if v >= 0 {
+					acc += int32(cls[j])
+				} else {
+					acc -= int32(cls[j])
+				}
+			}
+			if acc > best {
+				best, bestK = acc, c
+			}
+		}
+		if got[i] != bestK {
+			t.Fatalf("query %d: parallel %d, serial %d", i, got[i], bestK)
+		}
+	}
+}

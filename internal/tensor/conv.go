@@ -56,6 +56,18 @@ func Im2Col(g ConvGeom, x []float32, cols *Tensor) {
 						continue
 					}
 					srcBase := chanBase + ih*g.InW
+					if g.StrideW == 1 {
+						// iw = ow - PadW + kw is in bounds on [owLo, owHi):
+						// one bulk copy flanked by zero fills.
+						owLo := max(0, g.PadW-kw)
+						owHi := min(outW, g.InW+g.PadW-kw)
+						owHi = max(owHi, owLo)
+						clear(cols.Data[dstBase : dstBase+owLo])
+						s := srcBase + owLo - g.PadW + kw
+						copy(cols.Data[dstBase+owLo:dstBase+owHi], x[s:s+owHi-owLo])
+						clear(cols.Data[dstBase+owHi : dstBase+outW])
+						continue
+					}
 					for ow := 0; ow < outW; ow++ {
 						iw := ow*g.StrideW - g.PadW + kw
 						if iw < 0 || iw >= g.InW {

@@ -1,0 +1,423 @@
+package tensor
+
+import (
+	"fmt"
+	"sync"
+
+	"nshd/internal/parallel"
+)
+
+// Quantized (int8) compute kernels. The GEMM multiplies a signed-int8 weight
+// matrix by an unsigned-int8 activation matrix into int32 accumulators —
+// the operand signedness convention of every major int8 inference stack
+// (gemmlowp, oneDNN, XNNPACK) and of the AVX-VNNI VPDPBUSD instruction,
+// which multiplies u8×i8 pairs exactly with no intermediate saturation.
+//
+// The kernel reuses the float GEMM's BLIS-style blocking (gemmNC-column ×
+// gemmKC-row panels, 4×16 register tiles) but packs the activation panel in
+// K-quads: each 16-column strip stores, for every group of four K rows, the
+// four bytes of each column contiguously as one little-endian dword. One
+// VPDPBUSD then retires 64 multiply-adds (16 columns × 4 K steps) per packed
+// 64-byte load pair — 4× the MACs/instruction of the float FMA kernel.
+//
+// Because every accumulation is exact integer arithmetic, serial, parallel,
+// assembly and pure-Go execution are all bit-identical by construction; the
+// property test in int8_test.go checks this against a naive triple loop
+// including saturation-extreme operands (±127 weights, 0/255 activations).
+
+// int8PanelPool recycles packed activation panels across GEMM calls.
+var int8PanelPool = sync.Pool{New: func() any {
+	buf := make([]uint8, gemmKC*gemmNC)
+	return &buf
+}}
+
+// Int8GemmScratch returns the packed-panel buffer length (in bytes) that
+// MatMulInt8SerialInto needs; zero on targets without the VNNI micro-kernel.
+func Int8GemmScratch() int {
+	if useInt8Asm {
+		return gemmKC * gemmNC
+	}
+	return 0
+}
+
+// MatMulInt8Into computes dst = a(M×K, int8) @ b(K×N, uint8) with int32
+// accumulation, parallelized over output tiles. dst must hold m*n elements
+// and must not alias the operands. Results are exact (integer arithmetic
+// never rounds), so serial and parallel execution are bit-identical.
+func MatMulInt8Into(dst []int32, a []int8, b []uint8, m, n, k int) {
+	checkInt8Shapes(dst, a, b, m, n, k)
+	if m == 0 || n == 0 {
+		return
+	}
+	if k == 0 {
+		clear(dst[:m*n])
+		return
+	}
+	workers := parallel.Workers()
+	if workers <= 1 || 2*m*n*k < 2*gemmMinParallelFlops {
+		gemmInt8Range(dst, a, b, nil, n, k, 0, m, 0, n)
+		return
+	}
+	jobs := gemmSplit(m, n, k, workers)
+	parallel.For(len(jobs), func(lo, hi int) {
+		for ji := lo; ji < hi; ji++ {
+			j := jobs[ji]
+			gemmInt8Range(dst, a, b, nil, n, k, j.r0, j.r1, j.c0, j.c1)
+		}
+	})
+}
+
+// MatMulInt8SerialInto is MatMulInt8Into strictly on the calling goroutine
+// with a caller-owned packed-panel buffer (length ≥ Int8GemmScratch(); nil is
+// accepted when Int8GemmScratch() == 0). No heap allocation, no pool
+// dispatch — the quantized serving path's GEMM.
+func MatMulInt8SerialInto(dst []int32, a []int8, b []uint8, m, n, k int, scratch []uint8) {
+	checkInt8Shapes(dst, a, b, m, n, k)
+	if m == 0 || n == 0 {
+		return
+	}
+	if k == 0 {
+		clear(dst[:m*n])
+		return
+	}
+	if useInt8Asm && len(scratch) < gemmKC*gemmNC {
+		panic(fmt.Sprintf("tensor: MatMulInt8SerialInto scratch %d < Int8GemmScratch %d", len(scratch), gemmKC*gemmNC))
+	}
+	gemmInt8Range(dst, a, b, scratch, n, k, 0, m, 0, n)
+}
+
+// MatMulInt8NaiveInto is the reference triple loop the blocked kernel is
+// validated against: plain i·p·j accumulation in int32.
+func MatMulInt8NaiveInto(dst []int32, a []int8, b []uint8, m, n, k int) {
+	checkInt8Shapes(dst, a, b, m, n, k)
+	for i := 0; i < m; i++ {
+		out := dst[i*n : (i+1)*n]
+		clear(out)
+		for p := 0; p < k; p++ {
+			av := int32(a[i*k+p])
+			brow := b[p*n : (p+1)*n]
+			for j, bv := range brow {
+				out[j] += av * int32(bv)
+			}
+		}
+	}
+}
+
+func checkInt8Shapes(dst []int32, a []int8, b []uint8, m, n, k int) {
+	if m < 0 || n < 0 || k < 0 {
+		panic("tensor: MatMulInt8 negative dimension")
+	}
+	if len(a) < m*k || len(b) < k*n || len(dst) < m*n {
+		panic(fmt.Sprintf("tensor: MatMulInt8 buffer too short for %dx%d @ %dx%d", m, k, k, n))
+	}
+}
+
+// gemmInt8Range computes the dst tile rows [r0,r1) × cols [c0,c1),
+// overwriting it. buf is the packed-panel scratch; nil means take one from
+// the pool (asm path only).
+func gemmInt8Range(dst []int32, a []int8, b, buf []uint8, n, k, r0, r1, c0, c1 int) {
+	if useInt8Asm && buf == nil {
+		bufp := int8PanelPool.Get().(*[]uint8)
+		buf = *bufp
+		defer int8PanelPool.Put(bufp)
+	}
+	for i := r0; i < r1; i++ {
+		clear(dst[i*n+c0 : i*n+c1])
+	}
+	for jb := c0; jb < c1; jb += gemmNC {
+		je := jb + gemmNC
+		if je > c1 {
+			je = c1
+		}
+		for pb := 0; pb < k; pb += gemmKC {
+			pe := pb + gemmKC
+			if pe > k {
+				pe = k
+			}
+			if useInt8Asm {
+				gemmInt8AsmPart(dst, a, b, buf, n, k, r0, r1, jb, je, pb, pe)
+			} else {
+				gemmInt8GoPart(dst, a, b, n, k, r0, r1, jb, je, pb, pe)
+			}
+		}
+	}
+}
+
+// gemmInt8AsmPart runs the VNNI micro-kernel over all full 4×16 tiles of the
+// K-block [pb,pe), delegating row tails, column tails and the K%4 remainder
+// to the scalar kernel. Integer accumulation makes the split exact.
+func gemmInt8AsmPart(dst []int32, a []int8, b, buf []uint8, n, k, r0, r1, jb, je, pb, pe int) {
+	kc := pe - pb
+	kq := kc / 4
+	nFull := (je - jb) / gemmNR * gemmNR
+	if nFull > 0 && kq > 0 {
+		packPanelInt8(buf, b, n, pb, pb+4*kq, jb, jb+nFull)
+		i := r0
+		for ; i+gemmMR <= r1; i += gemmMR {
+			for js := 0; js < nFull; js += gemmNR {
+				strip := buf[js*4*kq:]
+				gemmInt8_4x16(kq,
+					&a[i*k+pb], &a[(i+1)*k+pb], &a[(i+2)*k+pb], &a[(i+3)*k+pb],
+					&strip[0],
+					&dst[i*n+jb+js], &dst[(i+1)*n+jb+js], &dst[(i+2)*n+jb+js], &dst[(i+3)*n+jb+js])
+			}
+		}
+		if i < r1 {
+			gemmInt8GoPart(dst, a, b, n, k, i, r1, jb, jb+nFull, pb, pb+4*kq)
+		}
+		if 4*kq < kc {
+			gemmInt8GoPart(dst, a, b, n, k, r0, r1, jb, jb+nFull, pb+4*kq, pe)
+		}
+	} else if nFull > 0 {
+		gemmInt8GoPart(dst, a, b, n, k, r0, r1, jb, jb+nFull, pb, pe)
+	}
+	if jb+nFull < je {
+		gemmInt8GoPart(dst, a, b, n, k, r0, r1, jb+nFull, je, pb, pe)
+	}
+}
+
+// packPanelInt8 packs B rows [pb,pe) × cols [jb,jfullEnd) — a whole number of
+// 16-column strips over a whole number of K-quads — strip-major, then
+// quad-major, then column-major within the quad: the four K bytes of each
+// column land contiguously, forming the dword lanes VPDPBUSD consumes.
+// On the VNNI targets that consume packed panels, the interleave runs as a
+// SIMD 4×16 byte transpose (packQuad16Asm); the scalar loop below is its
+// portable reference, kept for the differential test.
+func packPanelInt8(buf, b []uint8, n, pb, pe, jb, jfullEnd int) {
+	if useInt8Asm {
+		kq := (pe - pb) / 4
+		if kq > 0 && (pe-pb)&3 == 0 {
+			si := 0
+			for js := jb; js < jfullEnd; js += gemmNR {
+				packQuad16Asm(kq, n, &b[pb*n+js], &buf[si])
+				si += 64 * kq
+			}
+			return
+		}
+	}
+	packPanelInt8Go(buf, b, n, pb, pe, jb, jfullEnd)
+}
+
+func packPanelInt8Go(buf, b []uint8, n, pb, pe, jb, jfullEnd int) {
+	si := 0
+	for js := jb; js < jfullEnd; js += gemmNR {
+		for p := pb; p < pe; p += 4 {
+			r0 := b[p*n:]
+			r1 := b[(p+1)*n:]
+			r2 := b[(p+2)*n:]
+			r3 := b[(p+3)*n:]
+			for j := js; j < js+gemmNR; j++ {
+				buf[si] = r0[j]
+				buf[si+1] = r1[j]
+				buf[si+2] = r2[j]
+				buf[si+3] = r3[j]
+				si += 4
+			}
+		}
+	}
+}
+
+// gemmInt8GoPart is the portable kernel: a 4-row broadcast-AXPY in int32 over
+// contiguous u8 B row segments, mirroring gemmGoPart.
+func gemmInt8GoPart(dst []int32, a []int8, b []uint8, n, k, r0, r1, jb, je, pb, pe int) {
+	i := r0
+	for ; i+gemmMR <= r1; i += gemmMR {
+		o0 := dst[i*n+jb : i*n+je]
+		o1 := dst[(i+1)*n+jb : (i+1)*n+je]
+		o2 := dst[(i+2)*n+jb : (i+2)*n+je]
+		o3 := dst[(i+3)*n+jb : (i+3)*n+je]
+		for p := pb; p < pe; p++ {
+			brow := b[p*n+jb : p*n+je]
+			a0 := int32(a[i*k+p])
+			a1 := int32(a[(i+1)*k+p])
+			a2 := int32(a[(i+2)*k+p])
+			a3 := int32(a[(i+3)*k+p])
+			for j, bv := range brow {
+				bi := int32(bv)
+				o0[j] += a0 * bi
+				o1[j] += a1 * bi
+				o2[j] += a2 * bi
+				o3[j] += a3 * bi
+			}
+		}
+	}
+	for ; i < r1; i++ {
+		o0 := dst[i*n+jb : i*n+je]
+		for p := pb; p < pe; p++ {
+			av := int32(a[i*k+p])
+			if av == 0 {
+				continue
+			}
+			brow := b[p*n+jb : p*n+je]
+			for j, bv := range brow {
+				o0[j] += av * int32(bv)
+			}
+		}
+	}
+}
+
+// DotU8I8 returns the inner product Σ x[i]·w[i] of an unsigned activation
+// vector and a signed weight vector in int32 — the quantized Linear layer's
+// kernel. Uses VPDPBUSD when available; the scalar tail and fallback
+// accumulate identically (exact integer arithmetic).
+func DotU8I8(x []uint8, w []int8) int32 {
+	if len(x) != len(w) {
+		panic(fmt.Sprintf("tensor: DotU8I8 length mismatch %d vs %d", len(x), len(w)))
+	}
+	k := len(x)
+	var s int32
+	wide := 0
+	if useInt8Asm {
+		wide = k / 32 * 32
+		if wide > 0 {
+			s = dotU8I8Asm(wide, &x[0], &w[0])
+		}
+	}
+	for p := wide; p < k; p++ {
+		s += int32(x[p]) * int32(w[p])
+	}
+	return s
+}
+
+// RoundAway rounds half away from zero — the single rounding rule used by
+// every quantize/requantize step in the int8 datapath, so scales computed at
+// calibration time describe the serving arithmetic exactly.
+func RoundAway(v float32) int32 {
+	if v >= 0 {
+		return int32(v + 0.5)
+	}
+	return int32(v - 0.5)
+}
+
+// QuantizeU8 writes dst[i] = clamp(round(src[i]/scale) + zero, 0, 255): the
+// float→u8 entry conversion of a quantized segment. scale must be positive.
+func QuantizeU8(dst []uint8, src []float32, scale float32, zero uint8) {
+	if len(dst) < len(src) {
+		panic("tensor: QuantizeU8 dst too short")
+	}
+	inv := 1 / scale
+	z := int32(zero)
+	start := 0
+	if useInt8Asm {
+		if n8 := len(src) &^ 7; n8 > 0 {
+			quantU8Asm(n8, &src[0], &dst[0], inv, z)
+			start = n8
+		}
+	}
+	for i := start; i < len(src); i++ {
+		q := RoundAway(src[i]*inv) + z
+		if q < 0 {
+			q = 0
+		} else if q > 255 {
+			q = 255
+		}
+		dst[i] = uint8(q)
+	}
+}
+
+// DequantizeU8 writes dst[i] = scale * (src[i] - zero): the u8→float exit
+// conversion of a quantized segment.
+func DequantizeU8(dst []float32, src []uint8, scale float32, zero uint8) {
+	if len(dst) < len(src) {
+		panic("tensor: DequantizeU8 dst too short")
+	}
+	z := int32(zero)
+	start := 0
+	if useInt8Asm {
+		if n8 := len(src) &^ 7; n8 > 0 {
+			dequantU8Asm(n8, &src[0], &dst[0], scale, z)
+			start = n8
+		}
+	}
+	for i := start; i < len(src); i++ {
+		dst[i] = scale * float32(int32(src[i])-z)
+	}
+}
+
+// RequantizeU8Row maps one row of int32 GEMM accumulators back to u8:
+//
+//	dst[j] = clamp(round(float32(acc[j]+bias) * scale) + zero, lo, hi)
+//
+// bias carries the folded layer bias and the activation zero-point
+// correction; [lo,hi] carries the fused activation clamp (ReLU → [zero,255],
+// ReLU6 → [zero, q(6)], none → [0,255]). scale is the per-output-channel
+// requantization multiplier sIn·sW/sOut.
+func RequantizeU8Row(dst []uint8, acc []int32, bias int32, scale float32, zero, lo, hi uint8) {
+	if len(dst) < len(acc) {
+		panic("tensor: RequantizeU8Row dst too short")
+	}
+	z := int32(zero)
+	l, h := int32(lo), int32(hi)
+	start := 0
+	if useInt8Asm {
+		if n8 := len(acc) &^ 7; n8 > 0 {
+			requantU8Asm(n8, &acc[0], &dst[0], bias, scale, z, l, h)
+			start = n8
+		}
+	}
+	for j := start; j < len(acc); j++ {
+		q := RoundAway(float32(acc[j]+bias)*scale) + z
+		if q < l {
+			q = l
+		} else if q > h {
+			q = h
+		}
+		dst[j] = uint8(q)
+	}
+}
+
+// Im2ColU8 expands one u8 image (C×H×W, flattened in x) into the
+// (C*KH*KW) × (OutH*OutW) column matrix, exactly as Im2Col does for floats,
+// except padding positions take the value pad — the activation zero-point,
+// which represents real 0.0 in the quantized domain.
+func Im2ColU8(g ConvGeom, x, cols []uint8, pad uint8) {
+	outH, outW := g.OutH(), g.OutW()
+	rows := g.InC * g.KH * g.KW
+	nOut := outH * outW
+	if len(cols) < rows*nOut {
+		panic(fmt.Sprintf("tensor: Im2ColU8 cols %d, want %d", len(cols), rows*nOut))
+	}
+	for c := 0; c < g.InC; c++ {
+		chanBase := c * g.InH * g.InW
+		for kh := 0; kh < g.KH; kh++ {
+			for kw := 0; kw < g.KW; kw++ {
+				row := ((c*g.KH+kh)*g.KW + kw) * nOut
+				for oh := 0; oh < outH; oh++ {
+					ih := oh*g.StrideH - g.PadH + kh
+					dstBase := row + oh*outW
+					if ih < 0 || ih >= g.InH {
+						for ow := 0; ow < outW; ow++ {
+							cols[dstBase+ow] = pad
+						}
+						continue
+					}
+					srcBase := chanBase + ih*g.InW
+					if g.StrideW == 1 {
+						// iw = ow - PadW + kw is in bounds on [owLo, owHi):
+						// one bulk copy flanked by pad fills.
+						owLo := max(0, g.PadW-kw)
+						owHi := min(outW, g.InW+g.PadW-kw)
+						owHi = max(owHi, owLo)
+						for ow := 0; ow < owLo; ow++ {
+							cols[dstBase+ow] = pad
+						}
+						s := srcBase + owLo - g.PadW + kw
+						copy(cols[dstBase+owLo:dstBase+owHi], x[s:s+owHi-owLo])
+						for ow := owHi; ow < outW; ow++ {
+							cols[dstBase+ow] = pad
+						}
+						continue
+					}
+					for ow := 0; ow < outW; ow++ {
+						iw := ow*g.StrideW - g.PadW + kw
+						if iw < 0 || iw >= g.InW {
+							cols[dstBase+ow] = pad
+						} else {
+							cols[dstBase+ow] = x[srcBase+iw]
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package tensor
+
+// useInt8Asm gates the VNNI int8 micro-kernels in int8_amd64.s. The kernels
+// use the EVEX-encoded 256-bit form of VPDPBUSD, which requires AVX512F +
+// AVX512VL + AVX512VNNI and OS-enabled AVX-512 register state (XCR0 opmask,
+// upper-ZMM and hi16-ZMM bits). Everywhere else — including amd64 machines
+// with only AVX2 — the blocked pure-Go int8 kernel runs instead, with
+// bit-identical results.
+var useInt8Asm = detectInt8VNNI()
+
+func detectInt8VNNI() bool {
+	if !useGemmAsm {
+		// detectAVX2FMA already verified CPUID range, OSXSAVE and XMM/YMM
+		// state; without those the wider checks below are meaningless.
+		return false
+	}
+	// XCR0 bits 5..7 (opmask, ZMM_Hi256, Hi16_ZMM) on top of SSE+AVX.
+	xlo, _ := xgetbv0()
+	if xlo&0xe6 != 0xe6 {
+		return false
+	}
+	const (
+		avx512fBit    = 1 << 16 // EBX
+		avx512vlBit   = 1 << 31 // EBX
+		avx512vnniBit = 1 << 11 // ECX
+	)
+	_, b7, c7, _ := cpuidex(7, 0)
+	return b7&avx512fBit != 0 && b7&avx512vlBit != 0 && c7&avx512vnniBit != 0
+}
+
+// gemmInt8_4x16 accumulates a 4×16 int32 output tile over kq K-quads:
+// o[r][0:16] += Σ_q Σ_{t<4} a_r[4q+t] * bp[...], with bp a packed strip in
+// which each dword holds the four K bytes of one column (see packPanelInt8).
+// kq must be ≥ 1; each o_r must have at least 16 addressable elements. a
+// pointers are read 4 bytes at a time (whole quads only).
+//
+//go:noescape
+func gemmInt8_4x16(kq int, a0, a1, a2, a3 *int8, bp *uint8, o0, o1, o2, o3 *int32)
+
+// dotU8I8Asm returns Σ x[i]·w[i] over n elements; n must be a positive
+// multiple of 32.
+//
+//go:noescape
+func dotU8I8Asm(n int, x *uint8, w *int8) int32
+
+// packQuad16Asm packs kq K-quads of one 16-column strip of b (row stride n)
+// into buf, 64 bytes per quad, column-quad dword layout (see packPanelInt8).
+// kq must be ≥ 1 and all 4·kq rows × 16 columns must be addressable.
+//
+//go:noescape
+func packQuad16Asm(kq, n int, b *uint8, buf *uint8)
+
+// requantU8Asm is the vector RequantizeU8Row body; n must be a positive
+// multiple of 8. Bit-identical to the scalar loop.
+//
+//go:noescape
+func requantU8Asm(n int, acc *int32, dst *uint8, bias int32, scale float32, zero, lo, hi int32)
+
+// quantU8Asm is the vector QuantizeU8 body; n must be a positive multiple
+// of 8. Bit-identical to the scalar loop.
+//
+//go:noescape
+func quantU8Asm(n int, src *float32, dst *uint8, inv float32, zero int32)
+
+// dequantU8Asm is the vector DequantizeU8 body; n must be a positive
+// multiple of 8. Bit-identical to the scalar loop.
+//
+//go:noescape
+func dequantU8Asm(n int, src *uint8, dst *float32, scale float32, zero int32)

@@ -1,0 +1,291 @@
+#include "textflag.h"
+
+// func gemmInt8_4x16(kq int, a0, a1, a2, a3 *int8, bp *uint8, o0, o1, o2, o3 *int32)
+//
+// 4x16 register-tiled int8 micro-kernel. The packed strip stores, per K-quad,
+// sixteen dwords: the four K bytes of each output column. One VPDPBUSD
+// multiplies 32 u8·i8 byte pairs and accumulates the dword-wise sums into 8
+// int32 lanes — so each K-quad step retires 128 multiply-adds from two
+// 32-byte panel loads plus four 4-byte weight broadcasts. All arithmetic is
+// exact (u8·i8 products summed 4-at-a-time into int32), so the result equals
+// the scalar reference bit-for-bit.
+TEXT ·gemmInt8_4x16(SB), NOSPLIT, $0-80
+	MOVQ kq+0(FP), CX
+	MOVQ a0+8(FP), R8
+	MOVQ a1+16(FP), R9
+	MOVQ a2+24(FP), R10
+	MOVQ a3+32(FP), R11
+	MOVQ bp+40(FP), SI
+	MOVQ o0+48(FP), DI
+	MOVQ o1+56(FP), DX
+	MOVQ o2+64(FP), R12
+	MOVQ o3+72(FP), R13
+
+	VPXOR Y0, Y0, Y0
+	VPXOR Y1, Y1, Y1
+	VPXOR Y2, Y2, Y2
+	VPXOR Y3, Y3, Y3
+	VPXOR Y4, Y4, Y4
+	VPXOR Y5, Y5, Y5
+	VPXOR Y6, Y6, Y6
+	VPXOR Y7, Y7, Y7
+
+kloop:
+	VMOVDQU (SI), Y8
+	VMOVDQU 32(SI), Y9
+	VPBROADCASTD (R8), Y10
+	VPDPBUSD Y10, Y8, Y0
+	VPDPBUSD Y10, Y9, Y1
+	VPBROADCASTD (R9), Y11
+	VPDPBUSD Y11, Y8, Y2
+	VPDPBUSD Y11, Y9, Y3
+	VPBROADCASTD (R10), Y10
+	VPDPBUSD Y10, Y8, Y4
+	VPDPBUSD Y10, Y9, Y5
+	VPBROADCASTD (R11), Y11
+	VPDPBUSD Y11, Y8, Y6
+	VPDPBUSD Y11, Y9, Y7
+	ADDQ $64, SI
+	ADDQ $4, R8
+	ADDQ $4, R9
+	ADDQ $4, R10
+	ADDQ $4, R11
+	DECQ CX
+	JNE  kloop
+
+	VPADDD (DI), Y0, Y0
+	VMOVDQU Y0, (DI)
+	VPADDD 32(DI), Y1, Y1
+	VMOVDQU Y1, 32(DI)
+	VPADDD (DX), Y2, Y2
+	VMOVDQU Y2, (DX)
+	VPADDD 32(DX), Y3, Y3
+	VMOVDQU Y3, 32(DX)
+	VPADDD (R12), Y4, Y4
+	VMOVDQU Y4, (R12)
+	VPADDD 32(R12), Y5, Y5
+	VMOVDQU Y5, 32(R12)
+	VPADDD (R13), Y6, Y6
+	VMOVDQU Y6, (R13)
+	VPADDD 32(R13), Y7, Y7
+	VMOVDQU Y7, 32(R13)
+	VZEROUPPER
+	RET
+
+// func dotU8I8Asm(n int, x *uint8, w *int8) int32
+//
+// Inner product of a u8 vector against an i8 vector over n elements (n a
+// positive multiple of 32), two independent VPDPBUSD accumulators to hide
+// latency, then a horizontal int32 sum. Exact: each VPDPBUSD lane sums four
+// u8·i8 products (max magnitude 4·255·128 < 2^31) before the int32 add.
+TEXT ·dotU8I8Asm(SB), NOSPLIT, $0-28
+	MOVQ n+0(FP), CX
+	MOVQ x+8(FP), SI
+	MOVQ w+16(FP), DI
+
+	VPXOR Y0, Y0, Y0
+	VPXOR Y1, Y1, Y1
+
+	MOVQ CX, BX
+	ANDQ $-64, BX
+	JEQ  tail32
+
+loop64:
+	VMOVDQU (SI), Y2
+	VMOVDQU (DI), Y3
+	VPDPBUSD Y3, Y2, Y0
+	VMOVDQU 32(SI), Y4
+	VMOVDQU 32(DI), Y5
+	VPDPBUSD Y5, Y4, Y1
+	ADDQ $64, SI
+	ADDQ $64, DI
+	SUBQ $64, BX
+	JNE  loop64
+
+tail32:
+	ANDQ $32, CX
+	JEQ  reduce
+
+	VMOVDQU (SI), Y2
+	VMOVDQU (DI), Y3
+	VPDPBUSD Y3, Y2, Y0
+
+reduce:
+	VPADDD Y1, Y0, Y0
+	VEXTRACTI128 $1, Y0, X1
+	VPADDD X1, X0, X0
+	VPHADDD X0, X0, X0
+	VPHADDD X0, X0, X0
+	VZEROUPPER
+	MOVQ X0, AX
+	MOVL AX, ret+24(FP)
+	RET
+
+// func packQuad16Asm(kq, n int, b *uint8, buf *uint8)
+//
+// Packs one 16-column strip of kq K-quads: for each quad, the four K-row
+// bytes of every column are interleaved into one little-endian dword, 16
+// dwords (64 bytes) per quad — the layout gemmInt8_4x16 consumes. The
+// interleave is the classic 4x16 byte transpose: two rounds of punpck
+// (bytes, then words) turn four 16-byte row fragments into four 16-byte
+// groups of column quads. Replaces a scalar 4-store-per-column loop.
+TEXT ·packQuad16Asm(SB), NOSPLIT, $0-32
+	MOVQ kq+0(FP), CX
+	MOVQ n+8(FP), DX
+	MOVQ b+16(FP), SI
+	MOVQ buf+24(FP), DI
+	LEAQ (SI)(DX*1), R8
+	LEAQ (SI)(DX*2), R9
+	LEAQ (R8)(DX*2), R10
+	MOVQ DX, R11
+	SHLQ $2, R11
+
+packloop:
+	VMOVDQU (SI), X0
+	VMOVDQU (R8), X1
+	VMOVDQU (R9), X2
+	VMOVDQU (R10), X3
+	VPUNPCKLBW X1, X0, X4
+	VPUNPCKHBW X1, X0, X5
+	VPUNPCKLBW X3, X2, X6
+	VPUNPCKHBW X3, X2, X7
+	VPUNPCKLWD X6, X4, X8
+	VPUNPCKHWD X6, X4, X9
+	VPUNPCKLWD X7, X5, X10
+	VPUNPCKHWD X7, X5, X11
+	VMOVDQU X8, (DI)
+	VMOVDQU X9, 16(DI)
+	VMOVDQU X10, 32(DI)
+	VMOVDQU X11, 48(DI)
+	ADDQ R11, SI
+	ADDQ R11, R8
+	ADDQ R11, R9
+	ADDQ R11, R10
+	ADDQ $64, DI
+	DECQ CX
+	JNE  packloop
+	RET
+
+// func requantU8Asm(n int, acc *int32, dst *uint8, bias int32, scale float32, zero, lo, hi int32)
+//
+// Vector form of RequantizeU8Row over n elements (n a positive multiple of
+// 8). Bit-identical to the scalar path: int32→float32 conversion and the
+// float multiply both round to nearest even exactly as Go's, and
+// round-half-away-from-zero is reproduced by adding copysign(0.5, v) then
+// truncating toward zero (VCVTTPS2DQ) — the same "v±0.5 then int32()"
+// sequence the scalar RoundAway performs.
+TEXT ·requantU8Asm(SB), NOSPLIT, $0-44
+	MOVQ n+0(FP), CX
+	MOVQ acc+8(FP), SI
+	MOVQ dst+16(FP), DI
+	MOVL bias+24(FP), AX
+	MOVQ AX, X2
+	VPBROADCASTD X2, Y2
+	VBROADCASTSS scale+28(FP), Y3
+	MOVL zero+32(FP), AX
+	MOVQ AX, X4
+	VPBROADCASTD X4, Y4
+	MOVL lo+36(FP), AX
+	MOVQ AX, X5
+	VPBROADCASTD X5, Y5
+	MOVL hi+40(FP), AX
+	MOVQ AX, X6
+	VPBROADCASTD X6, Y6
+	VPCMPEQD Y7, Y7, Y7
+	VPSLLD $31, Y7, Y8
+	VPSRLD $26, Y7, Y7
+	VPSLLD $24, Y7, Y7
+	SHRQ $3, CX
+
+rqloop:
+	VMOVDQU (SI), Y0
+	VPADDD Y2, Y0, Y0
+	VCVTDQ2PS Y0, Y0
+	VMULPS Y3, Y0, Y0
+	VPAND Y8, Y0, Y1
+	VPOR Y7, Y1, Y1
+	VADDPS Y1, Y0, Y0
+	VCVTTPS2DQ Y0, Y0
+	VPADDD Y4, Y0, Y0
+	VPMAXSD Y5, Y0, Y0
+	VPMINSD Y6, Y0, Y0
+	VEXTRACTI128 $1, Y0, X1
+	VPACKUSDW X1, X0, X0
+	VPACKUSWB X0, X0, X0
+	VMOVQ X0, (DI)
+	ADDQ $32, SI
+	ADDQ $8, DI
+	DECQ CX
+	JNE  rqloop
+	VZEROUPPER
+	RET
+
+// func quantU8Asm(n int, src *float32, dst *uint8, inv float32, zero int32)
+//
+// Vector form of QuantizeU8 over n elements (n a positive multiple of 8):
+// dst[i] = clamp(roundaway(src[i]*inv) + zero, 0, 255). Same rounding
+// construction as requantU8Asm.
+TEXT ·quantU8Asm(SB), NOSPLIT, $0-32
+	MOVQ n+0(FP), CX
+	MOVQ src+8(FP), SI
+	MOVQ dst+16(FP), DI
+	VBROADCASTSS inv+24(FP), Y3
+	MOVL zero+28(FP), AX
+	MOVQ AX, X4
+	VPBROADCASTD X4, Y4
+	VPCMPEQD Y7, Y7, Y7
+	VPSLLD $31, Y7, Y8
+	VPSRLD $24, Y7, Y6
+	VPXOR Y5, Y5, Y5
+	VPSRLD $26, Y7, Y7
+	VPSLLD $24, Y7, Y7
+	SHRQ $3, CX
+
+qloop:
+	VMOVUPS (SI), Y0
+	VMULPS Y3, Y0, Y0
+	VPAND Y8, Y0, Y1
+	VPOR Y7, Y1, Y1
+	VADDPS Y1, Y0, Y0
+	VCVTTPS2DQ Y0, Y0
+	VPADDD Y4, Y0, Y0
+	VPMAXSD Y5, Y0, Y0
+	VPMINSD Y6, Y0, Y0
+	VEXTRACTI128 $1, Y0, X1
+	VPACKUSDW X1, X0, X0
+	VPACKUSWB X0, X0, X0
+	VMOVQ X0, (DI)
+	ADDQ $32, SI
+	ADDQ $8, DI
+	DECQ CX
+	JNE  qloop
+	VZEROUPPER
+	RET
+
+// func dequantU8Asm(n int, src *uint8, dst *float32, scale float32, zero int32)
+//
+// Vector form of DequantizeU8 over n elements (n a positive multiple of 8):
+// dst[i] = scale * float32(int32(src[i]) - zero). Exact: |q-z| ≤ 255
+// converts exactly and the multiply rounds identically to Go's.
+TEXT ·dequantU8Asm(SB), NOSPLIT, $0-32
+	MOVQ n+0(FP), CX
+	MOVQ src+8(FP), SI
+	MOVQ dst+16(FP), DI
+	VBROADCASTSS scale+24(FP), Y3
+	MOVL zero+28(FP), AX
+	MOVQ AX, X4
+	VPBROADCASTD X4, Y4
+	SHRQ $3, CX
+
+dqloop:
+	VPMOVZXBD (SI), Y0
+	VPSUBD Y4, Y0, Y0
+	VCVTDQ2PS Y0, Y0
+	VMULPS Y3, Y0, Y0
+	VMOVUPS Y0, (DI)
+	ADDQ $8, SI
+	ADDQ $32, DI
+	DECQ CX
+	JNE  dqloop
+	VZEROUPPER
+	RET

@@ -1,0 +1,30 @@
+//go:build !amd64
+
+package tensor
+
+// Non-amd64 builds always use the portable blocked int8 kernel.
+const useInt8Asm = false
+
+func gemmInt8_4x16(kq int, a0, a1, a2, a3 *int8, bp *uint8, o0, o1, o2, o3 *int32) {
+	panic("tensor: gemmInt8_4x16 requires amd64")
+}
+
+func dotU8I8Asm(n int, x *uint8, w *int8) int32 {
+	panic("tensor: dotU8I8Asm requires amd64")
+}
+
+func packQuad16Asm(kq, n int, b *uint8, buf *uint8) {
+	panic("tensor: packQuad16Asm requires amd64")
+}
+
+func requantU8Asm(n int, acc *int32, dst *uint8, bias int32, scale float32, zero, lo, hi int32) {
+	panic("tensor: requantU8Asm requires amd64")
+}
+
+func quantU8Asm(n int, src *float32, dst *uint8, inv float32, zero int32) {
+	panic("tensor: quantU8Asm requires amd64")
+}
+
+func dequantU8Asm(n int, src *uint8, dst *float32, scale float32, zero int32) {
+	panic("tensor: dequantU8Asm requires amd64")
+}

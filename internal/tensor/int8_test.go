@@ -1,0 +1,352 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randInt8Operands(rng *rand.Rand, m, n, k int, extreme bool) ([]int8, []uint8) {
+	a := make([]int8, m*k)
+	b := make([]uint8, k*n)
+	if extreme {
+		// Saturation extremes: the values that overflow i16 intermediates in
+		// kernels built on saturating multiply-add instructions.
+		av := []int8{-128, -127, 127, 126, 1, 0}
+		bv := []uint8{255, 254, 128, 127, 1, 0}
+		for i := range a {
+			a[i] = av[rng.Intn(len(av))]
+		}
+		for i := range b {
+			b[i] = bv[rng.Intn(len(bv))]
+		}
+	} else {
+		for i := range a {
+			a[i] = int8(rng.Intn(256) - 128)
+		}
+		for i := range b {
+			b[i] = uint8(rng.Intn(256))
+		}
+	}
+	return a, b
+}
+
+func checkInt8AgainstNaive(t *testing.T, m, n, k int, extreme bool, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	a, b := randInt8Operands(rng, m, n, k, extreme)
+	want := make([]int32, m*n)
+	MatMulInt8NaiveInto(want, a, b, m, n, k)
+
+	got := make([]int32, m*n)
+	MatMulInt8Into(got, a, b, m, n, k)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MatMulInt8Into (%dx%dx%d extreme=%v): dst[%d] = %d, want %d", m, n, k, extreme, i, got[i], want[i])
+		}
+	}
+
+	scratch := make([]uint8, Int8GemmScratch())
+	serial := make([]int32, m*n)
+	MatMulInt8SerialInto(serial, a, b, m, n, k, scratch)
+	for i := range want {
+		if serial[i] != want[i] {
+			t.Fatalf("MatMulInt8SerialInto (%dx%dx%d extreme=%v): dst[%d] = %d, want %d", m, n, k, extreme, i, serial[i], want[i])
+		}
+	}
+}
+
+// TestMatMulInt8BitExactQuick is the acceptance property: for random shapes
+// and values — including saturation extremes — the blocked kernel (parallel
+// and serial, asm or pure Go) is bit-exact against the naive int32 reference.
+func TestMatMulInt8BitExactQuick(t *testing.T) {
+	f := func(ms, ns, ks uint8, extreme bool, seed int64) bool {
+		// Shapes crossing the 4-row / 16-col tile boundaries and staying small
+		// enough to run many iterations.
+		m := int(ms)%21 + 1
+		n := int(ns)%40 + 1
+		k := int(ks)%70 + 1
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randInt8Operands(rng, m, n, k, extreme)
+		want := make([]int32, m*n)
+		MatMulInt8NaiveInto(want, a, b, m, n, k)
+		got := make([]int32, m*n)
+		MatMulInt8Into(got, a, b, m, n, k)
+		serial := make([]int32, m*n)
+		MatMulInt8SerialInto(serial, a, b, m, n, k, make([]uint8, Int8GemmScratch()))
+		for i := range want {
+			if got[i] != want[i] || serial[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMatMulInt8Blocked exercises shapes that cross every blocking boundary:
+// K past gemmKC, N past gemmNC, plus row/column/K-quad tails.
+func TestMatMulInt8Blocked(t *testing.T) {
+	cases := []struct{ m, n, k int }{
+		{1, 1, 1},
+		{4, 16, 4},
+		{5, 17, 7},
+		{3, 15, 9},
+		{8, 48, 64},
+		{13, 37, 259},  // K crosses gemmKC with a quad tail
+		{6, 300, 31},   // N crosses gemmNC
+		{21, 272, 517}, // both, with tails everywhere
+		{64, 16, 1024}, // deep K, aligned
+	}
+	for _, c := range cases {
+		checkInt8AgainstNaive(t, c.m, c.n, c.k, false, int64(c.m*1000+c.n*10+c.k))
+		checkInt8AgainstNaive(t, c.m, c.n, c.k, true, int64(c.m*999+c.n*7+c.k))
+	}
+}
+
+func TestMatMulInt8Empty(t *testing.T) {
+	dst := []int32{7, 7, 7, 7}
+	MatMulInt8Into(dst[:0], nil, nil, 0, 0, 5)
+	MatMulInt8Into(dst, []int8{}, []uint8{}, 2, 2, 0)
+	for i, v := range dst {
+		if v != 0 {
+			t.Fatalf("k=0 GEMM must zero dst, dst[%d]=%d", i, v)
+		}
+	}
+}
+
+func TestDotU8I8(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, k := range []int{0, 1, 7, 31, 32, 33, 64, 96, 127, 257, 1024} {
+		x := make([]uint8, k)
+		w := make([]int8, k)
+		var want int32
+		for i := range x {
+			x[i] = uint8(rng.Intn(256))
+			w[i] = int8(rng.Intn(256) - 128)
+			want += int32(x[i]) * int32(w[i])
+		}
+		if got := DotU8I8(x, w); got != want {
+			t.Fatalf("DotU8I8 k=%d: got %d, want %d", k, got, want)
+		}
+	}
+	// Extremes: every element at max magnitude.
+	k := 320
+	x := make([]uint8, k)
+	w := make([]int8, k)
+	for i := range x {
+		x[i] = 255
+		w[i] = -128
+	}
+	want := int32(k) * 255 * -128
+	if got := DotU8I8(x, w); got != want {
+		t.Fatalf("DotU8I8 extremes: got %d, want %d", got, want)
+	}
+}
+
+func TestQuantizeDequantizeU8(t *testing.T) {
+	src := []float32{-1.3, -0.5, 0, 0.25, 0.5, 1.0, 2.7, 100}
+	scale := float32(0.02)
+	zero := uint8(128)
+	q := make([]uint8, len(src))
+	QuantizeU8(q, src, scale, zero)
+	back := make([]float32, len(src))
+	DequantizeU8(back, q, scale, zero)
+	for i, v := range src {
+		// Values inside the representable range round-trip within half a step;
+		// out-of-range values clamp to an endpoint.
+		lo := scale * (0 - float32(zero))
+		hi := scale * (255 - float32(zero))
+		want := v
+		if want < lo {
+			want = lo
+		}
+		if want > hi {
+			want = hi
+		}
+		if d := back[i] - want; d > scale/2+1e-6 || d < -scale/2-1e-6 {
+			t.Fatalf("round trip src[%d]=%g: got %g, want within %g of %g", i, v, back[i], scale/2, want)
+		}
+	}
+}
+
+func TestRequantizeU8Row(t *testing.T) {
+	acc := []int32{-1000, -1, 0, 1, 499, 500, 1000000}
+	dst := make([]uint8, len(acc))
+	RequantizeU8Row(dst, acc, 0, 0.01, 100, 10, 200)
+	want := []uint8{90, 100, 100, 100, 105, 105, 200}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("requant acc=%d: got %d, want %d", acc[i], dst[i], want[i])
+		}
+	}
+	// Bias shifts the accumulator before scaling.
+	RequantizeU8Row(dst[:1], []int32{400}, 100, 0.01, 100, 0, 255)
+	if dst[0] != 105 {
+		t.Fatalf("requant with bias: got %d, want 105", dst[0])
+	}
+}
+
+func TestIm2ColU8MatchesFloat(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := ConvGeom{InC: 3, InH: 7, InW: 6, KH: 3, KW: 3, StrideH: 2, StrideW: 2, PadH: 1, PadW: 1}
+	n := g.InC * g.InH * g.InW
+	xq := make([]uint8, n)
+	xf := make([]float32, n)
+	zero := uint8(77)
+	for i := range xq {
+		xq[i] = uint8(rng.Intn(256))
+		xf[i] = float32(int32(xq[i]) - int32(zero))
+	}
+	rows := g.InC * g.KH * g.KW
+	nOut := g.OutH() * g.OutW()
+	colsQ := make([]uint8, rows*nOut)
+	Im2ColU8(g, xq, colsQ, zero)
+	colsF := New(rows, nOut)
+	Im2Col(g, xf, colsF)
+	for i := range colsQ {
+		if float32(int32(colsQ[i])-int32(zero)) != colsF.Data[i] {
+			t.Fatalf("Im2ColU8 mismatch at %d: q=%d (pad=%d), float=%g", i, colsQ[i], zero, colsF.Data[i])
+		}
+	}
+}
+
+func TestArenaU8Int32Slabs(t *testing.T) {
+	ar := NewArena()
+	q := ar.AllocU8(0.5, 10, 2, 3)
+	if q.Len() != 6 || len(q.Data) != 6 || q.Scale != 0.5 || q.Zero != 10 {
+		t.Fatalf("AllocU8 header wrong: %+v", q)
+	}
+	acc := ar.Int32s(8)
+	if len(acc) != 8 {
+		t.Fatalf("Int32s len %d", len(acc))
+	}
+	ar.Freeze()
+	mark := ar.Mark()
+	q2 := ar.AllocU8(1, 0, 6)
+	for i := range q2.Data {
+		q2.Data[i] = uint8(i)
+	}
+	acc2 := ar.Int32s(8)
+	_ = acc2
+	ar.Release(mark)
+	q3 := ar.AllocU8(1, 0, 6)
+	if &q3.Data[0] != &q2.Data[0] {
+		t.Fatal("Release must rewind the byte slab")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("frozen arena must panic on byte slab overflow")
+		}
+	}()
+	ar.Bytes(1)
+}
+
+func BenchmarkMatMulInt8(b *testing.B) {
+	for _, sz := range []struct{ m, n, k int }{{64, 1024, 576}, {256, 256, 256}} {
+		a8, b8 := randInt8Operands(rand.New(rand.NewSource(1)), sz.m, sz.n, sz.k, false)
+		dst := make([]int32, sz.m*sz.n)
+		scratch := make([]uint8, Int8GemmScratch())
+		b.Run("serial", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				MatMulInt8SerialInto(dst, a8, b8, sz.m, sz.n, sz.k, scratch)
+			}
+		})
+	}
+}
+
+// TestPackPanelInt8AsmMatchesGo: the SIMD byte-transpose pack must produce
+// byte-identical panels to the scalar reference at assorted quad counts and
+// row strides.
+func TestPackPanelInt8AsmMatchesGo(t *testing.T) {
+	if !useInt8Asm {
+		t.Skip("no VNNI pack kernel on this target")
+	}
+	rng := NewRNG(97)
+	for _, c := range []struct{ k, n, pb, pe, jb, je int }{
+		{4, 16, 0, 4, 0, 16},
+		{28, 64, 0, 28, 16, 64},
+		{144, 96, 16, 144, 0, 96},
+		{40, 48, 8, 36, 16, 48},
+	} {
+		b := make([]uint8, c.k*c.n)
+		for i := range b {
+			b[i] = uint8(rng.Intn(256))
+		}
+		want := make([]uint8, gemmKC*gemmNC)
+		got := make([]uint8, gemmKC*gemmNC)
+		packPanelInt8Go(want, b, c.n, c.pb, c.pe, c.jb, c.je)
+		packPanelInt8(got, b, c.n, c.pb, c.pe, c.jb, c.je)
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("case %+v: packed byte %d: asm %d, go %d", c, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestElementwiseAsmMatchesScalar: the SIMD requantize/quantize/dequantize
+// bodies must agree bit-for-bit with the scalar loops, including
+// round-half-away behavior on negative values and clamp saturation. Lengths
+// straddle the 8-lane boundary so both the vector body and the scalar tail
+// run.
+func TestElementwiseAsmMatchesScalar(t *testing.T) {
+	if !useInt8Asm {
+		t.Skip("no vector element kernels on this target")
+	}
+	rng := NewRNG(181)
+	for _, n := range []int{1, 7, 8, 9, 64, 1000, 1003} {
+		acc := make([]int32, n)
+		for i := range acc {
+			acc[i] = int32(rng.Intn(1<<25) - 1<<24)
+		}
+		bias := int32(rng.Intn(4096) - 2048)
+		scale := float32(rng.Float64()*1e-3 + 1e-5)
+		zero := uint8(rng.Intn(256))
+		lo, hi := uint8(rng.Intn(128)), uint8(128+rng.Intn(128))
+		got := make([]uint8, n)
+		RequantizeU8Row(got, acc, bias, scale, zero, lo, hi)
+		z, l, h := int32(zero), int32(lo), int32(hi)
+		for j, v := range acc {
+			q := RoundAway(float32(v+bias)*scale) + z
+			if q < l {
+				q = l
+			} else if q > h {
+				q = h
+			}
+			if got[j] != uint8(q) {
+				t.Fatalf("requant n=%d elem %d: asm %d, scalar %d (acc=%d)", n, j, got[j], q, v)
+			}
+		}
+
+		src := make([]float32, n)
+		for i := range src {
+			src[i] = float32(rng.NormFloat64() * 100)
+		}
+		qs := float32(rng.Float64() + 0.5)
+		qgot := make([]uint8, n)
+		QuantizeU8(qgot, src, qs, zero)
+		inv := 1 / qs
+		for i, v := range src {
+			q := RoundAway(v*inv) + z
+			if q < 0 {
+				q = 0
+			} else if q > 255 {
+				q = 255
+			}
+			if qgot[i] != uint8(q) {
+				t.Fatalf("quantize n=%d elem %d: asm %d, scalar %d (v=%g)", n, i, qgot[i], q, v)
+			}
+		}
+
+		dgot := make([]float32, n)
+		DequantizeU8(dgot, qgot, qs, zero)
+		for i, q := range qgot {
+			if want := qs * float32(int32(q)-z); dgot[i] != want {
+				t.Fatalf("dequantize n=%d elem %d: asm %g, scalar %g", n, i, dgot[i], want)
+			}
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package tensor
+
+import "fmt"
+
+// QTensor is a quantized activation tensor: unsigned-int8 storage plus the
+// affine mapping back to real values,
+//
+//	real = Scale * (float32(q) - float32(Zero))
+//
+// Scale and Zero travel with the data so every consumer — the next quantized
+// layer, a dequantize exit, a pooling kernel that passes values through —
+// interprets the bytes identically. Weights are NOT QTensors: they are
+// signed-int8 with per-output-channel scales and live inside their layer.
+type QTensor struct {
+	Data  []uint8
+	Shape []int
+	Scale float32
+	Zero  uint8
+}
+
+// Len returns the number of elements implied by the shape.
+func (q *QTensor) Len() int {
+	n := 1
+	for _, s := range q.Shape {
+		n *= s
+	}
+	return n
+}
+
+// Rank returns the number of dimensions.
+func (q *QTensor) Rank() int { return len(q.Shape) }
+
+// NewQTensor returns a heap-backed zeroed QTensor (tests and one-off use;
+// the serving path allocates from an Arena).
+func NewQTensor(scale float32, zero uint8, shape ...int) *QTensor {
+	n := 1
+	for _, s := range shape {
+		if s < 0 {
+			panic("tensor: negative dimension in NewQTensor")
+		}
+		n *= s
+	}
+	return &QTensor{Data: make([]uint8, n), Shape: append([]int(nil), shape...), Scale: scale, Zero: zero}
+}
+
+// QuantizeTensor quantizes t into a fresh heap-backed QTensor with the given
+// parameters (calibration-time helper; serving uses arena buffers).
+func QuantizeTensor(t *Tensor, scale float32, zero uint8) *QTensor {
+	q := NewQTensor(scale, zero, t.Shape...)
+	QuantizeU8(q.Data, t.Data, scale, zero)
+	return q
+}
+
+// DequantizeTensor expands q into a fresh float tensor.
+func DequantizeTensor(q *QTensor) *Tensor {
+	t := New(q.Shape...)
+	DequantizeU8(t.Data, q.Data, q.Scale, q.Zero)
+	return t
+}
+
+func (q *QTensor) String() string {
+	return fmt.Sprintf("QTensor%v scale=%g zero=%d", q.Shape, q.Scale, q.Zero)
+}
