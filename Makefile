@@ -1,12 +1,14 @@
 GO ?= go
 
-.PHONY: check vet build test race alloc bench perf bench-train bench-serve perf-serve bench-quant perf-quant
+.PHONY: check vet build test race alloc bench perf bench-train bench-serve perf-serve bench-quant perf-quant bench-tail perf-tail
 
 # The full gate: what CI (and any PR) must keep green.
 check: vet build test race alloc
 
 # Allocation-regression gate: the serving engine must stay heap-free in
-# steady state (AllocsPerRun == 0 for both classifier kernels).
+# steady state (AllocsPerRun == 0 for both classifier kernels and for every
+# tail strategy — fused, remat, folded and staged; see
+# TestEngineZeroAlloc / TestEngineZeroAllocTailModes).
 alloc:
 	$(GO) test -run TestEngineZeroAlloc -count 1 ./internal/engine/
 
@@ -57,3 +59,13 @@ bench-quant:
 # Regenerate the committed quantization baseline.
 perf-quant:
 	$(GO) run ./cmd/nshd-bench -perf-quant BENCH_PR5.json
+
+# Re-run the staged-vs-fused serving-tail benchmarks (end-to-end and
+# tail-only timings, remat footprints) and diff against the committed
+# BENCH_PR6.json baseline.
+bench-tail:
+	$(GO) run ./cmd/nshd-bench -perf-tail /tmp/nshd_bench_tail.json -perf-tail-baseline BENCH_PR6.json
+
+# Regenerate the committed fused-tail baseline.
+perf-tail:
+	$(GO) run ./cmd/nshd-bench -perf-tail BENCH_PR6.json

@@ -48,6 +48,8 @@ func main() {
 		serveBase = flag.String("perf-serve-baseline", "", "with -perf-serve: print deltas against this committed baseline JSON")
 		perfQuant = flag.String("perf-quant", "", "run the int8-vs-float engine benchmarks, write JSON to this file, and exit")
 		quantBase = flag.String("perf-quant-baseline", "", "with -perf-quant: print deltas against this committed baseline JSON")
+		perfTail  = flag.String("perf-tail", "", "run the staged-vs-fused serving-tail benchmarks, write JSON to this file, and exit")
+		tailBase  = flag.String("perf-tail-baseline", "", "with -perf-tail: print deltas against this committed baseline JSON")
 	)
 	flag.Parse()
 
@@ -74,6 +76,13 @@ func main() {
 	}
 	if *perfQuant != "" {
 		if err := runPerfQuant(*perfQuant, *quantBase); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *perfTail != "" {
+		if err := runPerfTail(*perfTail, *tailBase); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

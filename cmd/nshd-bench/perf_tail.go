@@ -1,0 +1,247 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+
+	"nshd/internal/cnn"
+	"nshd/internal/core"
+	"nshd/internal/dataset"
+	"nshd/internal/engine"
+	"nshd/internal/tensor"
+)
+
+// tailEntry is one row of BENCH_PR6.json: a staged-vs-fused paired
+// measurement of the serving tail, plus the serving-footprint rows that
+// document the rematerialization trade.
+type tailEntry struct {
+	Name       string  `json:"name"`
+	Batch      int     `json:"batch,omitempty"`
+	StagedUs   float64 `json:"staged_us,omitempty"`
+	FusedUs    float64 `json:"fused_us,omitempty"`
+	RematUs    float64 `json:"remat_us,omitempty"`
+	Speedup    float64 `json:"speedup,omitempty"` // staged / fused
+	StagedB    int64   `json:"staged_bytes,omitempty"`
+	FusedB     int64   `json:"fused_bytes,omitempty"`
+	RematB     int64   `json:"remat_bytes,omitempty"`
+	ArenaStgB  int64   `json:"arena_staged_bytes,omitempty"`
+	ArenaFusB  int64   `json:"arena_fused_bytes,omitempty"`
+	AgreeExact bool    `json:"agree_exact,omitempty"`
+}
+
+const tailReps = 11
+
+// runPerfTail measures the fused linear tail (project+classify in one
+// blocked GEMM, no full-width intermediates) against the staged chain, on
+// the committed serving configs. Each config contributes end-to-end
+// PredictInto rows at batch 1 (the latency case micro-batching cares about)
+// and one engine chunk (the throughput case), a remat row documenting the
+// seed-regenerated projection's cost, and a footprint row.
+func runPerfTail(path, baselinePath string) error {
+	// Both kernels ride the same cheap extractor: the rows compare tail
+	// strategies, and a deep extractor would bury the tail delta in
+	// hundreds of milliseconds of identical convolution jitter.
+	configs := []struct {
+		model  string
+		cut    int
+		packed bool
+	}{
+		{"vgg16", 8, true},
+		{"vgg16", 8, false},
+	}
+	train, test := dataset.SynthCIFAR(dataset.SynthConfig{
+		Classes: 10, Train: 64, Test: 128, Size: 32, Noise: 0.2, Seed: 71,
+	})
+	var entries []tailEntry
+	for _, c := range configs {
+		rows, err := perfTailEngine(c.model, c.cut, c.packed, train, test)
+		if err != nil {
+			return err
+		}
+		entries = append(entries, rows...)
+	}
+	raw, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d rows to %s\n", len(entries), path)
+	if baselinePath != "" {
+		return diffTailBaseline(entries, baselinePath)
+	}
+	return nil
+}
+
+func perfTailEngine(model string, cut int, packed bool, train, test *dataset.Dataset) ([]tailEntry, error) {
+	zoo, err := cnn.Build(model, tensor.NewRNG(72), 10)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.DefaultConfig(cut, 10)
+	cfg.Seed = 73
+	cfg.D = 3000 // the paper's serving dimension: the tail dominates here
+	cfg.FHat = 100
+	cfg.BatchSize = 32
+	cfg.PackedInference = packed
+	p, err := core.New(zoo, cfg)
+	if err != nil {
+		return nil, err
+	}
+	feats := p.ExtractFeatures(train.Images)
+	_, _, signed := p.Symbolize(feats, false)
+	p.HD.InitBundle(signed, train.Labels)
+
+	staged, err := engine.Compile(p, engine.WithStagedTail())
+	if err != nil {
+		return nil, err
+	}
+	fused, err := engine.Compile(p)
+	if err != nil {
+		return nil, err
+	}
+	remat, err := engine.Compile(p, engine.WithRemat())
+	if err != nil {
+		return nil, err
+	}
+
+	// Agreement check: the benchmark only counts if all three engines
+	// compute the same function (the engine tests pin this bit-exactly;
+	// this is the same-run sanity signal).
+	ps, err := staged.Predict(test.Images)
+	if err != nil {
+		return nil, err
+	}
+	pf, err := fused.Predict(test.Images)
+	if err != nil {
+		return nil, err
+	}
+	pr, err := remat.Predict(test.Images)
+	if err != nil {
+		return nil, err
+	}
+	exact := true
+	for i := range ps {
+		if pf[i] != ps[i] || pr[i] != ps[i] {
+			exact = false
+		}
+	}
+	if !exact {
+		return nil, fmt.Errorf("perf-tail: %s/cut%d staged, fused and remat engines disagree", model, cut)
+	}
+
+	kernel := "float"
+	if packed {
+		kernel = "packed"
+	}
+	var entries []tailEntry
+	sample := test.Images.Len() / test.Len()
+	for _, batch := range []int{1, fused.ChunkSize()} {
+		n := batch
+		if n > test.Len() {
+			n = test.Len()
+		}
+		imgs := tensor.FromSlice(test.Images.Data[:n*sample], n,
+			test.Images.Shape[1], test.Images.Shape[2], test.Images.Shape[3])
+		preds := make([]int, n)
+		run := func(e *engine.Engine) func() {
+			return func() {
+				if err := e.PredictInto(imgs, preds); err != nil {
+					panic(err)
+				}
+			}
+		}
+		sNs, fNs := pairedMin(run(staged), run(fused), tailReps)
+		_, rNs := pairedMin(run(staged), run(remat), tailReps)
+		e := tailEntry{
+			Name:  fmt.Sprintf("tail/%s/cut%d/%s/batch%d", model, cut, kernel, n),
+			Batch: n, StagedUs: float64(sNs) / 1e3, FusedUs: float64(fNs) / 1e3,
+			RematUs: float64(rNs) / 1e3, Speedup: float64(sNs) / float64(fNs),
+			AgreeExact: true,
+		}
+		entries = append(entries, e)
+		fmt.Fprintf(os.Stderr, "%-36s staged %9.1fµs   fused %9.1fµs   remat %9.1fµs   ×%.2f\n",
+			e.Name, e.StagedUs, e.FusedUs, e.RematUs, e.Speedup)
+	}
+
+	// Tail-only rows: the staged chain's project+classify stage times versus
+	// the fused tail's single row, isolating the fusion win from the
+	// (identical) extractor/manifold prefix.
+	n := fused.ChunkSize()
+	if n > test.Len() {
+		n = test.Len()
+	}
+	timeImgs := tensor.FromSlice(test.Images.Data[:n*sample], n,
+		test.Images.Shape[1], test.Images.Shape[2], test.Images.Shape[3])
+	sRows, err := staged.TimeStages(timeImgs, tailReps)
+	if err != nil {
+		return nil, err
+	}
+	fRows, err := fused.TimeStages(timeImgs, tailReps)
+	if err != nil {
+		return nil, err
+	}
+	var stagedTailUs, fusedTailUs float64
+	for _, r := range sRows {
+		if r.Name == "project" || r.Name == "classify" {
+			stagedTailUs += r.Seconds * 1e6
+		}
+	}
+	fusedTailUs = fRows[len(fRows)-1].Seconds * 1e6
+	to := tailEntry{
+		Name:  fmt.Sprintf("tail/%s/cut%d/%s/tail-only/batch%d", model, cut, kernel, n),
+		Batch: n, StagedUs: stagedTailUs, FusedUs: fusedTailUs,
+		Speedup: stagedTailUs / fusedTailUs, AgreeExact: true,
+	}
+	entries = append(entries, to)
+	fmt.Fprintf(os.Stderr, "%-36s staged %9.1fµs   fused %9.1fµs   %21s ×%.2f\n",
+		to.Name, to.StagedUs, to.FusedUs, "", to.Speedup)
+
+	foot := tailEntry{
+		Name:    fmt.Sprintf("tail/%s/cut%d/%s/bytes", model, cut, kernel),
+		StagedB: staged.ModelBytes(), FusedB: fused.ModelBytes(), RematB: remat.ModelBytes(),
+		ArenaStgB: staged.ArenaBytes(), ArenaFusB: fused.ArenaBytes(),
+	}
+	entries = append(entries, foot)
+	fmt.Fprintf(os.Stderr, "%-36s staged %dB   fused %dB   remat %dB   arena %d→%dB\n",
+		foot.Name, foot.StagedB, foot.FusedB, foot.RematB, foot.ArenaStgB, foot.ArenaFusB)
+	return entries, nil
+}
+
+// diffTailBaseline prints per-row fused-time ratios of a fresh run against
+// the committed BENCH_PR6.json.
+func diffTailBaseline(entries []tailEntry, baselinePath string) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("perf-tail baseline: %w", err)
+	}
+	var base []tailEntry
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("perf-tail baseline: %w", err)
+	}
+	byName := make(map[string]tailEntry, len(base))
+	for _, b := range base {
+		byName[b.Name] = b
+	}
+	fmt.Fprintf(os.Stderr, "\nvs %s:\n", baselinePath)
+	worst := math.Inf(1)
+	for _, e := range entries {
+		b, ok := byName[e.Name]
+		if !ok || b.FusedUs <= 0 {
+			continue
+		}
+		ratio := b.FusedUs / e.FusedUs // >1: fresh fused tail is faster than committed
+		if ratio < worst {
+			worst = ratio
+		}
+		fmt.Fprintf(os.Stderr, "%-36s fused %9.1fµs vs %9.1fµs  ratio %.2f\n",
+			e.Name, e.FusedUs, b.FusedUs, ratio)
+	}
+	if !math.IsInf(worst, 1) {
+		fmt.Fprintf(os.Stderr, "worst fused ratio vs baseline: %.2f (>1 means faster than committed)\n", worst)
+	}
+	return nil
+}

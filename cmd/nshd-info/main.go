@@ -21,10 +21,11 @@ func main() {
 	pipeline := flag.String("pipeline", "", "print serving facts for a trained pipeline snapshot (nshd-train -out)")
 	packed := flag.Bool("packed", true, "with -pipeline: compile the packed popcount classifier")
 	precision := flag.String("precision", "float32", "with -pipeline: engine precision mode (float32 or int8)")
+	remat := flag.Bool("remat", false, "with -pipeline: rematerialize the projection from its seed (O(1) encoder bytes)")
 	flag.Parse()
 
 	if *pipeline != "" {
-		if err := servingFacts(*pipeline, *packed, *precision); err != nil {
+		if err := servingFacts(*pipeline, *packed, *precision, *remat); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -53,7 +54,7 @@ func main() {
 // operator needs to deploy it behind nshd-serve: input/batch shape, memory
 // per replica, precision mode with quantized-layer coverage, and batcher
 // sizing derived from the compiled chunk size.
-func servingFacts(path string, packed bool, precision string) error {
+func servingFacts(path string, packed bool, precision string, remat bool) error {
 	p, err := nshd.LoadPipeline(path)
 	if err != nil {
 		return err
@@ -68,6 +69,9 @@ func servingFacts(path string, packed bool, precision string) error {
 		opts = append(opts, nshd.Int8)
 	default:
 		return fmt.Errorf("unknown precision %q (have: float32, int8)", precision)
+	}
+	if remat {
+		opts = append(opts, nshd.WithRemat())
 	}
 	eng, err := nshd.Compile(p, opts...)
 	if err != nil {
@@ -84,7 +88,11 @@ func servingFacts(path string, packed bool, precision string) error {
 		eng.ChunkSize(), in[0], in[1], in[2], eng.ChunkSize())
 	fmt.Printf("  %-22s D=%d, %d classes\n", "hypervector space", eng.Dim(), eng.Classes())
 	fmt.Printf("  %-22s %d (HD model mutation counter)\n", "engine version", p.HD.Version())
-	fmt.Printf("  %-22s %s, %d bytes\n", "classifier", kernel, eng.ModelBytes())
+	fmt.Printf("  %-22s %s\n", "classifier kernel", kernel)
+	fmt.Printf("  %-22s %d bytes resident, per stage:\n", "serving weights", eng.ModelBytes())
+	for _, b := range eng.BytesBreakdown() {
+		fmt.Printf("  %-22s %12d  %s\n", "", b.Bytes, b.Name)
+	}
 	fmt.Printf("  %-22s %d bytes/worker\n", "arena footprint", eng.ArenaBytes())
 	fmt.Printf("  %-22s %v\n", "stages", eng.Stages())
 	fmt.Printf("  %-22s %v\n", "precision", eng.Precision())

@@ -96,10 +96,16 @@ func New(zoo *cnn.Model, cfg Config) (*Pipeline, error) {
 		if l > encF {
 			l = encF
 		}
-		p.LSH = hdc.NewProjection(rng.Fork(), encF, l)
+		p.LSH = hdc.NewSeededProjection(rng.Int63(), encF, l)
 		encF = l
 	}
-	p.Proj = hdc.NewProjection(rng.Fork(), encF, cfg.D)
+	// Seeded projections: the matrix is a pure function of one 64-bit draw
+	// from the config's RNG stream (the same single draw Fork would make, so
+	// every downstream sampling decision is unchanged). Serving engines can
+	// then rematerialize projection panels from the seed instead of keeping
+	// the D×F matrix resident, and snapshots keep reconstructing the
+	// projection from Cfg.Seed exactly as before.
+	p.Proj = hdc.NewSeededProjection(rng.Int63(), encF, cfg.D)
 	return p, nil
 }
 

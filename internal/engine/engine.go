@@ -69,8 +69,9 @@ type Engine struct {
 	sampleLen int    // C·H·W
 	d         int    // hypervector dimension
 	chunk     int    // max samples per worker chunk
-	stages    []Stage
-	cls       classifier
+	stages    []Stage // feature stages; the tail finishes the chain
+	tail      tailRunner
+	bytes     []StageBytes // resident serving weights, per Stages() entry
 
 	// Arena freelist: proto is the frozen warmup arena; clones are created
 	// lazily (first use per worker) up to maxArenas, then recycled through
@@ -156,10 +157,13 @@ func (c packedClassifier) ModelBytes() int64 { return c.pm.MemoryBytes() }
 // Predictions agree with the pipeline's direct path per-sample, bit-for-bit:
 // every stage reuses the training kernels' exact accumulation order.
 //
-// Options select the numeric mode: Compile(p, engine.Int8,
-// engine.WithCalibration(imgs)) rebuilds the extractor/manifold stages in
-// quantized int8 arithmetic (see Precision); with no options the engine is
-// the exact Float32 build.
+// Options select the numeric mode and the tail strategy: Compile(p,
+// engine.Int8, engine.WithCalibration(imgs)) rebuilds the extractor/manifold
+// stages in quantized int8 arithmetic (see Precision); with no options the
+// engine is the exact Float32 build with the fused linear tail (see
+// fused.go). WithStagedTail restores the legacy separate project/classify
+// stages; WithRemat and WithFoldedTail select the tail's rematerialized and
+// algebraically folded variants.
 func Compile(p *core.Pipeline, opts ...Option) (*Engine, error) {
 	var o compileOptions
 	for _, opt := range opts {
@@ -176,6 +180,28 @@ func Compile(p *core.Pipeline, opts ...Option) (*Engine, error) {
 		return nil, fmt.Errorf("engine: zoo input shape %v, want [C H W]", in)
 	}
 
+	// Resolve the tail strategy before laying out stages: a folded tail
+	// absorbs the manifold, so it must not also compile as a stage.
+	fold := false
+	if o.foldTail {
+		switch {
+		case o.stagedTail:
+			return nil, fmt.Errorf("engine: WithFoldedTail conflicts with WithStagedTail")
+		case o.remat:
+			return nil, fmt.Errorf("engine: WithFoldedTail conflicts with WithRemat (the folded matrix G is dense, not seed-defined)")
+		case o.precision == Int8:
+			return nil, fmt.Errorf("engine: WithFoldedTail requires the float32 manifold (int8 quantizes the FC the fold consumes)")
+		case p.Manifold == nil:
+			return nil, fmt.Errorf("engine: WithFoldedTail requires a manifold pipeline")
+		}
+		fold = true
+	} else if o.precision == Float32 && !o.stagedTail && !o.remat && p.Manifold != nil {
+		fold = foldProfitable(p.Manifold.PooledF, p.Manifold.FHat, p.Cfg.D)
+	}
+	if o.remat && o.stagedTail {
+		return nil, fmt.Errorf("engine: WithRemat requires the fused tail")
+	}
+
 	e := &Engine{
 		inShape:   [3]int{in[0], in[1], in[2]},
 		sampleLen: in[0] * in[1] * in[2],
@@ -189,6 +215,9 @@ func Compile(p *core.Pipeline, opts ...Option) (*Engine, error) {
 	} else {
 		e.stages = append(e.stages, extractStage{p.Extractor})
 		switch {
+		case p.Manifold != nil && fold:
+			// The folded tail runs pool+flatten itself and multiplies by
+			// G = Wᵀ·P directly; no manifold stage.
 		case p.Manifold != nil:
 			e.stages = append(e.stages, manifoldStage{p.Manifold})
 		case p.LSH != nil:
@@ -197,12 +226,26 @@ func Compile(p *core.Pipeline, opts ...Option) (*Engine, error) {
 			e.stages = append(e.stages, flattenStage{})
 		}
 	}
-	e.stages = append(e.stages, projectStage{"project", p.Proj})
-	if p.Cfg.PackedInference {
-		e.cls = packedClassifier{hdlearn.PackModel(p.HD)}
+	if o.stagedTail {
+		e.stages = append(e.stages, projectStage{"project", p.Proj})
+		var cls classifier
+		if p.Cfg.PackedInference {
+			cls = packedClassifier{hdlearn.PackModel(p.HD)}
+		} else {
+			cls = floatClassifier{hdlearn.NewFloatScorer(p.HD)}
+		}
+		e.tail = &stagedTail{cls: cls, d: p.Cfg.D}
 	} else {
-		e.cls = floatClassifier{hdlearn.NewFloatScorer(p.HD)}
+		t, err := buildFusedTail(p, &o, fold)
+		if err != nil {
+			return nil, err
+		}
+		e.tail = t
 	}
+	for _, st := range e.stages {
+		e.bytes = append(e.bytes, StageBytes{st.Name(), stageWeightBytes(st)})
+	}
+	e.bytes = append(e.bytes, e.tail.breakdown()...)
 
 	// Size the chunk: start from the training batch size, shrink until the
 	// measured arena fits the budget.
@@ -253,11 +296,13 @@ func (e *Engine) warmup(ar *tensor.Arena, chunk int) (err error) {
 	}()
 	zero := make([]float32, chunk*e.sampleLen)
 	preds := make([]int, chunk)
-	hv := e.runChunk(ar, zero, chunk)
-	if hv.Rank() != 2 || hv.Shape[1] != e.d {
-		return fmt.Errorf("engine: stage chain produced %v, want [N %d]", hv.Shape, e.d)
-	}
-	e.cls.Classify(hv, preds, ar)
+	hvs := make([]float32, chunk*e.d)
+	x := e.runChunk(ar, zero, chunk)
+	e.tail.run(x, preds, ar)
+	// Size the hypervector path too (QueryHVs); runChunk resets the arena
+	// offsets but the high-water marks accumulate across both passes.
+	x = e.runChunk(ar, zero, chunk)
+	e.tail.runHVs(x, hvs, ar)
 	return nil
 }
 
@@ -280,8 +325,8 @@ func (e *Engine) getArena() *tensor.Arena {
 func (e *Engine) putArena(ar *tensor.Arena) { e.arenas <- ar }
 
 // runChunk copies one chunk of images into the arena (inference layers write
-// activations in place, so user memory is never touched) and runs the stage
-// chain, returning the [n, D] signed query hypervectors.
+// activations in place, so user memory is never touched) and runs the
+// feature stages, returning the activation the tail consumes.
 func (e *Engine) runChunk(ar *tensor.Arena, seg []float32, n int) *tensor.Tensor {
 	ar.Reset()
 	x := ar.Alloc(n, e.inShape[0], e.inShape[1], e.inShape[2])
@@ -334,8 +379,8 @@ func (e *Engine) PredictInto(images *tensor.Tensor, preds []int) error {
 	}
 	if n <= e.chunk {
 		ar := e.getArena()
-		hv := e.runChunk(ar, images.Data, n)
-		e.cls.Classify(hv, preds, ar)
+		x := e.runChunk(ar, images.Data, n)
+		e.tail.run(x, preds, ar)
 		e.putArena(ar)
 		return nil
 	}
@@ -348,8 +393,8 @@ func (e *Engine) PredictInto(images *tensor.Tensor, preds []int) error {
 				end = n
 			}
 			ar := e.getArena()
-			hv := e.runChunk(ar, images.Data[start*e.sampleLen:end*e.sampleLen], end-start)
-			e.cls.Classify(hv, preds[start:end], ar)
+			x := e.runChunk(ar, images.Data[start*e.sampleLen:end*e.sampleLen], end-start)
+			e.tail.run(x, preds[start:end], ar)
 			e.putArena(ar)
 		}
 	})
@@ -377,8 +422,8 @@ func (e *Engine) QueryHVs(images *tensor.Tensor) (*tensor.Tensor, error) {
 				end = n
 			}
 			ar := e.getArena()
-			hv := e.runChunk(ar, images.Data[start*e.sampleLen:end*e.sampleLen], end-start)
-			copy(out.Data[start*e.d:end*e.d], hv.Data)
+			x := e.runChunk(ar, images.Data[start*e.sampleLen:end*e.sampleLen], end-start)
+			e.tail.runHVs(x, out.Data[start*e.d:end*e.d], ar)
 			e.putArena(ar)
 		}
 	}
@@ -492,27 +537,81 @@ func (e *Engine) SampleLen() int { return e.sampleLen }
 func (e *Engine) Dim() int { return e.d }
 
 // Classes reports the number of classes the compiled classifier scores.
-func (e *Engine) Classes() int { return e.cls.Classes() }
+func (e *Engine) Classes() int { return e.tail.classes() }
 
-// ModelBytes reports the classifier snapshot's storage footprint (packed:
-// K·⌈D/64⌉ words; float: K·D float32s).
-func (e *Engine) ModelBytes() int64 { return e.cls.ModelBytes() }
+// ModelBytes reports the engine's TRUE serving footprint: every weight the
+// compiled plan keeps resident, summed over BytesBreakdown — extractor and
+// manifold parameters, the projection operand (prepacked panels, the folded
+// matrix, or the 8-byte seed under WithRemat) and the classifier snapshot.
+func (e *Engine) ModelBytes() int64 {
+	var total int64
+	for _, b := range e.bytes {
+		total += b.Bytes
+	}
+	return total
+}
+
+// BytesBreakdown itemizes ModelBytes per compiled stage, in Stages() order.
+func (e *Engine) BytesBreakdown() []StageBytes {
+	return append([]StageBytes(nil), e.bytes...)
+}
 
 // ArenaBytes reports one worker arena's slab footprint.
 func (e *Engine) ArenaBytes() int64 { return e.proto.FootprintBytes() }
 
-// Stages lists the compiled stage names, extractor first.
+// Stages lists the compiled stage names, extractor first, the tail last.
 func (e *Engine) Stages() []string {
-	names := make([]string, len(e.stages)+1)
-	for i, s := range e.stages {
-		names[i] = s.Name()
+	names := make([]string, 0, len(e.stages)+1)
+	for _, s := range e.stages {
+		names = append(names, s.Name())
 	}
-	if _, ok := e.cls.(packedClassifier); ok {
-		names[len(e.stages)] = "classify-packed"
-	} else {
-		names[len(e.stages)] = "classify-float"
+	return append(names, e.tail.names()...)
+}
+
+// stageWeightBytes sums the resident weights of one feature stage.
+func stageWeightBytes(st Stage) int64 {
+	switch s := st.(type) {
+	case extractStage:
+		return paramBytes(s.ex.Params())
+	case manifoldStage:
+		return paramBytes(s.ml.Params())
+	case projectStage:
+		return s.pr.MemoryBytes(false)
+	case int8Stage:
+		var total int64
+		for _, sg := range s.segs {
+			switch seg := sg.(type) {
+			case floatSeg:
+				total += paramBytes(seg.s.Params())
+			case int8Seg:
+				for _, l := range seg.layers {
+					total += int8LayerBytes(l)
+				}
+			}
+		}
+		return total
 	}
-	return names
+	return 0
+}
+
+func paramBytes(ps []*nn.Param) int64 {
+	var total int64
+	for _, p := range ps {
+		total += int64(p.W.Len()) * 4
+	}
+	return total
+}
+
+// int8LayerBytes counts a quantized layer's canonical weights: i8 weight
+// bytes plus the int32 bias and float32 requant scale per output channel.
+func int8LayerBytes(l nn.Int8Layer) int64 {
+	switch v := l.(type) {
+	case *nn.Int8Conv2D:
+		return int64(len(v.W)) + int64(len(v.Bias32))*4 + int64(len(v.Scales))*4
+	case *nn.Int8Linear:
+		return int64(len(v.W)) + int64(len(v.Bias32))*4 + int64(len(v.Scales))*4
+	}
+	return 0
 }
 
 // init hooks the engine into core: Pipeline.Predict/Accuracy/QueryHVs compile

@@ -1,6 +1,7 @@
 package engine_test
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -350,7 +351,7 @@ func TestEngineStagesReported(t *testing.T) {
 		t.Fatal(err)
 	}
 	names := e.Stages()
-	want := []string{"extract", "manifold", "project", "classify-float"}
+	want := []string{"extract", "manifold", "fuse(project+classify-float)"}
 	if len(names) != len(want) {
 		t.Fatalf("stages %v, want %v", names, want)
 	}
@@ -361,5 +362,16 @@ func TestEngineStagesReported(t *testing.T) {
 	}
 	if e.ChunkSize() < 1 || e.ArenaBytes() <= 0 {
 		t.Fatalf("chunk=%d arenaBytes=%d", e.ChunkSize(), e.ArenaBytes())
+	}
+
+	// The staged build reports the legacy chain.
+	es, err := engine.Compile(p, engine.WithStagedTail())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sNames := es.Stages()
+	sWant := []string{"extract", "manifold", "project", "classify-float"}
+	if fmt.Sprint(sNames) != fmt.Sprint(sWant) {
+		t.Fatalf("staged stages %v, want %v", sNames, sWant)
 	}
 }

@@ -1,0 +1,324 @@
+package engine
+
+import (
+	"fmt"
+
+	"nshd/internal/core"
+	"nshd/internal/hdlearn"
+	"nshd/internal/nn"
+	"nshd/internal/tensor"
+)
+
+// This file is the engine's fused linear tail: the Compile-time collapse of
+// manifold-FC → random projection → sign → class scoring into one blocked
+// GEMM whose output blocks are consumed (packed or scored) the moment they
+// are computed. The staged chain materializes a [N, F̂] manifold activation,
+// a [N, D] raw bundle and a [N, D] signed hypervector batch per chunk; the
+// fused tail keeps only one [N, 256] projection block live, so the per-chunk
+// arena drops the D-wide slabs entirely and the projection's panel packing
+// moves from every call to Compile time (or, under rematerialization, to a
+// seeded regeneration inside the panel step — see tensor.BipolarGen).
+//
+// Numerical contract, proven by the engine tests:
+//
+//   - Unfused vs fused (no fold): BIT-EXACT. tensor.MatMulPanelsBlock
+//     reproduces the serial GEMM's per-element accumulation order, sign(·)
+//     commutes with blocking, and PackSignsInto over a 256-aligned block
+//     writes exactly the words the full-row pack writes.
+//   - Folded (x(WᵀP)+bP instead of ((xWᵀ+b)P)): ARGMAX-IDENTICAL only. The
+//     re-associated product differs in final ulps, so pre-sign values near
+//     zero may flip; predictions are the contract, query hypervectors are
+//     not. Folding is therefore cost-gated and never chosen when it loses.
+//   - Float scoring uses hdlearn.FoldedScorer (cosine denominator folded
+//     into the class matrix, float64 block accumulation): argmax agrees
+//     with the staged FloatScorer on every signed query.
+
+// WithStagedTail compiles the legacy chain: separate manifold, projection
+// and classifier stages with full-width intermediates. The reference the
+// fused tail is tested and benchmarked against.
+func WithStagedTail() Option {
+	return optionFunc(func(o *compileOptions) { o.stagedTail = true })
+}
+
+// WithRemat makes the fused tail rematerialize the projection matrix from
+// its 8-byte seed inside the GEMM panel step instead of keeping prepacked
+// panels resident: encoder serving bytes collapse from O(F̂·D) to the seed.
+// Requires a seeded projection (core pipelines are seeded by construction)
+// and the fused tail. Output is bit-identical to the prepacked fused tail;
+// the trade is a modest GEMM slowdown for the O(1) footprint.
+func WithRemat() Option {
+	return optionFunc(func(o *compileOptions) { o.remat = true })
+}
+
+// WithFoldedTail forces the algebraic fold of the manifold FC into the
+// projection (G = Wᵀ·P, c = b·P) even when the cost model would not choose
+// it, collapsing manifold+projection into one GEMM. Only valid on a float32
+// manifold pipeline; predictions are argmax-identical to staged, not
+// bit-exact (see manifold.FoldProjection). Compile errors on pipelines with
+// no manifold, on int8 engines, and in combination with WithRemat.
+func WithFoldedTail() Option {
+	return optionFunc(func(o *compileOptions) { o.foldTail = true })
+}
+
+// foldProfitable is the cost gate for the automatic manifold-FC fold: per
+// sample the folded tail spends PooledF·D MACs where the staged tail spends
+// PooledF·F̂ (FC) + F̂·D (projection). The paper's shapes (F̂ ≪ PooledF, D)
+// make the manifold a compression stage and the fold a pessimization, so it
+// only fires when the manifold widens features (1/F̂ < 1/PooledF + 1/D).
+func foldProfitable(pooledF, fhat, d int) bool {
+	return int64(pooledF)*int64(d) < int64(pooledF)*int64(fhat)+int64(fhat)*int64(d)
+}
+
+// StageBytes is one component of the engine's resident serving weights.
+type StageBytes struct {
+	Name  string
+	Bytes int64
+}
+
+// tailRunner terminates the compiled chain: feature-stage output to class
+// predictions or signed query hypervectors, scratch from the worker arena.
+type tailRunner interface {
+	// names lists the tail's stage names as reported by Engine.Stages.
+	names() []string
+	// timeName labels the tail's single TimeStages row.
+	timeName() string
+	classes() int
+	run(x *tensor.Tensor, preds []int, ar *tensor.Arena)
+	// runHVs writes the signed query hypervectors ([n rows of d]) into dst.
+	runHVs(x *tensor.Tensor, dst []float32, ar *tensor.Arena)
+	breakdown() []StageBytes
+}
+
+// ---------------------------------------------------------------------------
+// Staged tail: the legacy classifier step behind the tailRunner interface.
+// The projection runs as an ordinary stage; the tail receives [n, D] signed
+// hypervectors and only classifies.
+
+type stagedTail struct {
+	cls classifier
+	d   int
+}
+
+func (t *stagedTail) clsName() string {
+	if _, ok := t.cls.(packedClassifier); ok {
+		return "classify-packed"
+	}
+	return "classify-float"
+}
+
+func (t *stagedTail) names() []string  { return []string{t.clsName()} }
+func (t *stagedTail) timeName() string { return "classify" }
+func (t *stagedTail) classes() int     { return t.cls.Classes() }
+
+func (t *stagedTail) check(x *tensor.Tensor) {
+	if x.Rank() != 2 || x.Shape[1] != t.d {
+		panic(fmt.Sprintf("engine: staged tail got %v, want [N %d]", x.Shape, t.d))
+	}
+}
+
+func (t *stagedTail) run(x *tensor.Tensor, preds []int, ar *tensor.Arena) {
+	t.check(x)
+	t.cls.Classify(x, preds, ar)
+}
+
+func (t *stagedTail) runHVs(x *tensor.Tensor, dst []float32, ar *tensor.Arena) {
+	t.check(x)
+	copy(dst, x.Data)
+}
+
+func (t *stagedTail) breakdown() []StageBytes {
+	return []StageBytes{{t.clsName(), t.cls.ModelBytes()}}
+}
+
+// ---------------------------------------------------------------------------
+// Fused tail.
+
+type fusedTail struct {
+	d, k, inF int
+	// Folded head (manifold fold only): the pool and flatten that precede
+	// the folded GEMM — max-pool is nonlinear, so the fold stops there.
+	pool *nn.MaxPool2D
+	flat bool
+	// panels is the projection operand in GEMM panel form: prepacked strips
+	// of P (or of the folded G), or a seeded generator that rematerializes
+	// them inside the kernel.
+	panels *tensor.ProjPanels
+	// bias is the folded FC bias row c = b·P; nil when not folding.
+	bias []float32
+	// Exactly one of packed/scorer is set, mirroring Cfg.PackedInference.
+	packed *hdlearn.PackedModel
+	scorer *hdlearn.FoldedScorer
+	name   string
+	bytes  []StageBytes
+}
+
+// buildFusedTail assembles the tail for one compiled engine. fold has been
+// validated (and cost-gated) by Compile.
+func buildFusedTail(p *core.Pipeline, o *compileOptions, fold bool) (*fusedTail, error) {
+	t := &fusedTail{d: p.Cfg.D}
+	projName := "project"
+	switch {
+	case fold:
+		g, c, err := p.Manifold.FoldProjection(p.Proj.P)
+		if err != nil {
+			return nil, fmt.Errorf("engine: folding tail: %w", err)
+		}
+		t.pool, _ = p.Manifold.InferLayers()
+		t.flat = true
+		t.bias = c
+		t.inF = p.Manifold.PooledF
+		t.panels = tensor.PrepackPanels(g)
+		projName = "manifold*project"
+	case o.remat:
+		if !p.Proj.Seeded {
+			return nil, fmt.Errorf("engine: WithRemat requires a seeded projection")
+		}
+		t.inF = p.Proj.F
+		t.panels = tensor.RematPanels(p.Proj.Gen())
+		projName = "project@seed"
+	default:
+		t.inF = p.Proj.F
+		t.panels = tensor.PrepackPanels(p.Proj.P)
+	}
+	clsName := "classify-float"
+	if p.Cfg.PackedInference {
+		t.packed = hdlearn.PackModel(p.HD)
+		t.k = t.packed.K
+		clsName = "classify-packed"
+	} else {
+		t.scorer = hdlearn.NewFoldedScorer(p.HD)
+		t.k = t.scorer.K
+	}
+	t.name = "fuse(" + projName + "+" + clsName + ")"
+	projBytes := t.panels.MemoryBytes() + int64(len(t.bias))*4
+	var clsBytes int64
+	if t.packed != nil {
+		clsBytes = t.packed.MemoryBytes()
+	} else {
+		clsBytes = t.scorer.ModelBytes()
+	}
+	t.bytes = []StageBytes{{projName, projBytes}, {clsName, clsBytes}}
+	return t, nil
+}
+
+func (t *fusedTail) names() []string  { return []string{t.name} }
+func (t *fusedTail) timeName() string { return t.name }
+func (t *fusedTail) classes() int     { return t.k }
+
+func (t *fusedTail) breakdown() []StageBytes {
+	return append([]StageBytes(nil), t.bytes...)
+}
+
+// head runs the folded tail's pool+flatten prefix (identity when not
+// folding) and validates the GEMM input width.
+func (t *fusedTail) head(x *tensor.Tensor, ar *tensor.Arena) *tensor.Tensor {
+	if t.pool != nil {
+		x = t.pool.ForwardInfer(x, ar)
+	}
+	if t.flat && x.Rank() != 2 {
+		n := x.Shape[0]
+		x = ar.Wrap(x.Data, n, x.Len()/n)
+	}
+	if x.Rank() != 2 || x.Shape[1] != t.inF {
+		panic(fmt.Sprintf("engine: fused tail got %v, want [N %d]", x.Shape, t.inF))
+	}
+	return x
+}
+
+// addBias adds the folded bias row to a compact [n, w] block of columns
+// [c0, c0+w). No-op when not folding.
+func (t *fusedTail) addBias(blk []float32, n, w, c0 int) {
+	if t.bias == nil {
+		return
+	}
+	b := t.bias[c0 : c0+w]
+	for i := 0; i < n; i++ {
+		row := blk[i*w : (i+1)*w]
+		for j := range row {
+			row[j] += b[j]
+		}
+	}
+}
+
+// run classifies one chunk: features → one blocked GEMM whose 256-column
+// output blocks are packed (popcount path) or scored (float path) in place.
+// Neither the [N, F̂] manifold activation (folded mode) nor any [N, D]
+// intermediate ever exists.
+func (t *fusedTail) run(x *tensor.Tensor, preds []int, ar *tensor.Arena) {
+	m := ar.Mark()
+	v := t.head(x, ar)
+	n := v.Shape[0]
+	bc := tensor.PanelBlockCols()
+	scratch := ar.Floats(tensor.PanelScratch())
+	blk := ar.Floats(n * bc)
+	if t.packed != nil {
+		wpr := t.packed.WordsPerRow()
+		q := ar.Words(n * wpr)
+		for c0 := 0; c0 < t.d; c0 += bc {
+			w := tensor.MatMulPanelsBlock(blk, v, t.panels, c0, scratch)
+			t.addBias(blk, n, w, c0)
+			// Block packing writes the same words as packing the full row:
+			// c0 is 256-aligned, so blocks tile the row's words exactly,
+			// and the pack's sign test (v < 0) matches sign(0) = +1.
+			wb, ww := c0/64, (w+63)/64
+			for i := 0; i < n; i++ {
+				tensor.PackSignsInto(q[i*wpr+wb:i*wpr+wb+ww], blk[i*w:(i+1)*w])
+			}
+		}
+		for i := 0; i < n; i++ {
+			preds[i] = t.packed.PredictPacked(q[i*wpr : (i+1)*wpr])
+		}
+	} else {
+		acc := ar.Float64s(n * t.k)
+		for i := range acc {
+			acc[i] = 0
+		}
+		for c0 := 0; c0 < t.d; c0 += bc {
+			w := tensor.MatMulPanelsBlock(blk, v, t.panels, c0, scratch)
+			t.addBias(blk, n, w, c0)
+			signBlock(blk[:n*w])
+			t.scorer.AccumBlock(acc, blk[:n*w], n, w, c0)
+		}
+		t.scorer.ArgmaxInto(preds, acc, n)
+	}
+	ar.Release(m)
+}
+
+// runHVs writes the signed query hypervectors straight into caller memory,
+// one projection block at a time.
+func (t *fusedTail) runHVs(x *tensor.Tensor, dst []float32, ar *tensor.Arena) {
+	m := ar.Mark()
+	v := t.head(x, ar)
+	n := v.Shape[0]
+	bc := tensor.PanelBlockCols()
+	scratch := ar.Floats(tensor.PanelScratch())
+	blk := ar.Floats(n * bc)
+	for c0 := 0; c0 < t.d; c0 += bc {
+		w := tensor.MatMulPanelsBlock(blk, v, t.panels, c0, scratch)
+		t.addBias(blk, n, w, c0)
+		for i := 0; i < n; i++ {
+			row := blk[i*w : (i+1)*w]
+			out := dst[i*t.d+c0 : i*t.d+c0+w]
+			for j, vv := range row {
+				if vv < 0 {
+					out[j] = -1
+				} else {
+					out[j] = 1
+				}
+			}
+		}
+	}
+	ar.Release(m)
+}
+
+// signBlock quantizes a block in place with the pipeline's sign convention
+// (sign(0) = +1, matching tensor.SignInto).
+func signBlock(b []float32) {
+	for i, v := range b {
+		if v < 0 {
+			b[i] = -1
+		} else {
+			b[i] = 1
+		}
+	}
+}

@@ -1,0 +1,293 @@
+package engine_test
+
+import (
+	"testing"
+
+	"nshd/internal/core"
+	"nshd/internal/engine"
+	"nshd/internal/hdc"
+	"nshd/internal/tensor"
+)
+
+// TestEngineFusedMatchesStaged pins the tentpole contract: the default fused
+// tail reproduces the staged chain's predictions on every topology and both
+// classifier kernels — bit-exactly, since the fused GEMM keeps the staged
+// accumulation order and block packing writes the staged words.
+func TestEngineFusedMatchesStaged(t *testing.T) {
+	for _, v := range variants() {
+		t.Run(v.name, func(t *testing.T) {
+			p, test := buildPipeline(t, v.mut)
+			fused, err := engine.Compile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			staged, err := engine.Compile(p, engine.WithStagedTail())
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := staged.Predict(test.Images)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := fused.Predict(test.Images)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("sample %d: fused=%d staged=%d", i, got[i], want[i])
+				}
+			}
+
+			// The hypervector path must agree bit-for-bit too.
+			hw, err := staged.QueryHVs(test.Images)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hg, err := fused.QueryHVs(test.Images)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range hw.Data {
+				if hg.Data[i] != hw.Data[i] {
+					t.Fatal("fused QueryHVs differ from staged")
+				}
+			}
+		})
+	}
+}
+
+// TestEngineRematMatchesFused: rematerializing the projection from its seed
+// is bit-identical to the prepacked fused tail, while the encoder's serving
+// bytes collapse to the 8-byte seed.
+func TestEngineRematMatchesFused(t *testing.T) {
+	for _, v := range []variant{
+		{"packed", func(c *core.Config) { c.PackedInference = true }},
+		{"float", func(c *core.Config) {}},
+	} {
+		t.Run(v.name, func(t *testing.T) {
+			p, test := buildPipeline(t, v.mut)
+			fused, err := engine.Compile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			remat, err := engine.Compile(p, engine.WithRemat())
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := fused.Predict(test.Images)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := remat.Predict(test.Images)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("sample %d: remat=%d prepack=%d", i, got[i], want[i])
+				}
+			}
+			hw, err := fused.QueryHVs(test.Images)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hg, err := remat.QueryHVs(test.Images)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range hw.Data {
+				if hg.Data[i] != hw.Data[i] {
+					t.Fatal("remat QueryHVs differ from prepacked fused")
+				}
+			}
+
+			// The footprint claim: the remat engine's projection entry is the
+			// seed, the prepacked engine's is O(F̂·D), and ModelBytes totals
+			// its own breakdown in both.
+			var rematProj, fusedProj int64 = -1, -1
+			for _, b := range remat.BytesBreakdown() {
+				if b.Name == "project@seed" {
+					rematProj = b.Bytes
+				}
+			}
+			for _, b := range fused.BytesBreakdown() {
+				if b.Name == "project" {
+					fusedProj = b.Bytes
+				}
+			}
+			if rematProj != 8 {
+				t.Fatalf("remat projection bytes = %d, want 8 (the seed)", rematProj)
+			}
+			if minProj := int64(p.Proj.F) * int64(p.Proj.D) * 4; fusedProj < minProj {
+				t.Fatalf("prepacked projection bytes = %d, want >= %d", fusedProj, minProj)
+			}
+			for _, e := range []*engine.Engine{fused, remat} {
+				var sum int64
+				for _, b := range e.BytesBreakdown() {
+					sum += b.Bytes
+				}
+				if sum != e.ModelBytes() || sum <= 0 {
+					t.Fatalf("ModelBytes %d != breakdown sum %d", e.ModelBytes(), sum)
+				}
+			}
+			if remat.ModelBytes() >= fused.ModelBytes() {
+				t.Fatalf("remat footprint %d not below prepacked %d", remat.ModelBytes(), fused.ModelBytes())
+			}
+		})
+	}
+}
+
+// TestEngineFoldedTail: forcing the manifold-FC fold keeps predictions equal
+// to the staged chain (the argmax-identical contract) and the folded engine
+// reports the absorbed manifold in its stage list.
+func TestEngineFoldedTail(t *testing.T) {
+	for _, v := range []variant{
+		{"float", func(c *core.Config) {}},
+		{"packed", func(c *core.Config) { c.PackedInference = true }},
+	} {
+		t.Run(v.name, func(t *testing.T) {
+			p, test := buildPipeline(t, v.mut)
+			folded, err := engine.Compile(p, engine.WithFoldedTail())
+			if err != nil {
+				t.Fatal(err)
+			}
+			staged, err := engine.Compile(p, engine.WithStagedTail())
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := staged.Predict(test.Images)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := folded.Predict(test.Images)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("sample %d: folded=%d staged=%d", i, got[i], want[i])
+				}
+			}
+			names := folded.Stages()
+			for _, n := range names {
+				if n == "manifold" {
+					t.Fatalf("folded engine still compiles a manifold stage: %v", names)
+				}
+			}
+			if names[len(names)-1][:20] != "fuse(manifold*projec" {
+				t.Fatalf("folded tail not reported: %v", names)
+			}
+		})
+	}
+}
+
+// TestEngineTailOptionErrors: invalid tail combinations fail Compile with
+// errors instead of compiling a wrong plan — in particular the nil-manifold
+// fold guard (LSH and direct pipelines have no FC to fold).
+func TestEngineTailOptionErrors(t *testing.T) {
+	lsh, _ := buildPipeline(t, func(c *core.Config) { c.UseManifold = false; c.LSHDim = 20 })
+	if _, err := engine.Compile(lsh, engine.WithFoldedTail()); err == nil {
+		t.Fatal("folding an LSH-only pipeline must fail Compile")
+	}
+	if e, err := engine.Compile(lsh); err != nil || e == nil {
+		t.Fatalf("LSH pipeline must still compile fused: %v", err)
+	}
+
+	p, _ := buildPipeline(t, func(c *core.Config) {})
+	if _, err := engine.Compile(p, engine.WithFoldedTail(), engine.WithRemat()); err == nil {
+		t.Fatal("fold+remat must fail Compile")
+	}
+	if _, err := engine.Compile(p, engine.WithFoldedTail(), engine.WithStagedTail()); err == nil {
+		t.Fatal("fold+staged must fail Compile")
+	}
+	if _, err := engine.Compile(p, engine.WithRemat(), engine.WithStagedTail()); err == nil {
+		t.Fatal("remat+staged must fail Compile")
+	}
+	if _, err := engine.Compile(p, engine.Int8, engine.WithFoldedTail()); err == nil {
+		t.Fatal("int8+fold must fail Compile")
+	}
+
+	// An unseeded projection (hand-built pipelines, legacy snapshots) cannot
+	// rematerialize.
+	p.Proj = hdc.NewProjection(tensor.NewRNG(1), p.Proj.F, p.Proj.D)
+	if _, err := engine.Compile(p, engine.WithRemat()); err == nil {
+		t.Fatal("remat on an unseeded projection must fail Compile")
+	}
+	if e, err := engine.Compile(p); err != nil || e == nil {
+		t.Fatalf("unseeded pipeline must still compile fused: %v", err)
+	}
+}
+
+// TestEngineZeroAllocTailModes extends the steady-state zero-alloc gate to
+// every tail strategy (its name keeps it inside the `make alloc` run).
+func TestEngineZeroAllocTailModes(t *testing.T) {
+	for _, mode := range []struct {
+		name string
+		opts []engine.Option
+	}{
+		{"fused", nil},
+		{"remat", []engine.Option{engine.WithRemat()}},
+		{"folded", []engine.Option{engine.WithFoldedTail()}},
+		{"staged", []engine.Option{engine.WithStagedTail()}},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			p, test := buildPipeline(t, func(c *core.Config) { c.PackedInference = true })
+			e, err := engine.Compile(p, mode.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := e.ChunkSize()
+			if n > test.Len() {
+				n = test.Len()
+			}
+			sample := test.Images.Len() / test.Len()
+			imgs := tensor.FromSlice(test.Images.Data[:n*sample], n, 3, 16, 16)
+			preds := make([]int, n)
+			if err := e.PredictInto(imgs, preds); err != nil {
+				t.Fatal(err)
+			}
+			if a := testing.AllocsPerRun(100, func() {
+				if err := e.PredictInto(imgs, preds); err != nil {
+					t.Fatal(err)
+				}
+			}); a != 0 {
+				t.Fatalf("%s PredictInto allocated %.1f times per run", mode.name, a)
+			}
+		})
+	}
+}
+
+// TestEngineInt8FusedTail: the int8 engine's float tail fuses like the
+// float engine's (satellite: int8 predictions unchanged by the fused tail,
+// and quantized-layer coverage is not affected by the tail strategy).
+func TestEngineInt8FusedTail(t *testing.T) {
+	p, test := buildPipeline(t, func(c *core.Config) { c.PackedInference = true })
+	calib := engine.WithCalibration(test.Images)
+	fused, err := engine.Compile(p, engine.Int8, calib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	staged, err := engine.Compile(p, engine.Int8, calib, engine.WithStagedTail())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := staged.Predict(test.Images)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fused.Predict(test.Images)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sample %d: int8 fused=%d staged=%d", i, got[i], want[i])
+		}
+	}
+	fc, ft := fused.Int8Coverage()
+	sc, st := staged.Int8Coverage()
+	if fc != sc || ft != st || fc == 0 {
+		t.Fatalf("int8 coverage changed by tail strategy: fused %d/%d staged %d/%d", fc, ft, sc, st)
+	}
+}

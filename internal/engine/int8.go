@@ -49,8 +49,11 @@ func (p Precision) String() string {
 type Option interface{ applyOption(*compileOptions) }
 
 type compileOptions struct {
-	precision Precision
-	calib     *tensor.Tensor
+	precision  Precision
+	calib      *tensor.Tensor
+	stagedTail bool
+	remat      bool
+	foldTail   bool
 }
 
 func (p Precision) applyOption(o *compileOptions) { o.precision = p }
@@ -512,10 +515,10 @@ func (e *Engine) TimeStages(images *tensor.Tensor, reps int) ([]StageTime, error
 			}
 		}
 		t0 := time.Now()
-		e.cls.Classify(x, preds, ar)
+		e.tail.run(x, preds, ar)
 		last := len(e.stages)
 		if d := time.Since(t0).Seconds(); r == 0 || d < out[last].Seconds {
-			out[last] = StageTime{Name: "classify", Seconds: d}
+			out[last] = StageTime{Name: e.tail.timeName(), Seconds: d}
 		}
 	}
 	return out, nil

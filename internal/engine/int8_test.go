@@ -233,7 +233,7 @@ func TestEngineInt8TimeStages(t *testing.T) {
 	if len(rows) != len(e.Stages()) {
 		t.Fatalf("%d timing rows for %d stages", len(rows), len(e.Stages()))
 	}
-	if rows[0].Name != "extract" || rows[len(rows)-1].Name != "classify" {
+	if rows[0].Name != "extract" || rows[len(rows)-1].Name != "fuse(project+classify-float)" {
 		t.Fatalf("timing rows %v", rows)
 	}
 	for _, r := range rows {

@@ -20,6 +20,12 @@ type Projection struct {
 	P *tensor.Tensor
 	// Packed holds the same rows bit-packed for binary kernels.
 	Packed *PackedMatrix
+	// Seeded marks a projection whose matrix is DEFINED by Seed through
+	// tensor.BipolarGen: any row, tile or GEMM panel of P can be
+	// regenerated on demand, bit-identical to the stored matrix, so a
+	// serving engine needs only the seed (see EncodeBatchRematInto).
+	Seeded bool
+	Seed   int64
 }
 
 // NewProjection samples a seeded random projection for F features into
@@ -31,6 +37,28 @@ func NewProjection(rng *tensor.RNG, f, d int) *Projection {
 	p := tensor.New(f, d)
 	rng.FillBipolar(p)
 	return &Projection{F: f, D: d, P: p, Packed: NewPackedMatrix(p)}
+}
+
+// NewSeededProjection constructs the projection whose matrix is the seeded
+// bipolar generator's [F, D] matrix. The dense P and packed forms are
+// materialized for the training-side kernels (decode, packed binding);
+// serving paths can instead rematerialize panels from the seed alone, which
+// collapses the encoder's model bytes from O(F·D) to the 8-byte seed.
+func NewSeededProjection(seed int64, f, d int) *Projection {
+	if f <= 0 || d <= 0 {
+		panic(fmt.Sprintf("hdc: NewSeededProjection with F=%d D=%d", f, d))
+	}
+	p := tensor.New(f, d)
+	tensor.NewBipolarGen(seed, f, d).FillInto(p)
+	return &Projection{F: f, D: d, P: p, Packed: NewPackedMatrix(p), Seeded: true, Seed: seed}
+}
+
+// Gen returns the defining generator of a seeded projection, nil otherwise.
+func (pr *Projection) Gen() *tensor.BipolarGen {
+	if !pr.Seeded {
+		return nil
+	}
+	return tensor.NewBipolarGen(pr.Seed, pr.F, pr.D)
 }
 
 // Encode maps one feature vector to its hypervector. It returns both the
@@ -79,6 +107,23 @@ func (pr *Projection) EncodeBatchInto(features, raw, signed *tensor.Tensor, scra
 	tensor.SignInto(signed, raw)
 }
 
+// EncodeBatchRematInto is EncodeBatchInto with the projection matrix
+// rematerialized from the seed inside the GEMM's panel step: P is never
+// read (or needed). Results are bit-identical to EncodeBatchInto — the
+// panel kernel reproduces the serial GEMM's exact accumulation schedule.
+// Only valid on a seeded projection. scratch needs tensor.PanelScratch()
+// floats.
+func (pr *Projection) EncodeBatchRematInto(features, raw, signed *tensor.Tensor, scratch []float32) {
+	if !pr.Seeded {
+		panic("hdc: EncodeBatchRematInto on an unseeded projection")
+	}
+	if features.Rank() != 2 || features.Shape[1] != pr.F {
+		panic(fmt.Sprintf("hdc: EncodeBatchRematInto expects [N %d], got %v", pr.F, features.Shape))
+	}
+	tensor.MatMulPanelsInto(raw, features, tensor.RematPanels(pr.Gen()), scratch)
+	tensor.SignInto(signed, raw)
+}
+
 // Decode estimates the feature-space preimage of a hypervector: since the
 // rows of P are quasi-orthogonal with ⟨P_f, P_f⟩ = D, the least-squares
 // estimate of V from H ≈ Vᵀ P is (1/D)·P·H. This is the HD decoding used to
@@ -112,6 +157,16 @@ func (pr *Projection) EncodeMACs() int64 { return int64(pr.F) * int64(pr.D) }
 func (pr *Projection) MemoryBytes(packed bool) int64 {
 	if packed {
 		return pr.Packed.MemoryBytes()
+	}
+	return int64(pr.F) * int64(pr.D) * 4
+}
+
+// ServingBytes reports what a serving engine must keep resident for the
+// encoder: the 8-byte seed when rematerializing from a seeded projection,
+// the dense matrix otherwise.
+func (pr *Projection) ServingBytes(remat bool) int64 {
+	if remat && pr.Seeded {
+		return 8
 	}
 	return int64(pr.F) * int64(pr.D) * 4
 }

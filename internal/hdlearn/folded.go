@@ -1,0 +1,109 @@
+package hdlearn
+
+import (
+	"fmt"
+	"math"
+
+	"nshd/internal/hdc"
+	"nshd/internal/tensor"
+)
+
+// FoldedScorer is the float classifier with the cosine denominator folded
+// into the class matrix at compile time — the class-matrix fold of the
+// engine's fused tail. It exploits a structural fact of the pipeline: query
+// hypervectors are bipolar (sign(·) output, every entry ±1), so the query
+// norm is exactly √D for every query and the cosine
+//
+//	sim(h, M_k) = ⟨h, M_k⟩ / (‖h‖·‖M_k‖)
+//
+// reduces to a plain dot product against the pre-scaled rows
+// M̂_k = M_k / (√D·‖M_k‖). A zero-norm class keeps a zero row, reproducing
+// FloatScorer's den==0 → sim=0 convention.
+//
+// Because the denominator is gone, scores can accumulate BLOCKWISE over
+// column ranges of the query — which is what lets the fused tail score a
+// gemmNC-wide projection block the moment it is computed and never
+// materialize the full [N, D] hypervector batch. Partial sums accumulate in
+// float64, so the block decomposition never changes a ranking that isn't
+// already a float-level near-tie; agreement with FloatScorer's argmax is
+// pinned by TestFoldedScorerAgreesWithFloat.
+type FoldedScorer struct {
+	K, D int
+	mhat *tensor.Tensor // [K, D]: class rows pre-divided by √D·‖M_k‖
+}
+
+// NewFoldedScorer snapshots m into the folded form (deep copy; later
+// training on m does not affect the scorer).
+func NewFoldedScorer(m *Model) *FoldedScorer {
+	s := &FoldedScorer{K: m.K, D: m.D, mhat: tensor.New(m.K, m.D)}
+	sqrtD := math.Sqrt(float64(m.D))
+	for k := 0; k < m.K; k++ {
+		den := sqrtD * hdc.Hypervector(m.M.Row(k)).Norm()
+		if den == 0 {
+			continue
+		}
+		src := m.M.Row(k)
+		dst := s.mhat.Row(k)
+		for j := range dst {
+			dst[j] = float32(float64(src[j]) / den)
+		}
+	}
+	return s
+}
+
+// AccumBlock accumulates each query row's partial score against columns
+// [c0, c0+w) of the folded class matrix: acc[i*K + k] += ⟨blk_i, M̂_k[c0:c0+w]⟩
+// for the n rows of blk (a compact [n, w] tile of signed query columns).
+// Callers zero acc before the first block.
+func (s *FoldedScorer) AccumBlock(acc []float64, blk []float32, n, w, c0 int) {
+	if c0 < 0 || c0+w > s.D {
+		panic(fmt.Sprintf("hdlearn: AccumBlock columns [%d,%d) outside D=%d", c0, c0+w, s.D))
+	}
+	for i := 0; i < n; i++ {
+		row := blk[i*w : (i+1)*w]
+		out := acc[i*s.K : (i+1)*s.K]
+		for k := 0; k < s.K; k++ {
+			out[k] += float64(tensor.DotFast(row, s.mhat.Row(k)[c0:c0+w]))
+		}
+	}
+}
+
+// ArgmaxInto converts accumulated scores to predictions: first-wins
+// strict-> argmax per row, the same tie rule as FloatScorer.
+func (s *FoldedScorer) ArgmaxInto(preds []int, acc []float64, n int) {
+	for i := 0; i < n; i++ {
+		row := acc[i*s.K : (i+1)*s.K]
+		best, at := row[0], 0
+		for k := 1; k < s.K; k++ {
+			if row[k] > best {
+				best, at = row[k], k
+			}
+		}
+		preds[i] = at
+	}
+}
+
+// PredictInto classifies signed query rows ([N, D]) in one full-width pass —
+// the single-block case of AccumBlock + ArgmaxInto.
+func (s *FoldedScorer) PredictInto(hvs *tensor.Tensor, preds []int) {
+	if hvs.Rank() != 2 || hvs.Shape[1] != s.D {
+		panic(fmt.Sprintf("hdlearn: FoldedScorer expects [N %d], got %v", s.D, hvs.Shape))
+	}
+	n := hvs.Shape[0]
+	if len(preds) != n {
+		panic(fmt.Sprintf("hdlearn: FoldedScorer preds length %d, want %d", len(preds), n))
+	}
+	for i := 0; i < n; i++ {
+		h := hvs.Row(i)
+		best, at := math.Inf(-1), 0
+		for k := 0; k < s.K; k++ {
+			if sc := float64(tensor.DotFast(h, s.mhat.Row(k))); sc > best {
+				best, at = sc, k
+			}
+		}
+		preds[i] = at
+	}
+}
+
+// ModelBytes is the folded snapshot's storage: K·D float32s.
+func (s *FoldedScorer) ModelBytes() int64 { return int64(s.K) * int64(s.D) * 4 }

@@ -1,0 +1,96 @@
+package hdlearn
+
+import (
+	"testing"
+
+	"nshd/internal/tensor"
+)
+
+// signedQueries samples n bipolar query rows — the only query form the
+// serving tail produces (sign(·) output).
+func signedQueries(seed int64, n, d int) *tensor.Tensor {
+	q := tensor.New(n, d)
+	tensor.NewRNG(seed).FillBipolar(q)
+	return q
+}
+
+// TestFoldedScorerAgreesWithFloat pins the folded scorer's contract: for
+// bipolar queries its argmax matches FloatScorer (the staged serving
+// classifier) across many random models, class counts and dimensions,
+// including D off the 64/256 alignments.
+func TestFoldedScorerAgreesWithFloat(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		k := 2 + int(seed%7)
+		d := 64 + int(seed*13)%451
+		m := NewModel(k, d)
+		tensor.NewRNG(100 + seed).FillNormal(m.M, 0, 1)
+		m.Invalidate()
+
+		queries := signedQueries(200+seed, 17, d)
+		want := make([]int, 17)
+		NewFloatScorer(m).PredictInto(queries, want)
+		got := make([]int, 17)
+		NewFoldedScorer(m).PredictInto(queries, got)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d (K=%d D=%d): query %d folded=%d float=%d", seed, k, d, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestFoldedScorerBlockwiseMatchesFull: accumulating over column blocks and
+// taking the argmax agrees with the one-pass PredictInto.
+func TestFoldedScorerBlockwiseMatchesFull(t *testing.T) {
+	for _, d := range []int{70, 256, 257, 530} {
+		const k, n = 5, 9
+		m := NewModel(k, d)
+		tensor.NewRNG(int64(d)).FillNormal(m.M, 0, 1)
+		m.Invalidate()
+		s := NewFoldedScorer(m)
+		queries := signedQueries(int64(2*d), n, d)
+
+		want := make([]int, n)
+		s.PredictInto(queries, want)
+
+		acc := make([]float64, n*k)
+		blk := make([]float32, n*256)
+		for c0 := 0; c0 < d; c0 += 256 {
+			w := 256
+			if c0+w > d {
+				w = d - c0
+			}
+			for i := 0; i < n; i++ {
+				copy(blk[i*w:(i+1)*w], queries.Row(i)[c0:c0+w])
+			}
+			s.AccumBlock(acc, blk[:n*w], n, w, c0)
+		}
+		got := make([]int, n)
+		s.ArgmaxInto(got, acc, n)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("D=%d query %d: blockwise=%d full=%d", d, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestFoldedScorerZeroNormClass: a zero class row scores 0 everywhere (the
+// den==0 convention) and never panics.
+func TestFoldedScorerZeroNormClass(t *testing.T) {
+	const k, d = 3, 70
+	m := NewModel(k, d)
+	tensor.NewRNG(1).FillNormal(m.M, 0, 1)
+	clear(m.M.Row(1))
+	m.Invalidate()
+	queries := signedQueries(2, 4, d)
+	want := make([]int, 4)
+	NewFloatScorer(m).PredictInto(queries, want)
+	got := make([]int, 4)
+	NewFoldedScorer(m).PredictInto(queries, got)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("query %d: folded=%d float=%d with zero-norm class", i, got[i], want[i])
+		}
+	}
+}

@@ -57,6 +57,12 @@ func (pm *PackedModel) predictWords(q []uint64) int {
 	return at
 }
 
+// PredictPacked classifies one already-packed query row (length
+// WordsPerRow(), tail bits zero) — the engine's fused tail packs sign bits
+// block by block into such rows and scores them here without ever holding a
+// dense hypervector.
+func (pm *PackedModel) PredictPacked(q []uint64) int { return pm.predictWords(q) }
+
 // PredictHV classifies an already-packed query hypervector.
 func (pm *PackedModel) PredictHV(q *hdc.PackedHV) int {
 	if q.D != pm.D {

@@ -54,6 +54,10 @@ type Arena struct {
 	i32off  int
 	i32peak int
 
+	f64s    []float64
+	f64off  int
+	f64peak int
+
 	qhdrs  []QTensor
 	qhoff  int
 	qhpeak int
@@ -63,24 +67,24 @@ type Arena struct {
 func NewArena() *Arena { return &Arena{} }
 
 // ArenaMark is a snapshot of all slab offsets, for stack-style release.
-type ArenaMark struct{ f, w, i, h, b, i32, qh int }
+type ArenaMark struct{ f, w, i, h, b, i32, f64, qh int }
 
 // Mark snapshots the arena's current offsets.
 func (a *Arena) Mark() ArenaMark {
-	return ArenaMark{f: a.foff, w: a.woff, i: a.ioff, h: a.hoff, b: a.boff, i32: a.i32off, qh: a.qhoff}
+	return ArenaMark{f: a.foff, w: a.woff, i: a.ioff, h: a.hoff, b: a.boff, i32: a.i32off, f64: a.f64off, qh: a.qhoff}
 }
 
 // Release rewinds the arena to a previous Mark, freeing everything allocated
 // since. Buffers handed out after the mark must no longer be used.
 func (a *Arena) Release(m ArenaMark) {
 	a.foff, a.woff, a.ioff, a.hoff = m.f, m.w, m.i, m.h
-	a.boff, a.i32off, a.qhoff = m.b, m.i32, m.qh
+	a.boff, a.i32off, a.f64off, a.qhoff = m.b, m.i32, m.f64, m.qh
 }
 
 // Reset frees everything, keeping capacity. Call between batches.
 func (a *Arena) Reset() {
 	a.foff, a.woff, a.ioff, a.hoff = 0, 0, 0, 0
-	a.boff, a.i32off, a.qhoff = 0, 0, 0
+	a.boff, a.i32off, a.f64off, a.qhoff = 0, 0, 0, 0
 }
 
 // Floats returns an uninitialized float32 buffer of length n.
@@ -161,6 +165,27 @@ func (a *Arena) Int32s(n int) []int32 {
 	a.i32off += n
 	if a.i32off > a.i32peak {
 		a.i32peak = a.i32off
+	}
+	return s
+}
+
+// Float64s returns an uninitialized float64 buffer of length n (blockwise
+// similarity-score accumulators in the engine's fused tail).
+func (a *Arena) Float64s(n int) []float64 {
+	if a.f64off+n > len(a.f64s) {
+		if a.frozen {
+			panic(fmt.Sprintf("tensor: frozen arena float64 slab exhausted (%d + %d > %d)", a.f64off, n, len(a.f64s)))
+		}
+		a.f64off += n
+		if a.f64off > a.f64peak {
+			a.f64peak = a.f64off
+		}
+		return make([]float64, n)
+	}
+	s := a.f64s[a.f64off : a.f64off+n : a.f64off+n]
+	a.f64off += n
+	if a.f64off > a.f64peak {
+		a.f64peak = a.f64off
 	}
 	return s
 }
@@ -318,6 +343,7 @@ func (a *Arena) Freeze() {
 	a.hdrs = make([]Tensor, a.hpeak)
 	a.bytes = make([]uint8, a.bpeak)
 	a.i32s = make([]int32, a.i32peak)
+	a.f64s = make([]float64, a.f64peak)
 	a.qhdrs = make([]QTensor, a.qhpeak)
 	a.frozen = true
 	a.Reset()
@@ -352,6 +378,9 @@ func (a *Arena) Grow() {
 	if a.i32peak > len(a.i32s) {
 		a.i32s = make([]int32, a.i32peak)
 	}
+	if a.f64peak > len(a.f64s) {
+		a.f64s = make([]float64, a.f64peak)
+	}
 	if a.qhpeak > len(a.qhdrs) {
 		a.qhdrs = make([]QTensor, a.qhpeak)
 	}
@@ -373,9 +402,10 @@ func (a *Arena) CloneEmpty() *Arena {
 		hdrs:   make([]Tensor, len(a.hdrs)),
 		bytes:  make([]uint8, len(a.bytes)),
 		i32s:   make([]int32, len(a.i32s)),
+		f64s:   make([]float64, len(a.f64s)),
 		qhdrs:  make([]QTensor, len(a.qhdrs)),
 		fpeak:  a.fpeak, wpeak: a.wpeak, ipeak: a.ipeak, hpeak: a.hpeak,
-		bpeak: a.bpeak, i32peak: a.i32peak, qhpeak: a.qhpeak,
+		bpeak: a.bpeak, i32peak: a.i32peak, f64peak: a.f64peak, qhpeak: a.qhpeak,
 	}
 	return c
 }
@@ -384,7 +414,7 @@ func (a *Arena) CloneEmpty() *Arena {
 // chunk-size budgeting).
 func (a *Arena) FootprintBytes() int64 {
 	return int64(a.fpeak)*4 + int64(a.wpeak)*8 + int64(a.ipeak)*8 + int64(a.hpeak)*48 +
-		int64(a.bpeak) + int64(a.i32peak)*4 + int64(a.qhpeak)*56
+		int64(a.bpeak) + int64(a.i32peak)*4 + int64(a.f64peak)*8 + int64(a.qhpeak)*56
 }
 
 // PeakFloats reports the peak float32 usage observed so far (valid in both

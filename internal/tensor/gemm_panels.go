@@ -1,0 +1,287 @@
+package tensor
+
+import "fmt"
+
+// Panel-fed GEMM: the serving engine's fused-tail kernel. A ProjPanels holds
+// the right-hand matrix of a projection GEMM in the exact form the blocked
+// kernel consumes — either prepacked once at compile time (so the per-call
+// packPanel16 pass disappears; at batch 1 that pass dominates the whole
+// product) or defined by a seeded BipolarGen whose panels are rematerialized
+// into scratch inside the K-loop (so the matrix is never stored at all and
+// the kernel turns from bandwidth-bound streaming into pure compute).
+//
+// MatMulPanelsBlock computes one gemmNC-wide column block of a @ B into a
+// compact [m, w] tile, which is what lets the fused tail walk the D
+// dimension block by block — packing sign bits or accumulating class scores
+// per block — without ever materializing the full [N, D] product.
+//
+// Bit-exactness contract: for the same underlying matrix, every element
+// produced here is bit-identical to MatMulSerialInto's output. The kernel
+// runs the same KC/NC schedule, the same asm micro-kernel over the same
+// strip layout, and Go fallback loops with the same per-element
+// accumulation order over K (p strictly ascending within each K block, K
+// blocks ascending). TestMatMulPanelsMatchesSerial pins this across shapes.
+
+// PanelBlockCols returns the column-block width MatMulPanelsBlock computes
+// per call (the GEMM's NC blocking); block offsets must be multiples of it.
+func PanelBlockCols() int { return gemmNC }
+
+// PanelScratch returns the float32 scratch length the panel kernels need:
+// one packed-strip panel plus one dense column-tail tile.
+func PanelScratch() int { return gemmKC*gemmNC + gemmKC*gemmNR }
+
+// ProjPanels is a GEMM right-hand side in panel form. Exactly one backing is
+// active: a seeded generator (rematerializing), prepacked strips (amd64 asm
+// path), or a dense reference (portable path).
+type ProjPanels struct {
+	k, n int
+	gen  *BipolarGen
+
+	// Prepacked asm backing: strips holds cols [0, n16) (n16 = ⌊n/16⌋·16)
+	// packed per (NC block, KC block) in packPanel16 layout; stripBase[b] is
+	// the offset of NC block b. tail holds the ragged cols [n16, n) densely
+	// with leading dimension n−n16.
+	strips    []float32
+	stripBase []int
+	tail      []float32
+
+	// Portable backing: the dense matrix itself (shared, not copied).
+	dense []float32
+}
+
+// PrepackPanels converts a stored [K, N] matrix into panel form. On the asm
+// path the strips are packed once, here, and every subsequent product skips
+// the per-call packing pass; the portable path keeps a reference to b's data
+// (same kernel, same traffic — prepacking buys nothing without strips).
+// b must outlive the panels on the portable path.
+func PrepackPanels(b *Tensor) *ProjPanels {
+	if b.Rank() != 2 {
+		panic("tensor: PrepackPanels requires a rank-2 tensor")
+	}
+	k, n := b.Shape[0], b.Shape[1]
+	pp := &ProjPanels{k: k, n: n}
+	if !useGemmAsm {
+		pp.dense = b.Data
+		return pp
+	}
+	n16 := n / 16 * 16
+	pp.strips = make([]float32, k*n16)
+	nBlocks := (n + gemmNC - 1) / gemmNC
+	pp.stripBase = make([]int, nBlocks)
+	off := 0
+	for jb := 0; jb < n16; jb += gemmNC {
+		w16 := gemmNC
+		if jb+w16 > n16 {
+			w16 = n16 - jb
+		}
+		pp.stripBase[jb/gemmNC] = off
+		for pb := 0; pb < k; pb += gemmKC {
+			pe := pb + gemmKC
+			if pe > k {
+				pe = k
+			}
+			packPanel16(pp.strips[off+pb*w16:], b.Data, n, pb, pe, jb, jb+w16)
+		}
+		off += k * w16
+	}
+	if n16 < n {
+		tw := n - n16
+		pp.tail = make([]float32, k*tw)
+		for p := 0; p < k; p++ {
+			copy(pp.tail[p*tw:(p+1)*tw], b.Data[p*n+n16:(p+1)*n])
+		}
+	}
+	return pp
+}
+
+// RematPanels wraps a seeded generator as a GEMM right-hand side. Nothing is
+// stored: each K-block panel is regenerated into caller scratch inside the
+// product, bit-identical to prepacking the generator's materialized matrix.
+func RematPanels(gen *BipolarGen) *ProjPanels {
+	return &ProjPanels{k: gen.Rows, n: gen.Cols, gen: gen}
+}
+
+// Dims returns the panel matrix shape [K, N].
+func (pp *ProjPanels) Dims() (k, n int) { return pp.k, pp.n }
+
+// Remat reports whether the panels are generator-backed (nothing stored).
+func (pp *ProjPanels) Remat() bool { return pp.gen != nil }
+
+// MemoryBytes is the panels' resident storage: the seed alone when
+// rematerializing, the packed strips + tail on the asm path, or the shared
+// dense matrix it references on the portable path.
+func (pp *ProjPanels) MemoryBytes() int64 {
+	if pp.gen != nil {
+		return 8
+	}
+	if pp.dense != nil {
+		return int64(len(pp.dense)) * 4
+	}
+	return int64(len(pp.strips)+len(pp.tail)) * 4
+}
+
+// MatMulPanelsBlock computes one column block of a(M×K) @ B(K×N): columns
+// [c0, c0+w) with w = min(PanelBlockCols, N−c0), written as a compact
+// row-major [m, w] tile into dst (length ≥ m·w). c0 must be a multiple of
+// PanelBlockCols. scratch needs PanelScratch() floats. Strictly serial, zero
+// allocations; returns w. Every element is bit-identical to the same column
+// of MatMulSerialInto against the materialized matrix.
+func MatMulPanelsBlock(dst []float32, a *Tensor, pp *ProjPanels, c0 int, scratch []float32) int {
+	m, k := checkPanelsArgs(a, pp, scratch)
+	if c0 < 0 || c0 >= pp.n || c0%gemmNC != 0 {
+		panic(fmt.Sprintf("tensor: MatMulPanelsBlock offset %d (n=%d, block %d)", c0, pp.n, gemmNC))
+	}
+	w := gemmNC
+	if c0+w > pp.n {
+		w = pp.n - c0
+	}
+	clear(dst[:m*w])
+	pp.block(dst, w, 0, a.Data, m, k, c0, w, scratch)
+	return w
+}
+
+// MatMulPanelsInto computes the full product dst = a(M×K) @ B(K×N) with dst
+// [M, N], walking the column blocks of MatMulPanelsBlock. Strictly serial,
+// zero allocations, bit-identical to MatMulSerialInto on the materialized
+// matrix.
+func MatMulPanelsInto(dst, a *Tensor, pp *ProjPanels, scratch []float32) {
+	m, k := checkPanelsArgs(a, pp, scratch)
+	if dst.Rank() != 2 || dst.Shape[0] != m || dst.Shape[1] != pp.n {
+		panic(fmt.Sprintf("tensor: MatMulPanelsInto dst shape %v, want [%d %d]", dst.Shape, m, pp.n))
+	}
+	clear(dst.Data[:m*pp.n])
+	for c0 := 0; c0 < pp.n; c0 += gemmNC {
+		w := gemmNC
+		if c0+w > pp.n {
+			w = pp.n - c0
+		}
+		pp.block(dst.Data, pp.n, c0, a.Data, m, k, c0, w, scratch)
+	}
+}
+
+func checkPanelsArgs(a *Tensor, pp *ProjPanels, scratch []float32) (m, k int) {
+	if a.Rank() != 2 {
+		panic("tensor: panel GEMM requires a rank-2 LHS")
+	}
+	m, k = a.Shape[0], a.Shape[1]
+	if k != pp.k {
+		panic(fmt.Sprintf("tensor: panel GEMM K mismatch: a is [%d %d], panels hold K=%d", m, k, pp.k))
+	}
+	if pp.gen != nil && len(scratch) < PanelScratch() {
+		panic(fmt.Sprintf("tensor: panel GEMM scratch %d < PanelScratch %d", len(scratch), PanelScratch()))
+	}
+	return m, k
+}
+
+// block accumulates columns [c0, c0+w) of a @ B into dst, whose element
+// (i, j) lives at dst[i*ldd + dcol + j]. dst must be pre-cleared. It mirrors
+// gemmRangeScratch's schedule for one NC block: K blocks ascending; within
+// each, the asm micro-kernel over 16-wide strips for full 4-row groups, the
+// portable kernel for row and column tails.
+func (pp *ProjPanels) block(dst []float32, ldd, dcol int, a []float32, m, k, c0, w int, scratch []float32) {
+	if m == 0 || k == 0 {
+		return
+	}
+	w16 := 0
+	if useGemmAsm {
+		n16 := pp.n / 16 * 16
+		w16 = w
+		if c0+w16 > n16 {
+			w16 = n16 - c0
+		}
+	}
+	for pb := 0; pb < k; pb += gemmKC {
+		pe := pb + gemmKC
+		if pe > k {
+			pe = k
+		}
+		kc := pe - pb
+		if w16 > 0 {
+			var strip []float32
+			if pp.gen != nil {
+				strip = scratch[:kc*w16]
+				pp.gen.fillStrips(strip, pb, pe, c0, c0+w16)
+			} else {
+				base := pp.stripBase[c0/gemmNC] + pb*w16
+				strip = pp.strips[base : base+kc*w16]
+			}
+			i := 0
+			for ; i+gemmMR <= m; i += gemmMR {
+				for js := 0; js < w16; js += gemmNR {
+					st := strip[js*kc:]
+					gemm4x16(kc,
+						&a[i*k+pb], &a[(i+1)*k+pb], &a[(i+2)*k+pb], &a[(i+3)*k+pb],
+						&st[0],
+						&dst[i*ldd+dcol+js], &dst[(i+1)*ldd+dcol+js], &dst[(i+2)*ldd+dcol+js], &dst[(i+3)*ldd+dcol+js])
+				}
+			}
+			stripRowTail(dst, a, strip, ldd, dcol, k, i, m, w16, pb, pe, kc)
+		}
+		if w16 < w {
+			tw := w - w16
+			var bt []float32
+			ldb, brow0, bj := 0, 0, 0
+			switch {
+			case pp.gen != nil:
+				buf := scratch[gemmKC*gemmNC:]
+				if w16 == 0 {
+					buf = scratch // portable path: the strip region is unused
+				}
+				bt = buf[:kc*tw]
+				pp.gen.FillTile(bt, tw, pb, pe, c0+w16, c0+w)
+				ldb, brow0 = tw, pb
+			case pp.dense != nil:
+				bt, ldb, bj = pp.dense, pp.n, c0+w16
+			default:
+				n16 := pp.n / 16 * 16
+				bt, ldb, bj = pp.tail, pp.n-n16, c0+w16-n16
+			}
+			goPanelPart(dst, a, bt, ldd, k, ldb, m, pb, pe, brow0, dcol+w16, bj, tw)
+		}
+	}
+}
+
+// stripRowTail is the portable kernel for leftover rows [r0, r1) of a strip
+// panel: it reads the packed strips directly (no dense matrix exists on the
+// remat path), accumulating each element over p in the same ascending order
+// as gemmGoPart, so results stay bit-identical to the dense row-tail path.
+func stripRowTail(dst, a, strip []float32, ldd, dcol, k, r0, r1, w16, pb, pe, kc int) {
+	for i := r0; i < r1; i++ {
+		o := dst[i*ldd+dcol:]
+		for p := pb; p < pe; p++ {
+			av := a[i*k+p]
+			base := (p - pb) * gemmNR
+			for js := 0; js < w16; js += gemmNR {
+				s := strip[js*kc+base : js*kc+base+gemmNR : js*kc+base+gemmNR]
+				oo := o[js : js+gemmNR : js+gemmNR]
+				for b, sv := range s {
+					oo[b] += av * sv
+				}
+			}
+		}
+	}
+}
+
+// goPanelPart is gemmGoPart with independent leading dimensions: it
+// accumulates dst[i*ldd + dj + j] += Σ a[i*k+p] · b[(p−brow0)*ldb + bj + j]
+// for j ∈ [0, width), rows [0, m), p ∈ [pb, pe). Same 4-row broadcast-AXPY
+// structure and per-element accumulation order as gemmGoPart.
+func goPanelPart(dst, a, b []float32, ldd, k, ldb, m, pb, pe, brow0, dj, bj, width int) {
+	i := 0
+	for ; i+gemmMR <= m; i += gemmMR {
+		o0 := dst[i*ldd+dj : i*ldd+dj+width]
+		o1 := dst[(i+1)*ldd+dj : (i+1)*ldd+dj+width]
+		o2 := dst[(i+2)*ldd+dj : (i+2)*ldd+dj+width]
+		o3 := dst[(i+3)*ldd+dj : (i+3)*ldd+dj+width]
+		for p := pb; p < pe; p++ {
+			brow := b[(p-brow0)*ldb+bj : (p-brow0)*ldb+bj+width]
+			axpy4(a[i*k+p], a[(i+1)*k+p], a[(i+2)*k+p], a[(i+3)*k+p], brow, o0, o1, o2, o3)
+		}
+	}
+	for ; i < m; i++ {
+		o0 := dst[i*ldd+dj : i*ldd+dj+width]
+		for p := pb; p < pe; p++ {
+			axpy1(a[i*k+p], b[(p-brow0)*ldb+bj:(p-brow0)*ldb+bj+width], o0)
+		}
+	}
+}

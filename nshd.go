@@ -106,6 +106,24 @@ type Option = engine.Option
 // without it a synthetic N(0,1) batch stands in, with real accuracy risk.
 func WithCalibration(images *Tensor) Option { return engine.WithCalibration(images) }
 
+// WithStagedTail compiles the legacy separate project/classify stages
+// instead of the default fused linear tail — the reference path the fused
+// tail is benchmarked against.
+func WithStagedTail() Option { return engine.WithStagedTail() }
+
+// WithRemat rematerializes the projection matrix from its 8-byte seed
+// inside the fused tail's GEMM, collapsing the encoder's serving bytes from
+// O(F̂·D) to the seed with bit-identical output.
+func WithRemat() Option { return engine.WithRemat() }
+
+// WithFoldedTail forces the algebraic manifold-FC→projection fold (one GEMM
+// against G = Wᵀ·P); predictions are argmax-identical to staged.
+func WithFoldedTail() Option { return engine.WithFoldedTail() }
+
+// StageBytes is one itemized component of an engine's resident serving
+// weights (see Engine.BytesBreakdown).
+type StageBytes = engine.StageBytes
+
 // Compile freezes a trained pipeline into a serving Engine.
 func Compile(p *Pipeline, opts ...Option) (*Engine, error) { return engine.Compile(p, opts...) }
 
