@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race alloc bench perf bench-train bench-serve perf-serve bench-quant perf-quant bench-tail perf-tail
+.PHONY: check vet build test race alloc bench perf bench-train bench-serve perf-serve bench-quant perf-quant bench-tail perf-tail bench-router perf-router
 
 # The full gate: what CI (and any PR) must keep green.
 check: vet build test race alloc
@@ -8,9 +8,12 @@ check: vet build test race alloc
 # Allocation-regression gate: the serving engine must stay heap-free in
 # steady state (AllocsPerRun == 0 for both classifier kernels and for every
 # tail strategy — fused, remat, folded and staged; see
-# TestEngineZeroAlloc / TestEngineZeroAllocTailModes).
+# TestEngineZeroAlloc / TestEngineZeroAllocTailModes), and so must the
+# router's fan-out hot path (frame encode, partial decode, score merge; see
+# TestRouterZeroAlloc).
 alloc:
 	$(GO) test -run TestEngineZeroAlloc -count 1 ./internal/engine/
+	$(GO) test -run TestRouterZeroAlloc -count 1 ./internal/serve/
 
 vet:
 	$(GO) vet ./...
@@ -69,3 +72,14 @@ bench-tail:
 # Regenerate the committed fused-tail baseline.
 perf-tail:
 	$(GO) run ./cmd/nshd-bench -perf-tail BENCH_PR6.json
+
+# Re-run the dimension-sharded router scaling benchmarks (S shard worker
+# processes behind serve.Router, each duty-cycle-capped to emulate a
+# fixed-capacity host) and diff against the committed BENCH_PR7.json
+# baseline.
+bench-router:
+	$(GO) run ./cmd/nshd-bench -perf-router /tmp/nshd_bench_router.json -perf-router-baseline BENCH_PR7.json
+
+# Regenerate the committed sharded-router baseline.
+perf-router:
+	$(GO) run ./cmd/nshd-bench -perf-router BENCH_PR7.json

@@ -50,9 +50,27 @@ func main() {
 		quantBase = flag.String("perf-quant-baseline", "", "with -perf-quant: print deltas against this committed baseline JSON")
 		perfTail  = flag.String("perf-tail", "", "run the staged-vs-fused serving-tail benchmarks, write JSON to this file, and exit")
 		tailBase  = flag.String("perf-tail-baseline", "", "with -perf-tail: print deltas against this committed baseline JSON")
+		perfRtr   = flag.String("perf-router", "", "run the sharded-router scaling benchmarks, write JSON to this file, and exit")
+		rtrBase   = flag.String("perf-router-baseline", "", "with -perf-router: print deltas against this committed baseline JSON")
+		rtrWorker = flag.String("router-worker", "", "internal: run as a perf-router shard worker (\"i/S\")")
+		rtrDuty   = flag.Float64("router-duty", 0.22, "internal: shard worker CPU duty-cycle cap")
 	)
 	flag.Parse()
 
+	if *rtrWorker != "" {
+		if err := runRouterWorker(*rtrWorker, *rtrDuty); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *perfRtr != "" {
+		if err := runPerfRouter(*perfRtr, *rtrBase); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *perfOut != "" {
 		if err := runPerf(*perfOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)

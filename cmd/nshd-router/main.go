@@ -1,0 +1,104 @@
+// Command nshd-router is the reduce tier of a dimension-sharded NSHD
+// cluster: it fans each predict batch out to one replica of every shard
+// process (nshd-serve -shard i/S), add-reduces their raw partial scores, and
+// answers with predictions bit-identical to a single unsharded engine.
+//
+//	nshd-serve -model m.gob -shard 0/4 -addr :9000 &
+//	nshd-serve -model m.gob -shard 1/4 -addr :9001 &
+//	nshd-serve -model m.gob -shard 2/4 -addr :9002 &
+//	nshd-serve -model m.gob -shard 3/4 -addr :9003 &
+//	nshd-router -addr :8080 \
+//	    -shards http://127.0.0.1:9000,http://127.0.0.1:9001,http://127.0.0.1:9002,http://127.0.0.1:9003
+//
+// -shards lists one slot per shard, comma-separated; replicas of the same
+// shard are separated by '|' inside a slot (e.g. "http://a:9000|http://b:9000").
+// The router polls every replica's /healthz to drive failover and
+// version-gated rollout: after retraining, SIGHUP the shard processes one at
+// a time — the router keeps pinning the old model version (which swapped
+// shards still serve from their retained engine) until the whole fleet
+// advertises the new one, then flips. No request is dropped and no reduce
+// ever mixes model versions.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"nshd/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		shards  = flag.String("shards", "", "shard slots, comma-separated; '|' separates replicas within a slot")
+		timeout = flag.Duration("timeout", 5*time.Second, "per fan-out request timeout")
+		poll    = flag.Duration("poll", 500*time.Millisecond, "replica health/version poll interval")
+		eject   = flag.Int("eject-after", 3, "consecutive failures before a replica is ejected")
+		cooloff = flag.Duration("eject-cooloff", 2*time.Second, "how long an ejected replica is deprioritized")
+		hedge   = flag.Duration("hedge", 0, "hedge a slow shard attempt onto another replica after this delay (0 disables)")
+	)
+	flag.Parse()
+	if *shards == "" {
+		log.Fatal("-shards is required, e.g. -shards http://127.0.0.1:9000,http://127.0.0.1:9001")
+	}
+	var slots [][]string
+	for _, slot := range strings.Split(*shards, ",") {
+		var reps []string
+		for _, a := range strings.Split(slot, "|") {
+			if a = strings.TrimSpace(a); a != "" {
+				reps = append(reps, strings.TrimSuffix(a, "/"))
+			}
+		}
+		if len(reps) > 0 {
+			slots = append(slots, reps)
+		}
+	}
+
+	r, err := serve.NewRouter(slots, serve.RouterOptions{
+		Timeout:      *timeout,
+		PollInterval: *poll,
+		EjectAfter:   *eject,
+		EjectCooloff: *cooloff,
+		Hedge:        *hedge,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer r.Close()
+	log.Printf("routing %d shard slots over D=%d (%d classes), model version %016x",
+		len(r.Shards()), r.FullDim(), r.Classes(), r.Version())
+	for _, s := range r.Shards() {
+		log.Printf("  slot [%d,%d)", s[0], s[1])
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: serve.NewRouterServer(r).Handler()}
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		<-stop
+		log.Print("shutting down...")
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(ctx)
+		close(done)
+	}()
+
+	log.Printf("listening on %s", *addr)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	<-done
+	st := r.Stats()
+	log.Printf("routed %d requests (%d samples), %d errors, %d retries, %d hedges, %d ejects, %d version flips",
+		st["requests"], st["samples"], st["errors"], st["retries"], st["hedges"], st["ejects"], st["flips"])
+}

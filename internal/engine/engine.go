@@ -46,15 +46,6 @@ type Stage interface {
 	Run(x *tensor.Tensor, ar *tensor.Arena) *tensor.Tensor
 }
 
-// classifier terminates the chain: signed query hypervectors to class
-// predictions, with scratch (if any) taken from the worker's arena.
-type classifier interface {
-	Classify(hvs *tensor.Tensor, preds []int, ar *tensor.Arena)
-	Classes() int
-	// ModelBytes is the classifier snapshot's storage footprint.
-	ModelBytes() int64
-}
-
 // Engine is a frozen, immutable serving plan. Safe for concurrent use: the
 // classifier holds a snapshot of the class hypervectors, stage weights are
 // shared read-only with the pipeline, and all mutable scratch lives in
@@ -67,7 +58,10 @@ type classifier interface {
 type Engine struct {
 	inShape   [3]int // per-sample image shape [C, H, W]
 	sampleLen int    // C·H·W
-	d         int    // hypervector dimension
+	d         int    // hypervector dimensions THIS engine scores (slice width)
+	lo        int    // first hypervector column of the engine's D-slice
+	fullD     int    // full model dimension (== d for an unsharded engine)
+	version   uint64 // model content hash (see ModelVersion)
 	chunk     int    // max samples per worker chunk
 	stages    []Stage // feature stages; the tail finishes the chain
 	tail      tailRunner
@@ -129,27 +123,6 @@ func (s projectStage) Run(x *tensor.Tensor, ar *tensor.Arena) *tensor.Tensor {
 	return out
 }
 
-type floatClassifier struct{ s *hdlearn.FloatScorer }
-
-func (c floatClassifier) Classify(hvs *tensor.Tensor, preds []int, ar *tensor.Arena) {
-	c.s.PredictInto(hvs, preds)
-}
-
-func (c floatClassifier) Classes() int      { return c.s.K }
-func (c floatClassifier) ModelBytes() int64 { return int64(c.s.K) * int64(c.s.D) * 4 }
-
-type packedClassifier struct{ pm *hdlearn.PackedModel }
-
-func (c packedClassifier) Classify(hvs *tensor.Tensor, preds []int, ar *tensor.Arena) {
-	m := ar.Mark()
-	q := ar.Words(c.pm.WordsPerRow())
-	c.pm.PredictBatchInto(hvs, preds, q)
-	ar.Release(m)
-}
-
-func (c packedClassifier) Classes() int      { return c.pm.K }
-func (c packedClassifier) ModelBytes() int64 { return c.pm.MemoryBytes() }
-
 // Compile freezes a trained pipeline into an Engine. It validates that every
 // extractor layer has an inference path, snapshots the classifier (packed or
 // float, per cfg.PackedInference), then runs one warmup chunk of zeros
@@ -164,13 +137,25 @@ func (c packedClassifier) ModelBytes() int64 { return c.pm.MemoryBytes() }
 // fused.go). WithStagedTail restores the legacy separate project/classify
 // stages; WithRemat and WithFoldedTail select the tail's rematerialized and
 // algebraically folded variants.
+// Compile is the single-shard special case of CompileShard: the engine
+// scores the full dimension range [0, D).
 func Compile(p *core.Pipeline, opts ...Option) (*Engine, error) {
+	if p == nil {
+		return nil, fmt.Errorf("engine: nil pipeline")
+	}
+	return compile(p, 0, p.Cfg.D, opts)
+}
+
+// compile builds the engine for hypervector columns [lo, hi) — the whole
+// model when lo==0 && hi==D. Every tail mode slices the same way: the
+// projection operand keeps columns [lo, hi), the class model keeps the same
+// columns (full-row norm fold for the float scorer), and the folded bias
+// keeps its slice. lo is PanelBlockCols-aligned by ShardBounds, preserving
+// the 256-column block grid.
+func compile(p *core.Pipeline, lo, hi int, opts []Option) (*Engine, error) {
 	var o compileOptions
 	for _, opt := range opts {
 		opt.applyOption(&o)
-	}
-	if p == nil {
-		return nil, fmt.Errorf("engine: nil pipeline")
 	}
 	if err := nn.InferSupported(p.Extractor); err != nil {
 		return nil, fmt.Errorf("engine: extractor not servable: %w", err)
@@ -202,10 +187,16 @@ func Compile(p *core.Pipeline, opts ...Option) (*Engine, error) {
 		return nil, fmt.Errorf("engine: WithRemat requires the fused tail")
 	}
 
+	if lo < 0 || hi > p.Cfg.D || lo >= hi {
+		return nil, fmt.Errorf("engine: D-slice [%d, %d) out of [0, %d)", lo, hi, p.Cfg.D)
+	}
 	e := &Engine{
 		inShape:   [3]int{in[0], in[1], in[2]},
 		sampleLen: in[0] * in[1] * in[2],
-		d:         p.Cfg.D,
+		d:         hi - lo,
+		lo:        lo,
+		fullD:     p.Cfg.D,
+		version:   modelVersionHash(p),
 		precision: o.precision,
 	}
 	if o.precision == Int8 {
@@ -227,16 +218,16 @@ func Compile(p *core.Pipeline, opts ...Option) (*Engine, error) {
 		}
 	}
 	if o.stagedTail {
-		e.stages = append(e.stages, projectStage{"project", p.Proj})
-		var cls classifier
+		e.stages = append(e.stages, projectStage{"project", p.Proj.Slice(lo, hi)})
+		t := &stagedTail{d: hi - lo, lo: lo, fullD: p.Cfg.D}
 		if p.Cfg.PackedInference {
-			cls = packedClassifier{hdlearn.PackModel(p.HD)}
+			t.packed = hdlearn.PackModel(p.HD).SliceColumns(lo, hi)
 		} else {
-			cls = floatClassifier{hdlearn.NewFloatScorer(p.HD)}
+			t.scorer = hdlearn.NewFoldedScorer(p.HD).Slice(lo, hi)
 		}
-		e.tail = &stagedTail{cls: cls, d: p.Cfg.D}
+		e.tail = t
 	} else {
-		t, err := buildFusedTail(p, &o, fold)
+		t, err := buildFusedTail(p, &o, fold, lo, hi)
 		if err != nil {
 			return nil, err
 		}
@@ -303,6 +294,10 @@ func (e *Engine) warmup(ar *tensor.Arena, chunk int) (err error) {
 	// offsets but the high-water marks accumulate across both passes.
 	x = e.runChunk(ar, zero, chunk)
 	e.tail.runHVs(x, hvs, ar)
+	// And the partial-score path, so sharded serving stays allocation-free.
+	ps := e.NewPartials(chunk)
+	x = e.runChunk(ar, zero, chunk)
+	e.tail.runPartial(x, ps, 0, ar)
 	return nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"nshd/internal/core"
+	"nshd/internal/hdc"
 	"nshd/internal/hdlearn"
 	"nshd/internal/nn"
 	"nshd/internal/tensor"
@@ -86,21 +87,32 @@ type tailRunner interface {
 	run(x *tensor.Tensor, preds []int, ar *tensor.Arena)
 	// runHVs writes the signed query hypervectors ([n rows of d]) into dst.
 	runHVs(x *tensor.Tensor, dst []float32, ar *tensor.Arena)
+	// runPartial writes the tail's raw partial scores for the chunk's rows
+	// into ps at row offset rowOff (see PartialScores for the layout).
+	runPartial(x *tensor.Tensor, ps *PartialScores, rowOff int, ar *tensor.Arena)
+	// packedKernel reports whether partial scores are int32 popcount dots
+	// (true) or per-block float32 scores (false).
+	packedKernel() bool
 	breakdown() []StageBytes
 }
 
 // ---------------------------------------------------------------------------
-// Staged tail: the legacy classifier step behind the tailRunner interface.
-// The projection runs as an ordinary stage; the tail receives [n, D] signed
-// hypervectors and only classifies.
+// Staged tail: the legacy separate-stages chain behind the tailRunner
+// interface. The (sliced) projection runs as an ordinary stage; the tail
+// receives [n, d] signed hypervectors of its D-slice and scores them with
+// the same sliced partial scorers the fused tail uses — one code path for
+// the unsharded and sharded cases (S=1 is a full-range slice).
 
 type stagedTail struct {
-	cls classifier
-	d   int
+	d, lo, fullD int // d = slice width; columns [lo, lo+d) of fullD
+	// Exactly one of packed/scorer is set, mirroring Cfg.PackedInference;
+	// both are column slices of the full class model.
+	packed *hdlearn.PackedModel
+	scorer *hdlearn.FoldedScorer
 }
 
 func (t *stagedTail) clsName() string {
-	if _, ok := t.cls.(packedClassifier); ok {
+	if t.packed != nil {
 		return "classify-packed"
 	}
 	return "classify-float"
@@ -108,7 +120,14 @@ func (t *stagedTail) clsName() string {
 
 func (t *stagedTail) names() []string  { return []string{t.clsName()} }
 func (t *stagedTail) timeName() string { return "classify" }
-func (t *stagedTail) classes() int     { return t.cls.Classes() }
+func (t *stagedTail) packedKernel() bool { return t.packed != nil }
+
+func (t *stagedTail) classes() int {
+	if t.packed != nil {
+		return t.packed.K
+	}
+	return t.scorer.K
+}
 
 func (t *stagedTail) check(x *tensor.Tensor) {
 	if x.Rank() != 2 || x.Shape[1] != t.d {
@@ -118,7 +137,43 @@ func (t *stagedTail) check(x *tensor.Tensor) {
 
 func (t *stagedTail) run(x *tensor.Tensor, preds []int, ar *tensor.Arena) {
 	t.check(x)
-	t.cls.Classify(x, preds, ar)
+	if t.packed != nil {
+		m := ar.Mark()
+		q := ar.Words(t.packed.WordsPerRow())
+		t.packed.PredictBatchInto(x, preds, q)
+		ar.Release(m)
+		return
+	}
+	t.scorer.PredictInto(x, preds)
+}
+
+func (t *stagedTail) runPartial(x *tensor.Tensor, ps *PartialScores, rowOff int, ar *tensor.Arena) {
+	t.check(x)
+	n := x.Shape[0]
+	k := t.classes()
+	m := ar.Mark()
+	if t.packed != nil {
+		q := ar.Words(t.packed.WordsPerRow())
+		for i := 0; i < n; i++ {
+			hdc.PackRowInto(q, x.Row(i))
+			t.packed.DotsInto(ps.Ints[(rowOff+i)*k:(rowOff+i+1)*k], q)
+		}
+	} else {
+		bs := ar.Floats(n * k)
+		bc := tensor.PanelBlockCols()
+		for b, c0 := 0, 0; c0 < t.d; b, c0 = b+1, c0+bc {
+			w := bc
+			if c0+w > t.d {
+				w = t.d - c0
+			}
+			t.scorer.BlockScores(bs, x.Data[c0:], t.d, n, w, c0)
+			base := b * ps.N * k
+			for i := 0; i < n; i++ {
+				copy(ps.Floats[base+(rowOff+i)*k:base+(rowOff+i+1)*k], bs[i*k:(i+1)*k])
+			}
+		}
+	}
+	ar.Release(m)
 }
 
 func (t *stagedTail) runHVs(x *tensor.Tensor, dst []float32, ar *tensor.Arena) {
@@ -127,14 +182,21 @@ func (t *stagedTail) runHVs(x *tensor.Tensor, dst []float32, ar *tensor.Arena) {
 }
 
 func (t *stagedTail) breakdown() []StageBytes {
-	return []StageBytes{{t.clsName(), t.cls.ModelBytes()}}
+	var clsBytes int64
+	if t.packed != nil {
+		clsBytes = t.packed.MemoryBytes()
+	} else {
+		clsBytes = t.scorer.ModelBytes()
+	}
+	return []StageBytes{{t.clsName(), clsBytes}}
 }
 
 // ---------------------------------------------------------------------------
 // Fused tail.
 
 type fusedTail struct {
-	d, k, inF int
+	d, k, inF int // d = slice width (== full D for an unsharded engine)
+	lo, fullD int // columns [lo, lo+d) of the full dimension
 	// Folded head (manifold fold only): the pool and flatten that precede
 	// the folded GEMM — max-pool is nonlinear, so the fold stops there.
 	pool *nn.MaxPool2D
@@ -152,10 +214,14 @@ type fusedTail struct {
 	bytes  []StageBytes
 }
 
-// buildFusedTail assembles the tail for one compiled engine. fold has been
-// validated (and cost-gated) by Compile.
-func buildFusedTail(p *core.Pipeline, o *compileOptions, fold bool) (*fusedTail, error) {
-	t := &fusedTail{d: p.Cfg.D}
+// buildFusedTail assembles the tail for one compiled engine, restricted to
+// hypervector columns [lo, hi) — the full range for an unsharded engine.
+// Each projection backing slices the same way: prepacked panels pack only
+// the slice's columns, a remat generator regenerates only them from the
+// shared seed, and the folded matrix G = Wᵀ·P and its bias keep the slice.
+// fold has been validated (and cost-gated) by Compile.
+func buildFusedTail(p *core.Pipeline, o *compileOptions, fold bool, lo, hi int) (*fusedTail, error) {
+	t := &fusedTail{d: hi - lo, lo: lo, fullD: p.Cfg.D}
 	projName := "project"
 	switch {
 	case fold:
@@ -165,28 +231,32 @@ func buildFusedTail(p *core.Pipeline, o *compileOptions, fold bool) (*fusedTail,
 		}
 		t.pool, _ = p.Manifold.InferLayers()
 		t.flat = true
-		t.bias = c
+		t.bias = c[lo:hi]
 		t.inF = p.Manifold.PooledF
-		t.panels = tensor.PrepackPanels(g)
+		if lo == 0 && hi == p.Cfg.D {
+			t.panels = tensor.PrepackPanels(g)
+		} else {
+			t.panels = tensor.PrepackPanels(tensor.SliceCols(g, lo, hi))
+		}
 		projName = "manifold*project"
 	case o.remat:
 		if !p.Proj.Seeded {
 			return nil, fmt.Errorf("engine: WithRemat requires a seeded projection")
 		}
 		t.inF = p.Proj.F
-		t.panels = tensor.RematPanels(p.Proj.Gen())
+		t.panels = tensor.RematPanels(p.Proj.Gen().SliceCols(lo, hi))
 		projName = "project@seed"
 	default:
 		t.inF = p.Proj.F
-		t.panels = tensor.PrepackPanels(p.Proj.P)
+		t.panels = tensor.PrepackPanels(p.Proj.Slice(lo, hi).P)
 	}
 	clsName := "classify-float"
 	if p.Cfg.PackedInference {
-		t.packed = hdlearn.PackModel(p.HD)
+		t.packed = hdlearn.PackModel(p.HD).SliceColumns(lo, hi)
 		t.k = t.packed.K
 		clsName = "classify-packed"
 	} else {
-		t.scorer = hdlearn.NewFoldedScorer(p.HD)
+		t.scorer = hdlearn.NewFoldedScorer(p.HD).Slice(lo, hi)
 		t.k = t.scorer.K
 	}
 	t.name = "fuse(" + projName + "+" + clsName + ")"
@@ -201,9 +271,10 @@ func buildFusedTail(p *core.Pipeline, o *compileOptions, fold bool) (*fusedTail,
 	return t, nil
 }
 
-func (t *fusedTail) names() []string  { return []string{t.name} }
-func (t *fusedTail) timeName() string { return t.name }
-func (t *fusedTail) classes() int     { return t.k }
+func (t *fusedTail) names() []string    { return []string{t.name} }
+func (t *fusedTail) timeName() string   { return t.name }
+func (t *fusedTail) classes() int       { return t.k }
+func (t *fusedTail) packedKernel() bool { return t.packed != nil }
 
 func (t *fusedTail) breakdown() []StageBytes {
 	return append([]StageBytes(nil), t.bytes...)
@@ -269,17 +340,66 @@ func (t *fusedTail) run(x *tensor.Tensor, preds []int, ar *tensor.Arena) {
 			preds[i] = t.packed.PredictPacked(q[i*wpr : (i+1)*wpr])
 		}
 	} else {
+		// Score through the partial-scorer path: raw per-block float32
+		// scores folded into float64 in block order — the exact values and
+		// fold sequence runPartial emits and MergeScores replays, so the
+		// local and sharded paths are one code path, bit for bit.
 		acc := ar.Float64s(n * t.k)
 		for i := range acc {
 			acc[i] = 0
 		}
+		bs := ar.Floats(n * t.k)
 		for c0 := 0; c0 < t.d; c0 += bc {
 			w := tensor.MatMulPanelsBlock(blk, v, t.panels, c0, scratch)
 			t.addBias(blk, n, w, c0)
 			signBlock(blk[:n*w])
-			t.scorer.AccumBlock(acc, blk[:n*w], n, w, c0)
+			t.scorer.BlockScores(bs, blk[:n*w], w, n, w, c0)
+			for i, bv := range bs[:n*t.k] {
+				acc[i] += float64(bv)
+			}
 		}
 		t.scorer.ArgmaxInto(preds, acc, n)
+	}
+	ar.Release(m)
+}
+
+// runPartial emits the tail's raw partial scores for its D-slice: packed
+// int32 dots per sample, or per-256-block float32 scores (see PartialScores).
+// The GEMM/pack/sign work is identical to run; only the final scoring step
+// changes from fold-and-argmax to emit.
+func (t *fusedTail) runPartial(x *tensor.Tensor, ps *PartialScores, rowOff int, ar *tensor.Arena) {
+	m := ar.Mark()
+	v := t.head(x, ar)
+	n := v.Shape[0]
+	bc := tensor.PanelBlockCols()
+	scratch := ar.Floats(tensor.PanelScratch())
+	blk := ar.Floats(n * bc)
+	if t.packed != nil {
+		wpr := t.packed.WordsPerRow()
+		q := ar.Words(n * wpr)
+		for c0 := 0; c0 < t.d; c0 += bc {
+			w := tensor.MatMulPanelsBlock(blk, v, t.panels, c0, scratch)
+			t.addBias(blk, n, w, c0)
+			wb, ww := c0/64, (w+63)/64
+			for i := 0; i < n; i++ {
+				tensor.PackSignsInto(q[i*wpr+wb:i*wpr+wb+ww], blk[i*w:(i+1)*w])
+			}
+		}
+		for i := 0; i < n; i++ {
+			t.packed.DotsInto(ps.Ints[(rowOff+i)*t.k:(rowOff+i+1)*t.k], q[i*wpr:(i+1)*wpr])
+		}
+	} else {
+		bs := ar.Floats(n * t.k)
+		for b, c0 := 0, 0; c0 < t.d; b, c0 = b+1, c0+bc {
+			w := tensor.MatMulPanelsBlock(blk, v, t.panels, c0, scratch)
+			t.addBias(blk, n, w, c0)
+			signBlock(blk[:n*w])
+			t.scorer.BlockScores(bs, blk[:n*w], w, n, w, c0)
+			base := b * ps.N * t.k
+			for i := 0; i < n; i++ {
+				copy(ps.Floats[base+(rowOff+i)*t.k:base+(rowOff+i+1)*t.k], bs[i*t.k:(i+1)*t.k])
+			}
+		}
 	}
 	ar.Release(m)
 }

@@ -26,6 +26,47 @@ type Projection struct {
 	// serving engine needs only the seed (see EncodeBatchRematInto).
 	Seeded bool
 	Seed   int64
+	// ColOff and FullD describe a dimension shard: this projection holds
+	// hypervector columns [ColOff, ColOff+D) of a full [F, FullD] projection.
+	// Both are zero on an unsliced projection (FullD == 0 means "D is the
+	// full dimension"), which keeps gob-encoded models from earlier versions
+	// loading unchanged.
+	ColOff int
+	FullD  int
+}
+
+// FullDim returns the dimension of the full (unsliced) projection this one
+// was cut from — D itself when unsliced.
+func (pr *Projection) FullDim() int {
+	if pr.FullD == 0 {
+		return pr.D
+	}
+	return pr.FullD
+}
+
+// Slice returns the dimension shard holding hypervector columns [lo, hi):
+// a [F, hi−lo] projection whose matrix is exactly those columns of pr.P,
+// with the seed preserved so a seeded shard can rematerialize its own
+// columns from the shared 8 bytes (Gen returns the sliced generator).
+// Slicing a slice composes; offsets are tracked relative to the original
+// full projection.
+func (pr *Projection) Slice(lo, hi int) *Projection {
+	if lo < 0 || hi > pr.D || lo >= hi {
+		panic(fmt.Sprintf("hdc: Projection.Slice [%d, %d) out of [0, %d)", lo, hi, pr.D))
+	}
+	if lo == 0 && hi == pr.D {
+		return pr
+	}
+	p := tensor.SliceCols(pr.P, lo, hi)
+	return &Projection{
+		F: pr.F, D: hi - lo,
+		P:      p,
+		Packed: NewPackedMatrix(p),
+		Seeded: pr.Seeded,
+		Seed:   pr.Seed,
+		ColOff: pr.ColOff + lo,
+		FullD:  pr.FullDim(),
+	}
 }
 
 // NewProjection samples a seeded random projection for F features into
@@ -54,11 +95,18 @@ func NewSeededProjection(seed int64, f, d int) *Projection {
 }
 
 // Gen returns the defining generator of a seeded projection, nil otherwise.
+// For a dimension shard the generator is the matching column slice of the
+// full matrix's generator, so rematerialized panels reproduce exactly the
+// shard's columns.
 func (pr *Projection) Gen() *tensor.BipolarGen {
 	if !pr.Seeded {
 		return nil
 	}
-	return tensor.NewBipolarGen(pr.Seed, pr.F, pr.D)
+	g := tensor.NewBipolarGen(pr.Seed, pr.F, pr.FullDim())
+	if pr.FullD != 0 {
+		g = g.SliceCols(pr.ColOff, pr.ColOff+pr.D)
+	}
+	return g
 }
 
 // Encode maps one feature vector to its hypervector. It returns both the

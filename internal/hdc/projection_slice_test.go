@@ -1,0 +1,71 @@
+package hdc
+
+import (
+	"testing"
+
+	"nshd/internal/tensor"
+)
+
+// TestProjectionSlice: a dimension shard's encodings are exactly the
+// corresponding columns of the full projection's encodings, its packed rows
+// match, and a seeded shard's generator rematerializes its own columns
+// bit-identically.
+func TestProjectionSlice(t *testing.T) {
+	const f, d, n = 17, 300, 5
+	pr := NewSeededProjection(42, f, d)
+
+	feats := tensor.New(n, f)
+	tensor.NewRNG(7).FillNormal(feats, 0, 1)
+	fullRaw, fullSigned := pr.EncodeBatch(feats)
+
+	for _, rng := range [][2]int{{0, 300}, {0, 128}, {128, 300}, {64, 192}, {299, 300}} {
+		lo, hi := rng[0], rng[1]
+		s := pr.Slice(lo, hi)
+		w := hi - lo
+		if s.F != f || s.D != w || s.FullDim() != d {
+			t.Fatalf("slice [%d,%d): F=%d D=%d FullDim=%d", lo, hi, s.F, s.D, s.FullDim())
+		}
+		// Dense matrix is the column range.
+		for r := 0; r < f; r++ {
+			for c := 0; c < w; c++ {
+				if s.P.Data[r*w+c] != pr.P.Data[r*d+lo+c] {
+					t.Fatalf("slice [%d,%d) P mismatch at (%d,%d)", lo, hi, r, c)
+				}
+			}
+		}
+		// Batch encode matches the full encode's columns.
+		raw, signed := s.EncodeBatch(feats)
+		for i := 0; i < n; i++ {
+			for c := 0; c < w; c++ {
+				if raw.Data[i*w+c] != fullRaw.Data[i*d+lo+c] {
+					t.Fatalf("slice [%d,%d) raw mismatch at (%d,%d)", lo, hi, i, c)
+				}
+				if signed.Data[i*w+c] != fullSigned.Data[i*d+lo+c] {
+					t.Fatalf("slice [%d,%d) signed mismatch at (%d,%d)", lo, hi, i, c)
+				}
+			}
+		}
+		// Seeded shard: generator reproduces the slice's dense matrix.
+		if !s.Seeded {
+			t.Fatalf("slice [%d,%d) lost seededness", lo, hi)
+		}
+		mat := tensor.New(f, w)
+		s.Gen().FillInto(mat)
+		for i := range mat.Data {
+			if mat.Data[i] != s.P.Data[i] {
+				t.Fatalf("slice [%d,%d) generator disagrees with dense matrix at %d", lo, hi, i)
+			}
+		}
+	}
+
+	// Full-range slice is the identity (no copy).
+	if pr.Slice(0, d) != pr {
+		t.Fatal("full-range slice should return the projection itself")
+	}
+
+	// Slices compose with absolute offsets.
+	s2 := pr.Slice(64, 256).Slice(32, 96)
+	if s2.ColOff != 96 || s2.D != 64 || s2.FullDim() != d {
+		t.Fatalf("slice-of-slice ColOff=%d D=%d FullDim=%d", s2.ColOff, s2.D, s2.FullDim())
+	}
+}

@@ -51,6 +51,43 @@ func NewFoldedScorer(m *Model) *FoldedScorer {
 	return s
 }
 
+// Slice returns the dimension shard of the scorer holding columns [lo, hi)
+// of the folded class matrix. The rows keep the FULL-dimension fold
+// M̂_k = M_k/(√D·‖M_k‖) — the denominator uses the whole class row — so
+// partial dot products from disjoint shards sum to exactly the full folded
+// score: ⟨h, M̂_k⟩ = Σ_s ⟨h[lo_s:hi_s], M̂_k[lo_s:hi_s]⟩. Slicing copies the
+// column range; each per-block float32 dot on a shard is bit-identical to
+// the same block's dot on the unsliced scorer.
+func (s *FoldedScorer) Slice(lo, hi int) *FoldedScorer {
+	if lo < 0 || hi > s.D || lo >= hi {
+		panic(fmt.Sprintf("hdlearn: FoldedScorer.Slice [%d, %d) out of [0, %d)", lo, hi, s.D))
+	}
+	if lo == 0 && hi == s.D {
+		return s
+	}
+	return &FoldedScorer{K: s.K, D: hi - lo, mhat: tensor.SliceCols(s.mhat, lo, hi)}
+}
+
+// BlockScores writes each query row's raw float32 partial score against
+// columns [c0, c0+w) of the folded class matrix: dst[i*K + k] =
+// ⟨blk_i[:w], M̂_k[c0:c0+w]⟩, where row i of the query tile starts at
+// blk[i*ldb]. These are the exact per-block float32 values AccumBlock folds
+// into float64 — emitting them instead is what lets a dimension shard ship
+// partial scores over the wire and a reducer replay the identical float64
+// accumulation order, bit-exact against the unsharded engine.
+func (s *FoldedScorer) BlockScores(dst []float32, blk []float32, ldb, n, w, c0 int) {
+	if c0 < 0 || c0+w > s.D {
+		panic(fmt.Sprintf("hdlearn: BlockScores columns [%d,%d) outside D=%d", c0, c0+w, s.D))
+	}
+	for i := 0; i < n; i++ {
+		row := blk[i*ldb : i*ldb+w]
+		out := dst[i*s.K : (i+1)*s.K]
+		for k := 0; k < s.K; k++ {
+			out[k] = tensor.DotFast(row, s.mhat.Row(k)[c0:c0+w])
+		}
+	}
+}
+
 // AccumBlock accumulates each query row's partial score against columns
 // [c0, c0+w) of the folded class matrix: acc[i*K + k] += ⟨blk_i, M̂_k[c0:c0+w]⟩
 // for the n rows of blk (a compact [n, w] tile of signed query columns).

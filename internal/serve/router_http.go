@@ -1,0 +1,235 @@
+package serve
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"time"
+)
+
+// RouterServer exposes a Router over the same client-facing HTTP surface a
+// single nshd-serve process offers, so callers cannot tell a sharded
+// cluster from one box:
+//
+//	POST /predict  — JSON {"inputs": [...]} or binary frame, exactly as the
+//	                 single-process /predict (see Server).
+//	GET  /healthz  — JSON: routable target version plus per-slot replica
+//	                 health; 200 only while every shard slot is servable.
+//	GET  /metrics  — JSON router counters and slot states.
+type RouterServer struct {
+	r *Router
+}
+
+// NewRouterServer wraps a router in its HTTP front end.
+func NewRouterServer(r *Router) *RouterServer { return &RouterServer{r: r} }
+
+// Handler returns the route mux.
+func (s *RouterServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/predict", s.handlePredict)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+func (s *RouterServer) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	start := time.Now()
+	maxBody := int64(s.r.maxBatch)*int64(s.r.sampleLen)*24 + 4096
+	body := http.MaxBytesReader(w, r.Body, maxBody)
+	if r.Header.Get("Content-Type") == "application/octet-stream" {
+		s.predictBinary(r.Context(), w, body)
+		return
+	}
+	var req predictRequest
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		http.Error(w, "bad JSON: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	n := len(req.Inputs)
+	if n == 0 {
+		http.Error(w, "no inputs", http.StatusBadRequest)
+		return
+	}
+	data := make([]float32, 0, n*s.r.sampleLen)
+	for i, row := range req.Inputs {
+		if len(row) != s.r.sampleLen {
+			http.Error(w, fmt.Sprintf("input %d has %d floats, want %d", i, len(row), s.r.sampleLen),
+				http.StatusBadRequest)
+			return
+		}
+		data = append(data, row...)
+	}
+	preds, err := s.r.Predict(r.Context(), data, n)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(predictResponse{
+		Classes: preds,
+		Ms:      float64(time.Since(start).Microseconds()) / 1e3,
+	})
+}
+
+func (s *RouterServer) predictBinary(ctx context.Context, w http.ResponseWriter, body io.Reader) {
+	var nbuf [4]byte
+	if _, err := io.ReadFull(body, nbuf[:]); err != nil {
+		http.Error(w, "short frame header", http.StatusBadRequest)
+		return
+	}
+	n, err := frameSamples(binary.LittleEndian.Uint32(nbuf[:]), s.r.maxBatch)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	raw := make([]byte, n*s.r.sampleLen*4)
+	if _, err := io.ReadFull(body, raw); err != nil {
+		http.Error(w, "short frame body", http.StatusBadRequest)
+		return
+	}
+	data := make([]float32, n*s.r.sampleLen)
+	for i := range data {
+		data[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[i*4:]))
+	}
+	preds, err := s.r.Predict(ctx, data, n)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	out := make([]byte, 4+4*len(preds))
+	binary.LittleEndian.PutUint32(out, uint32(len(preds)))
+	for i, p := range preds {
+		binary.LittleEndian.PutUint32(out[4+4*i:], uint32(p))
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(out)
+}
+
+// fail maps router errors: a shard slice being unavailable is a 503 (the
+// cluster is degraded — clients should back off and retry), everything else
+// a 400.
+func (s *RouterServer) fail(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		http.Error(w, err.Error(), http.StatusGatewayTimeout)
+	case errors.Is(err, ErrShardUnavailable):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	default:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	}
+}
+
+// routerHealth is the /healthz body: the pinned version and each slot's
+// replica states.
+type routerHealth struct {
+	Status  string       `json:"status"`
+	Version string       `json:"model_version"`
+	Slots   []slotHealth `json:"slots"`
+}
+
+type slotHealth struct {
+	Lo       int             `json:"shard_lo"`
+	Hi       int             `json:"shard_hi"`
+	Replicas []replicaHealth `json:"replicas"`
+}
+
+type replicaHealth struct {
+	Addr    string `json:"addr"`
+	Healthy bool   `json:"healthy"`
+	Ejected bool   `json:"ejected"`
+	Version string `json:"model_version"`
+}
+
+func (s *RouterServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := routerHealth{
+		Status:  "ok",
+		Version: fmt.Sprintf("%016x", s.r.Version()),
+	}
+	now := time.Now().UnixNano()
+	degraded := false
+	for _, sl := range s.r.slots {
+		sh := slotHealth{Lo: sl.lo, Hi: sl.hi}
+		slotOK := false
+		for _, rep := range sl.replicas {
+			rh := replicaHealth{
+				Addr:    rep.addr,
+				Healthy: rep.healthy.Load(),
+				Ejected: rep.ejectedUntil.Load() > now,
+				Version: fmt.Sprintf("%016x", rep.cur.Load()),
+			}
+			if rh.Healthy {
+				slotOK = true
+			}
+			sh.Replicas = append(sh.Replicas, rh)
+		}
+		if !slotOK {
+			degraded = true
+		}
+		h.Slots = append(h.Slots, sh)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if degraded {
+		h.Status = "degraded"
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(h)
+}
+
+// routerStats is the /metrics body.
+type routerStats struct {
+	Requests int64  `json:"requests"`
+	Samples  int64  `json:"samples"`
+	Errors   int64  `json:"errors"`
+	Retries  int64  `json:"retries"`
+	Hedges   int64  `json:"hedges"`
+	Ejects   int64  `json:"ejects"`
+	Flips    int64  `json:"version_flips"`
+	Version  string `json:"model_version"`
+	Shards   int    `json:"shards"`
+	FullD    int    `json:"full_d"`
+	Classes  int    `json:"classes"`
+	MaxBatch int    `json:"max_batch"`
+}
+
+// Stats snapshots the router's counters.
+func (r *Router) Stats() map[string]int64 {
+	return map[string]int64{
+		"requests": r.met.requests.Load(),
+		"samples":  r.met.samples.Load(),
+		"errors":   r.met.errors.Load(),
+		"retries":  r.met.retries.Load(),
+		"hedges":   r.met.hedges.Load(),
+		"ejects":   r.met.ejects.Load(),
+		"flips":    r.met.flips.Load(),
+	}
+}
+
+func (s *RouterServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := routerStats{
+		Requests: s.r.met.requests.Load(),
+		Samples:  s.r.met.samples.Load(),
+		Errors:   s.r.met.errors.Load(),
+		Retries:  s.r.met.retries.Load(),
+		Hedges:   s.r.met.hedges.Load(),
+		Ejects:   s.r.met.ejects.Load(),
+		Flips:    s.r.met.flips.Load(),
+		Version:  fmt.Sprintf("%016x", s.r.Version()),
+		Shards:   len(s.r.slots),
+		FullD:    s.r.fullD,
+		Classes:  s.r.k,
+		MaxBatch: s.r.maxBatch,
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(st)
+}

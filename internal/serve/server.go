@@ -9,7 +9,10 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"sync"
 	"time"
+
+	"nshd/internal/engine"
 )
 
 // Server exposes a Batcher over HTTP:
@@ -33,6 +36,18 @@ type Server struct {
 	timeout time.Duration
 	// maxBody bounds a request body; sized from MaxBatch when zero.
 	maxBody int64
+	// scratch pools per-request /partial buffers (frame bytes, decoded
+	// floats, partial scores) so the sharded data plane allocates nothing
+	// per request in steady state.
+	scratch sync.Pool
+}
+
+// partialScratch is one pooled /partial request's working set.
+type partialScratch struct {
+	raw  []byte
+	data []float32
+	out  []byte
+	ps   engine.PartialScores
 }
 
 // NewServer wraps a batcher in the HTTP front end. timeout ≤ 0 disables the
@@ -51,6 +66,7 @@ func NewServer(b *Batcher, timeout time.Duration) *Server {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/predict", s.handlePredict)
+	mux.HandleFunc("/partial", s.handlePartial)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
@@ -127,10 +143,9 @@ func (s *Server) predictBinary(ctx context.Context, w http.ResponseWriter, body 
 		http.Error(w, "short frame header", http.StatusBadRequest)
 		return
 	}
-	n := int(binary.LittleEndian.Uint32(nbuf[:]))
-	if n < 1 || n > s.b.opts.MaxBatch {
-		http.Error(w, fmt.Sprintf("frame of %d samples (want 1..%d)", n, s.b.opts.MaxBatch),
-			http.StatusBadRequest)
+	n, err := frameSamples(binary.LittleEndian.Uint32(nbuf[:]), s.b.opts.MaxBatch)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	raw := make([]byte, n*s.b.sampleLen*4)
@@ -156,6 +171,78 @@ func (s *Server) predictBinary(ctx context.Context, w http.ResponseWriter, body 
 	w.Write(out)
 }
 
+// handlePartial is the sharded data plane: a length-prefixed binary frame of
+// samples in, this shard's raw partial scores out (see wire.go for the frame
+// layout). The length prefix is bounds-checked before any payload-sized
+// allocation, and all working buffers are pooled — steady state allocates
+// nothing per request.
+func (s *Server) handlePartial(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if r.Header.Get("Content-Type") != "application/octet-stream" {
+		http.Error(w, "application/octet-stream only", http.StatusUnsupportedMediaType)
+		return
+	}
+	ctx := r.Context()
+	if s.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.timeout)
+		defer cancel()
+	}
+	body := http.MaxBytesReader(w, r.Body, s.maxBody)
+	var hdr [partialReqHeaderLen]byte
+	if _, err := io.ReadFull(body, hdr[:]); err != nil {
+		http.Error(w, "short frame header", http.StatusBadRequest)
+		return
+	}
+	n, err := frameSamples(binary.LittleEndian.Uint32(hdr[:]), s.b.opts.MaxBatch)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	version := binary.LittleEndian.Uint64(hdr[4:])
+
+	sc, _ := s.scratch.Get().(*partialScratch)
+	if sc == nil {
+		sc = &partialScratch{}
+	}
+	defer s.scratch.Put(sc)
+	need := n * s.b.sampleLen * 4
+	if cap(sc.raw) < need {
+		sc.raw = make([]byte, need)
+	}
+	raw := sc.raw[:need]
+	if _, err := io.ReadFull(body, raw); err != nil {
+		http.Error(w, "short frame body", http.StatusBadRequest)
+		return
+	}
+	if cap(sc.data) < n*s.b.sampleLen {
+		sc.data = make([]float32, n*s.b.sampleLen)
+	}
+	data := sc.data[:n*s.b.sampleLen]
+	for i := range data {
+		data[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[i*4:]))
+	}
+
+	if err := s.b.PredictPartial(ctx, data, n, version, &sc.ps); err != nil {
+		if errors.Is(err, ErrVersionGone) {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		s.fail(w, err)
+		return
+	}
+	served := version
+	if served == 0 {
+		served, _ = s.b.Versions()
+	}
+	sc.out = appendPartialResponse(sc.out[:0], &sc.ps, served)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(sc.out)
+}
+
 // fail maps batcher errors to HTTP statuses.
 func (s *Server) fail(w http.ResponseWriter, err error) {
 	switch {
@@ -172,6 +259,23 @@ func (s *Server) fail(w http.ResponseWriter, err error) {
 	}
 }
 
+// healthResponse is what a router's handshake and rollout poller consume:
+// liveness plus the facts needed to validate a shard slot — its D-slice, the
+// model version it is serving, and the pre-swap version it can still serve.
+// Versions are hex strings (uint64 does not survive JSON number precision).
+type healthResponse struct {
+	Status       string `json:"status"`
+	ModelVersion string `json:"model_version"`
+	PrevVersion  string `json:"prev_version,omitempty"`
+	ShardLo      int    `json:"shard_lo"`
+	ShardHi      int    `json:"shard_hi"`
+	FullD        int    `json:"full_d"`
+	Classes      int    `json:"classes"`
+	SampleLen    int    `json:"sample_floats"`
+	MaxBatch     int    `json:"max_batch"`
+	Packed       bool   `json:"packed"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.b.mu.RLock()
 	closed := s.b.closed
@@ -180,7 +284,25 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
-	io.WriteString(w, "ok\n")
+	e := s.b.Engine()
+	cur, prev := s.b.Versions()
+	lo, hi := e.Shard()
+	h := healthResponse{
+		Status:       "ok",
+		ModelVersion: fmt.Sprintf("%016x", cur),
+		ShardLo:      lo,
+		ShardHi:      hi,
+		FullD:        e.FullDim(),
+		Classes:      e.Classes(),
+		SampleLen:    e.SampleLen(),
+		MaxBatch:     s.b.opts.MaxBatch,
+		Packed:       e.PackedKernel(),
+	}
+	if prev != 0 {
+		h.PrevVersion = fmt.Sprintf("%016x", prev)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(h)
 }
 
 // metricsResponse joins the batcher snapshot with the engine facts an
@@ -191,17 +313,21 @@ type metricsResponse struct {
 }
 
 type engineFacts struct {
-	InShape    [3]int   `json:"in_shape"`
-	SampleLen  int      `json:"sample_floats"`
-	D          int      `json:"d"`
-	Classes    int      `json:"classes"`
-	ChunkSize  int      `json:"chunk_size"`
-	ArenaBytes int64    `json:"arena_bytes"`
-	ModelBytes int64    `json:"model_bytes"`
-	Stages     []string `json:"stages"`
-	MaxBatch   int      `json:"max_batch"`
-	MaxDelayUs int64    `json:"max_delay_us"`
-	QueueCap   int      `json:"queue_cap"`
+	InShape      [3]int   `json:"in_shape"`
+	SampleLen    int      `json:"sample_floats"`
+	D            int      `json:"d"`
+	ShardLo      int      `json:"shard_lo"`
+	ShardHi      int      `json:"shard_hi"`
+	FullD        int      `json:"full_d"`
+	ModelVersion string   `json:"model_version"`
+	Classes      int      `json:"classes"`
+	ChunkSize    int      `json:"chunk_size"`
+	ArenaBytes   int64    `json:"arena_bytes"`
+	ModelBytes   int64    `json:"model_bytes"`
+	Stages       []string `json:"stages"`
+	MaxBatch     int      `json:"max_batch"`
+	MaxDelayUs   int64    `json:"max_delay_us"`
+	QueueCap     int      `json:"queue_cap"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -209,17 +335,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	resp := metricsResponse{
 		Snapshot: s.b.Stats(),
 		Engine: engineFacts{
-			InShape:    e.InShape(),
-			SampleLen:  e.SampleLen(),
-			D:          e.Dim(),
-			Classes:    e.Classes(),
-			ChunkSize:  e.ChunkSize(),
-			ArenaBytes: e.ArenaBytes(),
-			ModelBytes: e.ModelBytes(),
-			Stages:     e.Stages(),
-			MaxBatch:   s.b.opts.MaxBatch,
-			MaxDelayUs: s.b.opts.MaxDelay.Microseconds(),
-			QueueCap:   s.b.opts.QueueCap,
+			InShape:      e.InShape(),
+			SampleLen:    e.SampleLen(),
+			D:            e.Dim(),
+			ShardLo:      func() int { lo, _ := e.Shard(); return lo }(),
+			ShardHi:      func() int { _, hi := e.Shard(); return hi }(),
+			FullD:        e.FullDim(),
+			ModelVersion: fmt.Sprintf("%016x", e.ModelVersion()),
+			Classes:      e.Classes(),
+			ChunkSize:    e.ChunkSize(),
+			ArenaBytes:   e.ArenaBytes(),
+			ModelBytes:   e.ModelBytes(),
+			Stages:       e.Stages(),
+			MaxBatch:     s.b.opts.MaxBatch,
+			MaxDelayUs:   s.b.opts.MaxDelay.Microseconds(),
+			QueueCap:     s.b.opts.QueueCap,
 		},
 	}
 	w.Header().Set("Content-Type", "application/json")

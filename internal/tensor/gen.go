@@ -16,7 +16,8 @@ package tensor
 type BipolarGen struct {
 	Rows, Cols int
 	seed       uint64
-	wpr        int // 64-bit words per row: ⌈Cols/64⌉
+	wpr        int // 64-bit words per row of the FULL matrix: ⌈fullCols/64⌉
+	colOff     int // column offset into the full matrix (0 when unsliced)
 }
 
 // splitmixGamma is the Weyl-sequence increment of splitmix64.
@@ -42,17 +43,50 @@ func NewBipolarGen(seed int64, rows, cols int) *BipolarGen {
 // Seed returns the defining seed.
 func (g *BipolarGen) Seed() int64 { return int64(g.seed) }
 
-// word returns the 64-bit sign word covering columns [wi·64, wi·64+64) of
-// row r: element (r, wi·64+b) is +1 when bit b is clear, −1 when set. This
-// is splitmix64's output function on a per-(row, word) counter, so words are
-// mutually independent and individually addressable.
-func (g *BipolarGen) word(r, wi int) uint64 {
+// ColOff returns the slice's column offset into the full matrix (0 when the
+// generator is unsliced).
+func (g *BipolarGen) ColOff() int { return g.colOff }
+
+// SliceCols returns a generator for columns [lo, hi) of g: a [Rows, hi−lo]
+// view whose entry (r, c) is bit-identical to g's entry (r, lo+c). The slice
+// shares the parent's seed and word grid, so a shard can regenerate exactly
+// its own columns from the same 8-byte seed — the basis of dimension-sharded
+// rematerialization. Slices of slices compose.
+func (g *BipolarGen) SliceCols(lo, hi int) *BipolarGen {
+	if lo < 0 || hi > g.Cols || lo >= hi {
+		panic("tensor: BipolarGen.SliceCols range out of bounds")
+	}
+	return &BipolarGen{Rows: g.Rows, Cols: hi - lo, seed: g.seed, wpr: g.wpr, colOff: g.colOff + lo}
+}
+
+// rawWord is splitmix64's output function on the per-(row, word) counter of
+// the FULL matrix's word grid, so words are mutually independent and
+// individually addressable.
+func (g *BipolarGen) rawWord(r, wi int) uint64 {
 	x := g.seed + (uint64(r)*uint64(g.wpr)+uint64(wi)+1)*splitmixGamma
 	x ^= x >> 30
 	x *= 0xBF58476D1CE4E5B9
 	x ^= x >> 27
 	x *= 0x94D049BB133111EB
 	return x ^ (x >> 31)
+}
+
+// word returns the 64-bit sign word covering slice-relative columns
+// [wi·64, wi·64+64) of row r: element (r, wi·64+b) is +1 when bit b is
+// clear, −1 when set. For an unsliced generator this is one splitmix64
+// evaluation; a slice whose offset is not word-aligned synthesizes the word
+// from the two straddled full-matrix words.
+func (g *BipolarGen) word(r, wi int) uint64 {
+	if g.colOff == 0 {
+		return g.rawWord(r, wi)
+	}
+	abs := g.colOff + wi<<6
+	aw, sh := abs>>6, uint(abs&63)
+	w := g.rawWord(r, aw) >> sh
+	if sh != 0 {
+		w |= g.rawWord(r, aw+1) << (64 - sh)
+	}
+	return w
 }
 
 // at returns element (r, c) as ±1.

@@ -1,0 +1,129 @@
+package tensor
+
+import "testing"
+
+// TestBipolarGenSliceCols: a sliced generator reproduces exactly the parent's
+// column range through every access path — element, tile, full fill, strip
+// fill — including word-unaligned offsets and slices of slices.
+func TestBipolarGenSliceCols(t *testing.T) {
+	const rows, cols = 23, 533
+	g := NewBipolarGen(1234, rows, cols)
+	full := New(rows, cols)
+	g.FillInto(full)
+
+	for _, rng := range [][2]int{{0, 533}, {0, 256}, {256, 512}, {512, 533}, {5, 133}, {67, 200}, {63, 65}, {128, 384}} {
+		lo, hi := rng[0], rng[1]
+		s := g.SliceCols(lo, hi)
+		w := hi - lo
+		if s.Rows != rows || s.Cols != w {
+			t.Fatalf("slice [%d,%d) dims [%d,%d]", lo, hi, s.Rows, s.Cols)
+		}
+		sub := New(rows, w)
+		s.FillInto(sub)
+		for r := 0; r < rows; r++ {
+			for c := 0; c < w; c++ {
+				if sub.Data[r*w+c] != full.Data[r*cols+lo+c] {
+					t.Fatalf("slice [%d,%d) fill mismatch at (%d,%d)", lo, hi, r, c)
+				}
+			}
+		}
+		if s.at(7%rows, w/2) != full.Data[(7%rows)*cols+lo+w/2] {
+			t.Fatalf("slice [%d,%d) element access mismatch", lo, hi)
+		}
+		// Unaligned interior tile of the slice.
+		r0, r1 := 2, rows-3
+		c0, c1 := 1, w-1
+		if c1 <= c0 {
+			c0, c1 = 0, w
+		}
+		ld := c1 - c0
+		tile := make([]float32, (r1-r0)*ld)
+		s.FillTile(tile, ld, r0, r1, c0, c1)
+		for r := r0; r < r1; r++ {
+			for c := c0; c < c1; c++ {
+				if tile[(r-r0)*ld+(c-c0)] != full.Data[r*cols+lo+c] {
+					t.Fatalf("slice [%d,%d) tile mismatch at (%d,%d)", lo, hi, r, c)
+				}
+			}
+		}
+		// Strip fill in slice coordinates vs packPanel16 of the materialized slice.
+		jEnd := w / 16 * 16
+		if jEnd > 0 {
+			kc := s.Rows
+			want := make([]float32, kc*jEnd)
+			packPanel16(want, sub.Data, w, 0, kc, 0, jEnd)
+			got := make([]float32, kc*jEnd)
+			s.fillStrips(got, 0, kc, 0, jEnd)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("slice [%d,%d) strip mismatch at %d", lo, hi, i)
+				}
+			}
+		}
+	}
+
+	// Slices compose: (g[67:400])[10:100] == g[77:167].
+	inner := g.SliceCols(67, 400).SliceCols(10, 100)
+	direct := g.SliceCols(77, 167)
+	a := New(rows, 90)
+	b := New(rows, 90)
+	inner.FillInto(a)
+	direct.FillInto(b)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatalf("slice-of-slice mismatch at %d", i)
+		}
+	}
+}
+
+// TestPanelsSlicedRematMatchesFullColumns: a remat panel GEMM over a
+// 256-aligned generator slice is bit-identical to the corresponding column
+// block of the full product — the property CompileShard's remat tail rests
+// on. Includes a ragged last shard.
+func TestPanelsSlicedRematMatchesFullColumns(t *testing.T) {
+	const m, k, n = 6, 100, 789 // 3 blocks + ragged 21-col tail
+	gen := NewBipolarGen(77, k, n)
+	a := New(m, k)
+	NewRNG(13).FillNormal(a, 0, 1)
+	scratch := make([]float32, PanelScratch())
+
+	want := New(m, n)
+	MatMulPanelsInto(want, a, RematPanels(gen), scratch)
+
+	for _, rng := range [][2]int{{0, 256}, {256, 512}, {512, 789}, {0, 789}, {256, 789}} {
+		lo, hi := rng[0], rng[1]
+		w := hi - lo
+		got := New(m, w)
+		MatMulPanelsInto(got, a, RematPanels(gen.SliceCols(lo, hi)), scratch)
+		for i := 0; i < m; i++ {
+			for j := 0; j < w; j++ {
+				if got.Data[i*w+j] != want.Data[i*n+lo+j] {
+					t.Fatalf("sliced remat [%d,%d) differs at (%d,%d)", lo, hi, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestTensorSliceCols: the contiguous column-copy helper.
+func TestTensorSliceCols(t *testing.T) {
+	src := New(4, 10)
+	for i := range src.Data {
+		src.Data[i] = float32(i)
+	}
+	s := SliceCols(src, 3, 7)
+	if s.Shape[0] != 4 || s.Shape[1] != 4 {
+		t.Fatalf("shape %v", s.Shape)
+	}
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			if s.Data[r*4+c] != src.Data[r*10+3+c] {
+				t.Fatalf("mismatch at (%d,%d)", r, c)
+			}
+		}
+	}
+	s.Data[0] = -1
+	if src.Data[3] == -1 {
+		t.Fatal("SliceCols must copy, not alias")
+	}
+}
