@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race alloc bench perf bench-train bench-serve perf-serve bench-quant perf-quant bench-tail perf-tail bench-router perf-router
+.PHONY: check vet build test race alloc bench perf bench-train bench-serve perf-serve bench-quant perf-quant bench-tail perf-tail bench-router perf-router bench-compress perf-compress
 
 # The full gate: what CI (and any PR) must keep green.
 check: vet build test race alloc
@@ -8,7 +8,9 @@ check: vet build test race alloc
 # Allocation-regression gate: the serving engine must stay heap-free in
 # steady state (AllocsPerRun == 0 for both classifier kernels and for every
 # tail strategy — fused, remat, folded and staged; see
-# TestEngineZeroAlloc / TestEngineZeroAllocTailModes), and so must the
+# TestEngineZeroAlloc / TestEngineZeroAllocTailModes — and for the compressed
+# int4/ternary predict path, TestEngineZeroAllocCompressed, which rides the
+# same -run prefix), and so must the
 # router's fan-out hot path (frame encode, partial decode, score merge; see
 # TestRouterZeroAlloc).
 alloc:
@@ -83,3 +85,14 @@ bench-router:
 # Regenerate the committed sharded-router baseline.
 perf-router:
 	$(GO) run ./cmd/nshd-bench -perf-router BENCH_PR7.json
+
+# Re-run the post-training compression tradeoff benchmarks (bytes / tail
+# latency / accuracy at keep ∈ {100,75,50,25}% × {int4, ternary}, the 1-point
+# auto search and its remat composition) and diff against the committed
+# BENCH_PR8.json baseline.
+bench-compress:
+	$(GO) run ./cmd/nshd-bench -perf-compress /tmp/nshd_bench_compress.json -perf-compress-baseline BENCH_PR8.json
+
+# Regenerate the committed compression baseline.
+perf-compress:
+	$(GO) run ./cmd/nshd-bench -perf-compress BENCH_PR8.json

@@ -50,6 +50,8 @@ func main() {
 		quantBase = flag.String("perf-quant-baseline", "", "with -perf-quant: print deltas against this committed baseline JSON")
 		perfTail  = flag.String("perf-tail", "", "run the staged-vs-fused serving-tail benchmarks, write JSON to this file, and exit")
 		tailBase  = flag.String("perf-tail-baseline", "", "with -perf-tail: print deltas against this committed baseline JSON")
+		perfCmp   = flag.String("perf-compress", "", "run the post-training compression tradeoff benchmarks, write JSON to this file, and exit")
+		cmpBase   = flag.String("perf-compress-baseline", "", "with -perf-compress: print deltas against this committed baseline JSON")
 		perfRtr   = flag.String("perf-router", "", "run the sharded-router scaling benchmarks, write JSON to this file, and exit")
 		rtrBase   = flag.String("perf-router-baseline", "", "with -perf-router: print deltas against this committed baseline JSON")
 		rtrWorker = flag.String("router-worker", "", "internal: run as a perf-router shard worker (\"i/S\")")
@@ -94,6 +96,13 @@ func main() {
 	}
 	if *perfQuant != "" {
 		if err := runPerfQuant(*perfQuant, *quantBase); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *perfCmp != "" {
+		if err := runPerfCompress(*perfCmp, *cmpBase); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

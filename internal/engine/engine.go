@@ -80,6 +80,12 @@ type Engine struct {
 	int8Covered int
 	int8Total   int
 	int8Names   []string
+
+	// src is the SOURCE pipeline the engine was compiled from (before any
+	// compression plan was applied) and opts the resolved compile options —
+	// what Engine.Compress needs to derive and compile candidate plans.
+	src  *core.Pipeline
+	opts compileOptions
 }
 
 type extractStage struct{ ex *nn.Sequential }
@@ -157,6 +163,31 @@ func compile(p *core.Pipeline, lo, hi int, opts []Option) (*Engine, error) {
 	for _, opt := range opts {
 		opt.applyOption(&o)
 	}
+	return compileResolved(p, lo, hi, o)
+}
+
+// compileResolved is compile after option resolution — the entry point
+// Engine.Compress uses to build candidate engines from an options struct it
+// assembled itself. When a compression plan is present the pipeline compiled
+// is a DERIVED one (pruned projection/class columns, factorized manifold);
+// the engine records the source pipeline and the plan so the compressed
+// engine can report both and refuse re-compression.
+func compileResolved(p *core.Pipeline, lo, hi int, o compileOptions) (*Engine, error) {
+	src := p
+	if o.plan != nil && o.plan.isIdentity() {
+		o.plan = nil
+	}
+	if o.plan != nil {
+		if lo != 0 || hi != p.Cfg.D {
+			return nil, fmt.Errorf("engine: compression plan on D-slice [%d, %d) of %d: %w", lo, hi, p.Cfg.D, ErrCompressedTiling)
+		}
+		derived, err := o.plan.apply(p)
+		if err != nil {
+			return nil, err
+		}
+		p = derived
+		hi = p.Cfg.D
+	}
 	if err := nn.InferSupported(p.Extractor); err != nil {
 		return nil, fmt.Errorf("engine: extractor not servable: %w", err)
 	}
@@ -181,10 +212,20 @@ func compile(p *core.Pipeline, lo, hi int, opts []Option) (*Engine, error) {
 		}
 		fold = true
 	} else if o.precision == Float32 && !o.stagedTail && !o.remat && p.Manifold != nil {
-		fold = foldProfitable(p.Manifold.PooledF, p.Manifold.FHat, p.Cfg.D)
+		if p.Manifold.Down() != nil {
+			// A factorized manifold always folds: the up factor is [F̂, rank],
+			// so G = up^T·P is only [rank, D] and rank·D < rank·F̂ + F̂·D for
+			// every rank ≤ F̂ — the fold that loses on the dense FC wins here.
+			fold = true
+		} else {
+			fold = foldProfitable(p.Manifold.PooledF, p.Manifold.FHat, p.Cfg.D)
+		}
 	}
 	if o.remat && o.stagedTail {
 		return nil, fmt.Errorf("engine: WithRemat requires the fused tail")
+	}
+	if o.precision == Int8 && p.Manifold != nil && p.Manifold.Down() != nil {
+		return nil, fmt.Errorf("engine: int8 precision cannot serve a factorized manifold (the quantizer rebuilds only the dense FC)")
 	}
 
 	if lo < 0 || hi > p.Cfg.D || lo >= hi {
@@ -198,6 +239,11 @@ func compile(p *core.Pipeline, lo, hi int, opts []Option) (*Engine, error) {
 		fullD:     p.Cfg.D,
 		version:   modelVersionHash(p),
 		precision: o.precision,
+		src:       src,
+		opts:      o,
+	}
+	if o.plan != nil {
+		e.version = o.plan.mixVersion(e.version)
 	}
 	if o.precision == Int8 {
 		if err := e.buildInt8Stages(p, &o); err != nil {
@@ -220,7 +266,9 @@ func compile(p *core.Pipeline, lo, hi int, opts []Option) (*Engine, error) {
 	if o.stagedTail {
 		e.stages = append(e.stages, projectStage{"project", p.Proj.Slice(lo, hi)})
 		t := &stagedTail{d: hi - lo, lo: lo, fullD: p.Cfg.D}
-		if p.Cfg.PackedInference {
+		if sub := subScorer(p, &o); sub != nil {
+			t.sub = sub
+		} else if p.Cfg.PackedInference {
 			t.packed = hdlearn.PackModel(p.HD).SliceColumns(lo, hi)
 		} else {
 			t.scorer = hdlearn.NewFoldedScorer(p.HD).Slice(lo, hi)

@@ -7,6 +7,7 @@ import (
 	"nshd/internal/hdc"
 	"nshd/internal/hdlearn"
 	"nshd/internal/nn"
+	"nshd/internal/quant"
 	"nshd/internal/tensor"
 )
 
@@ -90,10 +91,32 @@ type tailRunner interface {
 	// runPartial writes the tail's raw partial scores for the chunk's rows
 	// into ps at row offset rowOff (see PartialScores for the layout).
 	runPartial(x *tensor.Tensor, ps *PartialScores, rowOff int, ar *tensor.Arena)
-	// packedKernel reports whether partial scores are int32 popcount dots
-	// (true) or per-block float32 scores (false).
+	// packedKernel reports whether partial scores are int32 dots (popcount
+	// or sub-byte; true) or per-block float32 scores (false).
 	packedKernel() bool
+	// scales returns the per-class dequantization scales of a sub-byte
+	// scorer, nil for every other kernel. Non-nil scales mean the int32
+	// partial dots must be scale-multiplied before comparing across classes
+	// (see MergeScores); such partials are not additive across shards.
+	scales() []float32
 	breakdown() []StageBytes
+}
+
+// subScorer builds the compression plan's sub-byte scorer for the (derived)
+// pipeline's class model, nil when the plan keeps the source kernel. Sub-byte
+// scoring is full-row (the integer dots need every kept dimension), which the
+// plan's full-range requirement in compileResolved guarantees.
+func subScorer(p *core.Pipeline, o *compileOptions) *hdlearn.SubByteScorer {
+	if o.plan == nil {
+		return nil
+	}
+	switch o.plan.prec {
+	case PrecisionInt4:
+		return hdlearn.NewInt4Scorer(p.HD, quant.QuantizeInt4Row)
+	case PrecisionTernary:
+		return hdlearn.NewTernaryScorer(p.HD, quant.QuantizeTernaryRow)
+	}
+	return nil
 }
 
 // ---------------------------------------------------------------------------
@@ -105,25 +128,40 @@ type tailRunner interface {
 
 type stagedTail struct {
 	d, lo, fullD int // d = slice width; columns [lo, lo+d) of fullD
-	// Exactly one of packed/scorer is set, mirroring Cfg.PackedInference;
-	// both are column slices of the full class model.
+	// Exactly one of packed/scorer/sub is set: packed/scorer mirror
+	// Cfg.PackedInference (column slices of the full class model); sub is a
+	// compression plan's sub-byte scorer (always full-range).
 	packed *hdlearn.PackedModel
 	scorer *hdlearn.FoldedScorer
+	sub    *hdlearn.SubByteScorer
 }
 
 func (t *stagedTail) clsName() string {
-	if t.packed != nil {
+	switch {
+	case t.sub != nil:
+		return "classify-" + t.sub.Name()
+	case t.packed != nil:
 		return "classify-packed"
 	}
 	return "classify-float"
 }
 
-func (t *stagedTail) names() []string  { return []string{t.clsName()} }
-func (t *stagedTail) timeName() string { return "classify" }
-func (t *stagedTail) packedKernel() bool { return t.packed != nil }
+func (t *stagedTail) names() []string    { return []string{t.clsName()} }
+func (t *stagedTail) timeName() string   { return "classify" }
+func (t *stagedTail) packedKernel() bool { return t.packed != nil || t.sub != nil }
+
+func (t *stagedTail) scales() []float32 {
+	if t.sub != nil {
+		return t.sub.Scales()
+	}
+	return nil
+}
 
 func (t *stagedTail) classes() int {
-	if t.packed != nil {
+	switch {
+	case t.sub != nil:
+		return t.sub.K
+	case t.packed != nil:
 		return t.packed.K
 	}
 	return t.scorer.K
@@ -137,6 +175,19 @@ func (t *stagedTail) check(x *tensor.Tensor) {
 
 func (t *stagedTail) run(x *tensor.Tensor, preds []int, ar *tensor.Arena) {
 	t.check(x)
+	if t.sub != nil {
+		n := x.Shape[0]
+		m := ar.Mark()
+		q := ar.Words((t.d + 63) / 64)
+		dots := ar.Int32s(t.sub.K)
+		for i := 0; i < n; i++ {
+			hdc.PackRowInto(q, x.Row(i))
+			t.sub.DotsInto(dots, q)
+			hdlearn.ArgmaxScaledInto(preds[i:i+1], dots, t.sub.Scales(), 1, t.sub.K)
+		}
+		ar.Release(m)
+		return
+	}
 	if t.packed != nil {
 		m := ar.Mark()
 		q := ar.Words(t.packed.WordsPerRow())
@@ -152,7 +203,13 @@ func (t *stagedTail) runPartial(x *tensor.Tensor, ps *PartialScores, rowOff int,
 	n := x.Shape[0]
 	k := t.classes()
 	m := ar.Mark()
-	if t.packed != nil {
+	if t.sub != nil {
+		q := ar.Words((t.d + 63) / 64)
+		for i := 0; i < n; i++ {
+			hdc.PackRowInto(q, x.Row(i))
+			t.sub.DotsInto(ps.Ints[(rowOff+i)*k:(rowOff+i+1)*k], q)
+		}
+	} else if t.packed != nil {
 		q := ar.Words(t.packed.WordsPerRow())
 		for i := 0; i < n; i++ {
 			hdc.PackRowInto(q, x.Row(i))
@@ -183,9 +240,12 @@ func (t *stagedTail) runHVs(x *tensor.Tensor, dst []float32, ar *tensor.Arena) {
 
 func (t *stagedTail) breakdown() []StageBytes {
 	var clsBytes int64
-	if t.packed != nil {
+	switch {
+	case t.sub != nil:
+		clsBytes = t.sub.MemoryBytes()
+	case t.packed != nil:
 		clsBytes = t.packed.MemoryBytes()
-	} else {
+	default:
 		clsBytes = t.scorer.ModelBytes()
 	}
 	return []StageBytes{{t.clsName(), clsBytes}}
@@ -201,15 +261,22 @@ type fusedTail struct {
 	// the folded GEMM — max-pool is nonlinear, so the fold stops there.
 	pool *nn.MaxPool2D
 	flat bool
+	// down is the factorized manifold's SVD down-projection V ([rank,
+	// PooledF]); non-nil only when folding a factorized manifold, where the
+	// folded GEMM operand is G = up^T·P ([rank, D]) and the head must first
+	// map pooled features to the rank space.
+	down *nn.Linear
 	// panels is the projection operand in GEMM panel form: prepacked strips
 	// of P (or of the folded G), or a seeded generator that rematerializes
 	// them inside the kernel.
 	panels *tensor.ProjPanels
 	// bias is the folded FC bias row c = b·P; nil when not folding.
 	bias []float32
-	// Exactly one of packed/scorer is set, mirroring Cfg.PackedInference.
+	// Exactly one of packed/scorer/sub is set: packed/scorer mirror
+	// Cfg.PackedInference; sub is a compression plan's sub-byte scorer.
 	packed *hdlearn.PackedModel
 	scorer *hdlearn.FoldedScorer
+	sub    *hdlearn.SubByteScorer
 	name   string
 	bytes  []StageBytes
 }
@@ -233,6 +300,12 @@ func buildFusedTail(p *core.Pipeline, o *compileOptions, fold bool, lo, hi int) 
 		t.flat = true
 		t.bias = c[lo:hi]
 		t.inF = p.Manifold.PooledF
+		if t.down = p.Manifold.Down(); t.down != nil {
+			// Factorized manifold: FoldProjection folded only the up factor
+			// (fc.Weight.W is [F̂, rank]), so G is [rank, D] and the head runs
+			// the down-projection V to feed the rank-wide GEMM.
+			t.inF = t.down.Out
+		}
 		if lo == 0 && hi == p.Cfg.D {
 			t.panels = tensor.PrepackPanels(g)
 		} else {
@@ -251,20 +324,31 @@ func buildFusedTail(p *core.Pipeline, o *compileOptions, fold bool, lo, hi int) 
 		t.panels = tensor.PrepackPanels(p.Proj.Slice(lo, hi).P)
 	}
 	clsName := "classify-float"
-	if p.Cfg.PackedInference {
+	switch {
+	case o.plan != nil && o.plan.prec != PrecisionKeep:
+		t.sub = subScorer(p, o)
+		t.k = t.sub.K
+		clsName = "classify-" + t.sub.Name()
+	case p.Cfg.PackedInference:
 		t.packed = hdlearn.PackModel(p.HD).SliceColumns(lo, hi)
 		t.k = t.packed.K
 		clsName = "classify-packed"
-	} else {
+	default:
 		t.scorer = hdlearn.NewFoldedScorer(p.HD).Slice(lo, hi)
 		t.k = t.scorer.K
 	}
 	t.name = "fuse(" + projName + "+" + clsName + ")"
 	projBytes := t.panels.MemoryBytes() + int64(len(t.bias))*4
+	if t.down != nil {
+		projBytes += paramBytes(t.down.Params())
+	}
 	var clsBytes int64
-	if t.packed != nil {
+	switch {
+	case t.sub != nil:
+		clsBytes = t.sub.MemoryBytes()
+	case t.packed != nil:
 		clsBytes = t.packed.MemoryBytes()
-	} else {
+	default:
 		clsBytes = t.scorer.ModelBytes()
 	}
 	t.bytes = []StageBytes{{projName, projBytes}, {clsName, clsBytes}}
@@ -274,7 +358,14 @@ func buildFusedTail(p *core.Pipeline, o *compileOptions, fold bool, lo, hi int) 
 func (t *fusedTail) names() []string    { return []string{t.name} }
 func (t *fusedTail) timeName() string   { return t.name }
 func (t *fusedTail) classes() int       { return t.k }
-func (t *fusedTail) packedKernel() bool { return t.packed != nil }
+func (t *fusedTail) packedKernel() bool { return t.packed != nil || t.sub != nil }
+
+func (t *fusedTail) scales() []float32 {
+	if t.sub != nil {
+		return t.sub.Scales()
+	}
+	return nil
+}
 
 func (t *fusedTail) breakdown() []StageBytes {
 	return append([]StageBytes(nil), t.bytes...)
@@ -289,6 +380,9 @@ func (t *fusedTail) head(x *tensor.Tensor, ar *tensor.Arena) *tensor.Tensor {
 	if t.flat && x.Rank() != 2 {
 		n := x.Shape[0]
 		x = ar.Wrap(x.Data, n, x.Len()/n)
+	}
+	if t.down != nil {
+		x = t.down.ForwardInfer(x, ar)
 	}
 	if x.Rank() != 2 || x.Shape[1] != t.inF {
 		panic(fmt.Sprintf("engine: fused tail got %v, want [N %d]", x.Shape, t.inF))
@@ -322,8 +416,8 @@ func (t *fusedTail) run(x *tensor.Tensor, preds []int, ar *tensor.Arena) {
 	bc := tensor.PanelBlockCols()
 	scratch := ar.Floats(tensor.PanelScratch())
 	blk := ar.Floats(n * bc)
-	if t.packed != nil {
-		wpr := t.packed.WordsPerRow()
+	if t.packed != nil || t.sub != nil {
+		wpr := (t.d + 63) / 64
 		q := ar.Words(n * wpr)
 		for c0 := 0; c0 < t.d; c0 += bc {
 			w := tensor.MatMulPanelsBlock(blk, v, t.panels, c0, scratch)
@@ -336,8 +430,16 @@ func (t *fusedTail) run(x *tensor.Tensor, preds []int, ar *tensor.Arena) {
 				tensor.PackSignsInto(q[i*wpr+wb:i*wpr+wb+ww], blk[i*w:(i+1)*w])
 			}
 		}
-		for i := 0; i < n; i++ {
-			preds[i] = t.packed.PredictPacked(q[i*wpr : (i+1)*wpr])
+		if t.sub != nil {
+			dots := ar.Int32s(n * t.k)
+			for i := 0; i < n; i++ {
+				t.sub.DotsInto(dots[i*t.k:(i+1)*t.k], q[i*wpr:(i+1)*wpr])
+			}
+			hdlearn.ArgmaxScaledInto(preds, dots, t.sub.Scales(), n, t.k)
+		} else {
+			for i := 0; i < n; i++ {
+				preds[i] = t.packed.PredictPacked(q[i*wpr : (i+1)*wpr])
+			}
 		}
 	} else {
 		// Score through the partial-scorer path: raw per-block float32
@@ -374,8 +476,8 @@ func (t *fusedTail) runPartial(x *tensor.Tensor, ps *PartialScores, rowOff int, 
 	bc := tensor.PanelBlockCols()
 	scratch := ar.Floats(tensor.PanelScratch())
 	blk := ar.Floats(n * bc)
-	if t.packed != nil {
-		wpr := t.packed.WordsPerRow()
+	if t.packed != nil || t.sub != nil {
+		wpr := (t.d + 63) / 64
 		q := ar.Words(n * wpr)
 		for c0 := 0; c0 < t.d; c0 += bc {
 			w := tensor.MatMulPanelsBlock(blk, v, t.panels, c0, scratch)
@@ -386,7 +488,12 @@ func (t *fusedTail) runPartial(x *tensor.Tensor, ps *PartialScores, rowOff int, 
 			}
 		}
 		for i := 0; i < n; i++ {
-			t.packed.DotsInto(ps.Ints[(rowOff+i)*t.k:(rowOff+i+1)*t.k], q[i*wpr:(i+1)*wpr])
+			out := ps.Ints[(rowOff+i)*t.k : (rowOff+i+1)*t.k]
+			if t.sub != nil {
+				t.sub.DotsInto(out, q[i*wpr:(i+1)*wpr])
+			} else {
+				t.packed.DotsInto(out, q[i*wpr:(i+1)*wpr])
+			}
 		}
 	} else {
 		bs := ar.Floats(n * t.k)

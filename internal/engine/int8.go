@@ -54,6 +54,10 @@ type compileOptions struct {
 	stagedTail bool
 	remat      bool
 	foldTail   bool
+	// plan compresses the pipeline before compiling (see compress.go): nil,
+	// or a dimension-pruning + low-rank + sub-byte-precision plan produced by
+	// Engine.Compress or NewCompressPlan.
+	plan *CompressPlan
 }
 
 func (p Precision) applyOption(o *compileOptions) { o.precision = p }

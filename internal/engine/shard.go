@@ -108,8 +108,11 @@ func (e *Engine) PackedKernel() bool { return e.tail.packedKernel() }
 // class matrix, the projection (its seed, or its dense matrix when
 // unseeded), and the shape facts (D, K). Every shard of one trained model
 // reports the same version regardless of slice or tail mode; retraining
-// changes it. The serving tier uses it to gate rollout: a router only
-// switches traffic to a new version once every shard advertises it.
+// changes it. A COMPRESSED engine mixes its plan into the hash (see
+// CompressPlan.mixVersion) — it serves different predictions, so it must
+// never be mistaken for the source model. The serving tier uses the version
+// to gate rollout: a router only switches traffic to a new version once every
+// shard advertises it.
 func (e *Engine) ModelVersion() uint64 { return e.version }
 
 const (
@@ -162,6 +165,14 @@ type PartialScores struct {
 	Packed bool
 	Ints   []int32
 	Floats []float32
+	// Scales, non-nil only for a compressed engine's sub-byte kernel, holds
+	// the K per-class dequantization scales: the merged integer dots must be
+	// scale-multiplied (in float64) before classes are compared. Sub-byte
+	// engines never shard (they are full-range by construction), so scaled
+	// partials always cover [0, FullD) on their own; MergeScores still
+	// validates scale agreement for defense in depth. The slice aliases the
+	// engine's scorer — read-only.
+	Scales []float32
 }
 
 // Blocks returns the number of 256-column GEMM blocks in the shard's range.
@@ -185,6 +196,7 @@ func (e *Engine) ResizePartials(ps *PartialScores, n int) {
 	ps.N, ps.K = n, e.tail.classes()
 	ps.Lo, ps.Hi, ps.FullD = e.lo, e.lo+e.d, e.fullD
 	ps.Packed = e.tail.packedKernel()
+	ps.Scales = e.tail.scales()
 	if ps.Packed {
 		ps.Floats = ps.Floats[:0]
 		need := n * ps.K
@@ -265,10 +277,21 @@ func MergeScores(preds []int, scores []float64, parts []*PartialScores) error {
 	}
 	p0 := parts[0]
 	n, k, fullD := p0.N, p0.K, p0.FullD
+	if p0.Scales != nil && len(p0.Scales) != k {
+		return fmt.Errorf("engine: MergeScores scales length %d, want %d", len(p0.Scales), k)
+	}
 	for _, p := range parts {
 		if p.N != n || p.K != k || p.FullD != fullD || p.Packed != p0.Packed {
 			return fmt.Errorf("engine: MergeScores mismatched partials (N=%d/%d K=%d/%d FullD=%d/%d packed=%v/%v)",
 				p.N, n, p.K, k, p.FullD, fullD, p.Packed, p0.Packed)
+		}
+		if len(p.Scales) != len(p0.Scales) {
+			return fmt.Errorf("engine: MergeScores mixes scaled (%d) and unscaled (%d) partials", len(p.Scales), len(p0.Scales))
+		}
+		for j := range p.Scales {
+			if p.Scales[j] != p0.Scales[j] {
+				return fmt.Errorf("engine: MergeScores partials disagree on class %d scale", j)
+			}
 		}
 		if p.Packed {
 			if len(p.Ints) != n*k {
@@ -321,6 +344,17 @@ func MergeScores(preds []int, scores []float64, parts []*PartialScores) error {
 	}
 	if cursor != fullD {
 		return fmt.Errorf("engine: MergeScores partials cover [0, %d) of [0, %d)", cursor, fullD)
+	}
+	if p0.Scales != nil {
+		// Sub-byte kernel: dequantize the (exactly-summed) integer dots. The
+		// int32 dots convert to float64 exactly, so float64(scale)·float64(dot)
+		// is bit-identical to the engine's own ArgmaxScaledInto scoring.
+		for i := 0; i < n; i++ {
+			row := scores[i*k : (i+1)*k]
+			for c := 0; c < k; c++ {
+				row[c] *= float64(p0.Scales[c])
+			}
+		}
 	}
 	if preds != nil {
 		for i := 0; i < n; i++ {

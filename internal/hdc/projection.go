@@ -33,6 +33,14 @@ type Projection struct {
 	// loading unchanged.
 	ColOff int
 	FullD  int
+	// KeepBlocks, KeepBlock and KeepFullD describe a dimension-pruned
+	// projection built by GatherBlocks: this projection's columns are the
+	// concatenation of the listed KeepBlock-wide column blocks of the
+	// original [F, KeepFullD] matrix. KeepBlocks is nil on an unpruned
+	// projection.
+	KeepBlocks []int
+	KeepBlock  int
+	KeepFullD  int
 }
 
 // FullDim returns the dimension of the full (unsliced) projection this one
@@ -51,6 +59,9 @@ func (pr *Projection) FullDim() int {
 // Slicing a slice composes; offsets are tracked relative to the original
 // full projection.
 func (pr *Projection) Slice(lo, hi int) *Projection {
+	if pr.KeepBlocks != nil && !(lo == 0 && hi == pr.D) {
+		panic("hdc: Projection.Slice on a pruned projection")
+	}
 	if lo < 0 || hi > pr.D || lo >= hi {
 		panic(fmt.Sprintf("hdc: Projection.Slice [%d, %d) out of [0, %d)", lo, hi, pr.D))
 	}
@@ -96,17 +107,48 @@ func NewSeededProjection(seed int64, f, d int) *Projection {
 
 // Gen returns the defining generator of a seeded projection, nil otherwise.
 // For a dimension shard the generator is the matching column slice of the
-// full matrix's generator, so rematerialized panels reproduce exactly the
-// shard's columns.
+// full matrix's generator, and for a pruned projection the matching block
+// gather, so rematerialized panels reproduce exactly this projection's
+// columns.
 func (pr *Projection) Gen() *tensor.BipolarGen {
 	if !pr.Seeded {
 		return nil
+	}
+	if pr.KeepBlocks != nil {
+		g := tensor.NewBipolarGen(pr.Seed, pr.F, pr.KeepFullD)
+		return g.GatherBlocks(pr.KeepBlocks, pr.KeepBlock)
 	}
 	g := tensor.NewBipolarGen(pr.Seed, pr.F, pr.FullDim())
 	if pr.FullD != 0 {
 		g = g.SliceCols(pr.ColOff, pr.ColOff+pr.D)
 	}
 	return g
+}
+
+// GatherBlocks returns the dimension-pruned projection keeping the listed
+// ascending `block`-wide column blocks of pr (see
+// tensor.BipolarGen.GatherBlocks for the alignment contract). The dense and
+// packed forms are gathered copies; a seeded projection stays seeded, with
+// Gen() returning the gathered generator, so a pruned engine can still
+// rematerialize its surviving columns from the original seed. Pruning a
+// shard or an already-pruned projection is not supported — pruned engines
+// opt out of dimension sharding (the kept set breaks the contiguous [0, D)
+// tiling MergeScores validates).
+func (pr *Projection) GatherBlocks(keep []int, block int) *Projection {
+	if pr.FullD != 0 || pr.ColOff != 0 || pr.KeepBlocks != nil {
+		panic("hdc: Projection.GatherBlocks on a sharded or pruned projection")
+	}
+	p := tensor.GatherColBlocks(pr.P, keep, block)
+	return &Projection{
+		F: pr.F, D: p.Shape[1],
+		P:          p,
+		Packed:     NewPackedMatrix(p),
+		Seeded:     pr.Seeded,
+		Seed:       pr.Seed,
+		KeepBlocks: append([]int(nil), keep...),
+		KeepBlock:  block,
+		KeepFullD:  pr.D,
+	}
 }
 
 // Encode maps one feature vector to its hypervector. It returns both the

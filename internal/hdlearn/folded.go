@@ -144,3 +144,8 @@ func (s *FoldedScorer) PredictInto(hvs *tensor.Tensor, preds []int) {
 
 // ModelBytes is the folded snapshot's storage: K·D float32s.
 func (s *FoldedScorer) ModelBytes() int64 { return int64(s.K) * int64(s.D) * 4 }
+
+// Row exposes folded class row k (M̂_k, read-only): the per-dimension score
+// contributions that drive the compression pass's saliency metric and feed
+// the sub-byte row quantizers.
+func (s *FoldedScorer) Row(k int) []float32 { return s.mhat.Row(k) }

@@ -32,6 +32,10 @@ type Learner struct {
 	pool    *nn.MaxPool2D // nil when the input is too small to pool
 	flatten *nn.Flatten
 	fc      *nn.Linear
+	// fcDown is the truncated-SVD down-projection of a factorized learner
+	// (see Factorize); nil on an ordinary learner. When set, inference runs
+	// fcDown then fc and the learner is frozen (Backward panics).
+	fcDown *nn.Linear
 }
 
 // New constructs a manifold learner for features of the given shape.
@@ -73,6 +77,9 @@ func (l *Learner) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		y = l.pool.Forward(y, train)
 	}
 	y = l.flatten.Forward(y, train)
+	if l.fcDown != nil {
+		y = l.fcDown.Forward(y, false)
+	}
 	return l.fc.Forward(y, train)
 }
 
@@ -88,6 +95,9 @@ func (l *Learner) ForwardInfer(x *tensor.Tensor, ar *tensor.Arena) *tensor.Tenso
 		y = l.pool.ForwardInfer(y, ar)
 	}
 	y = l.flatten.ForwardInfer(y, ar)
+	if l.fcDown != nil {
+		y = l.fcDown.ForwardInfer(y, ar)
+	}
 	return l.fc.ForwardInfer(y, ar)
 }
 
@@ -116,7 +126,7 @@ func (l *Learner) FoldProjection(p *tensor.Tensor) (g *tensor.Tensor, c []float3
 	if p == nil || p.Rank() != 2 || p.Shape[0] != l.FHat {
 		return nil, nil, fmt.Errorf("manifold: FoldProjection projection shape mismatch (F̂=%d)", l.FHat)
 	}
-	w := l.fc.Weight.W // [F̂, PooledF]
+	w := l.fc.Weight.W // [F̂, PooledF]; [F̂, rank] when factorized
 	g = tensor.TransposeMatMul(w, p)
 	c = make([]float32, p.Shape[1])
 	if l.fc.Bias != nil {
@@ -130,6 +140,9 @@ func (l *Learner) FoldProjection(p *tensor.Tensor) (g *tensor.Tensor, c []float3
 // returning the gradient w.r.t. the (pre-pool) feature input. Callers that
 // freeze the CNN discard the return value.
 func (l *Learner) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if l.fcDown != nil {
+		panic("manifold: Backward on a factorized (inference-only) learner")
+	}
 	g := l.fc.Backward(grad)
 	g = l.flatten.Backward(g)
 	if l.pool != nil {
@@ -138,8 +151,14 @@ func (l *Learner) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	return g
 }
 
-// Params exposes the learnable parameters (the FC weights and bias).
-func (l *Learner) Params() []*nn.Param { return l.fc.Params() }
+// Params exposes the learnable parameters (the FC weights and bias; both
+// factors of a factorized learner, for byte accounting).
+func (l *Learner) Params() []*nn.Param {
+	if l.fcDown != nil {
+		return append(l.fcDown.Params(), l.fc.Params()...)
+	}
+	return l.fc.Params()
+}
 
 // ZeroGrad clears parameter gradients.
 func (l *Learner) ZeroGrad() {
@@ -152,6 +171,12 @@ func (l *Learner) ZeroGrad() {
 // convention; the FC contributes PooledF·F̂ MACs. This saving is the subject
 // of Fig. 5.
 func (l *Learner) Stats() nn.Stats {
+	if l.fcDown != nil {
+		s := l.fcDown.Stats([]int{l.PooledF})
+		s.Add(l.fc.Stats([]int{l.fcDown.Out}))
+		s.ActBytes += int64(l.PooledF) * 4
+		return s
+	}
 	s := l.fc.Stats([]int{l.PooledF})
 	s.ActBytes += int64(l.PooledF) * 4
 	return s

@@ -1,0 +1,144 @@
+package manifold
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"nshd/internal/tensor"
+)
+
+func testLearner(t *testing.T, seed int64, fhat int) *Learner {
+	t.Helper()
+	rng := tensor.NewRNG(seed)
+	l, err := New(rng, []int{4, 8, 8}, fhat) // PooledF = 4·4·4 = 64
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// TestFactorizeFullRankReconstructs: at rank = F̂ the factorization must
+// reproduce the dense FC output to float32 round-off.
+func TestFactorizeFullRankReconstructs(t *testing.T) {
+	l := testLearner(t, 5, 16)
+	f, err := l.Factorize(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Rank() != 16 || f.Down() == nil {
+		t.Fatalf("rank %d, down %v", f.Rank(), f.Down())
+	}
+	rng := rand.New(rand.NewSource(6))
+	x := tensor.New(3, 4, 8, 8)
+	for i := range x.Data {
+		x.Data[i] = float32(rng.NormFloat64())
+	}
+	want := l.Forward(x, false)
+	got := f.Forward(x, false)
+	var scale float64
+	for _, v := range want.Data {
+		if a := math.Abs(float64(v)); a > scale {
+			scale = a
+		}
+	}
+	for i := range want.Data {
+		if d := math.Abs(float64(got.Data[i] - want.Data[i])); d > 1e-4*scale {
+			t.Fatalf("flat %d: factorized %v vs dense %v (tol %v)", i, got.Data[i], want.Data[i], 1e-4*scale)
+		}
+	}
+}
+
+// TestFactorizeTruncationError: truncated rank reconstructs approximately,
+// and more rank means no worse Frobenius error.
+func TestFactorizeTruncationError(t *testing.T) {
+	l := testLearner(t, 7, 16)
+	w := l.fc.Weight.W
+	frob := func(rank int) float64 {
+		f, err := l.Factorize(rank)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Reconstruct W' = U·V and measure ‖W' − W‖².
+		u, v := f.fc.Weight.W, f.fcDown.Weight.W
+		var sum float64
+		for i := 0; i < l.FHat; i++ {
+			for tt := 0; tt < l.PooledF; tt++ {
+				var r float64
+				for j := 0; j < rank; j++ {
+					r += float64(u.Row(i)[j]) * float64(v.Row(j)[tt])
+				}
+				d := r - float64(w.Row(i)[tt])
+				sum += d * d
+			}
+		}
+		return sum
+	}
+	e4, e8, e16 := frob(4), frob(8), frob(16)
+	if !(e16 <= e8 && e8 <= e4) {
+		t.Fatalf("errors not monotone: r4=%v r8=%v r16=%v", e4, e8, e16)
+	}
+	if e16 > 1e-6 {
+		t.Fatalf("full-rank error %v", e16)
+	}
+}
+
+// TestFactorizeDeterminism: two factorizations of the same learner are
+// byte-identical.
+func TestFactorizeDeterminism(t *testing.T) {
+	l := testLearner(t, 9, 12)
+	a, err := l.Factorize(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := l.Factorize(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.fc.Weight.W.Data {
+		if a.fc.Weight.W.Data[i] != b.fc.Weight.W.Data[i] {
+			t.Fatalf("up factor differs at %d", i)
+		}
+	}
+	for i := range a.fcDown.Weight.W.Data {
+		if a.fcDown.Weight.W.Data[i] != b.fcDown.Weight.W.Data[i] {
+			t.Fatalf("down factor differs at %d", i)
+		}
+	}
+}
+
+func TestAutoRankGate(t *testing.T) {
+	// Xavier-initialized W is full-spectrum: AutoRank should either return 0
+	// or a rank that actually shrinks the parameter count.
+	l := testLearner(t, 11, 16)
+	if r := l.AutoRank(); r != 0 {
+		if int64(r)*int64(l.PooledF+l.FHat) >= int64(l.PooledF)*int64(l.FHat) {
+			t.Fatalf("AutoRank %d fails its own size gate", r)
+		}
+	}
+	// A rank-1 FC must auto-detect a tiny rank.
+	l2 := testLearner(t, 12, 16)
+	w := l2.fc.Weight.W
+	for i := 0; i < l2.FHat; i++ {
+		for j := 0; j < l2.PooledF; j++ {
+			w.Row(i)[j] = float32(i+1) * 0.01 * float32(j%7-3)
+		}
+	}
+	if r := l2.AutoRank(); r != 1 {
+		t.Fatalf("rank-1 matrix: AutoRank = %d", r)
+	}
+	// Factorized learners are frozen.
+	f, err := l2.Factorize(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Factorize(1); err == nil {
+		t.Fatal("re-factorize did not error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Backward on factorized learner did not panic")
+		}
+	}()
+	f.Backward(tensor.New(1, 16))
+}

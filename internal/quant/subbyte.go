@@ -1,0 +1,91 @@
+package quant
+
+import "math"
+
+// Sub-8-bit row quantizers for the compressed scorer (engine.Compress).
+// Both operate per class row — class hypervector magnitudes differ enough
+// that a per-tensor scale wastes most of a 4-bit grid — and both are
+// deterministic pure functions of the input row, which is what keeps
+// compressed engines bit-reproducible.
+
+// QuantizeInt4Row maps one float row to int4 [−7, 7] symmetric offset grid,
+// writing into dst and returning the scale (value ≈ scale · int4). An
+// all-zero row gets scale 1.
+func QuantizeInt4Row(dst []int8, row []float32) float32 {
+	if len(dst) < len(row) {
+		panic("quant: QuantizeInt4Row dst too short")
+	}
+	var maxAbs float32
+	for _, v := range row {
+		a := v
+		if a < 0 {
+			a = -a
+		}
+		if a > maxAbs {
+			maxAbs = a
+		}
+	}
+	scale := maxAbs / 7
+	if scale == 0 {
+		scale = 1
+	}
+	for i, v := range row {
+		r := math.Round(float64(v / scale))
+		if r > 7 {
+			r = 7
+		}
+		if r < -7 {
+			r = -7
+		}
+		dst[i] = int8(r)
+	}
+	return scale
+}
+
+// TernaryThresholdFactor sets the dead zone of the ternary quantizer: values
+// with |v| ≤ factor·mean|v| collapse to zero. 0.7·mean|v| is the standard
+// TWN threshold (it minimizes the ℓ2 reconstruction error for
+// approximately-normal weights), and the matching optimal scale is the mean
+// magnitude of the surviving values.
+const TernaryThresholdFactor = 0.7
+
+// QuantizeTernaryRow maps one float row to {−1, 0, +1}, writing into dst and
+// returning the scale (value ≈ scale · t). An all-zero row quantizes to all
+// zeros with scale 1.
+func QuantizeTernaryRow(dst []int8, row []float32) float32 {
+	if len(dst) < len(row) {
+		panic("quant: QuantizeTernaryRow dst too short")
+	}
+	var sumAbs float64
+	for _, v := range row {
+		sumAbs += math.Abs(float64(v))
+	}
+	if len(row) == 0 || sumAbs == 0 {
+		for i := range dst[:len(row)] {
+			dst[i] = 0
+		}
+		return 1
+	}
+	thresh := TernaryThresholdFactor * sumAbs / float64(len(row))
+	var keptAbs float64
+	kept := 0
+	for i, v := range row {
+		a := math.Abs(float64(v))
+		switch {
+		case a <= thresh:
+			dst[i] = 0
+		case v > 0:
+			dst[i] = 1
+			keptAbs += a
+			kept++
+		default:
+			dst[i] = -1
+			keptAbs += a
+			kept++
+		}
+	}
+	if kept == 0 {
+		return 1
+	}
+	return float32(keptAbs / float64(kept))
+}

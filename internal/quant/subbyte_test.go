@@ -1,0 +1,110 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestQuantizeInt4Row(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	row := make([]float32, 300)
+	for i := range row {
+		row[i] = float32(rng.NormFloat64())
+	}
+	dst := make([]int8, len(row))
+	scale := QuantizeInt4Row(dst, row)
+	if scale <= 0 {
+		t.Fatalf("scale = %v", scale)
+	}
+	var maxAbs float64
+	for i, v := range row {
+		if dst[i] < -7 || dst[i] > 7 {
+			t.Fatalf("dst[%d] = %d outside int4 range", i, dst[i])
+		}
+		if got := math.Round(float64(v / scale)); got <= 7 && got >= -7 && int8(got) != dst[i] {
+			t.Fatalf("dst[%d] = %d, want round(%v/%v) = %v", i, dst[i], v, scale, got)
+		}
+		if a := math.Abs(float64(v)); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if want := float32(maxAbs / 7); scale != want {
+		t.Fatalf("scale = %v, want maxabs/7 = %v", scale, want)
+	}
+
+	// Determinism: same row, same output.
+	dst2 := make([]int8, len(row))
+	if s2 := QuantizeInt4Row(dst2, row); s2 != scale {
+		t.Fatalf("second scale %v != %v", s2, scale)
+	}
+	for i := range dst {
+		if dst[i] != dst2[i] {
+			t.Fatalf("non-deterministic at %d", i)
+		}
+	}
+
+	// All-zero row: scale 1, all zeros.
+	zero := make([]float32, 8)
+	if s := QuantizeInt4Row(dst[:8], zero); s != 1 {
+		t.Fatalf("zero-row scale = %v", s)
+	}
+}
+
+func TestQuantizeTernaryRow(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	row := make([]float32, 500)
+	for i := range row {
+		row[i] = float32(rng.NormFloat64())
+	}
+	dst := make([]int8, len(row))
+	scale := QuantizeTernaryRow(dst, row)
+	if scale <= 0 {
+		t.Fatalf("scale = %v", scale)
+	}
+	var sumAbs float64
+	for _, v := range row {
+		sumAbs += math.Abs(float64(v))
+	}
+	thresh := TernaryThresholdFactor * sumAbs / float64(len(row))
+	var keptAbs float64
+	kept := 0
+	for i, v := range row {
+		a := math.Abs(float64(v))
+		switch {
+		case a <= thresh:
+			if dst[i] != 0 {
+				t.Fatalf("dst[%d] = %d for |v| %v ≤ τ %v", i, dst[i], a, thresh)
+			}
+		case v > 0:
+			if dst[i] != 1 {
+				t.Fatalf("dst[%d] = %d for v = %v > τ", i, dst[i], v)
+			}
+			keptAbs += a
+			kept++
+		default:
+			if dst[i] != -1 {
+				t.Fatalf("dst[%d] = %d for v = %v < −τ", i, dst[i], v)
+			}
+			keptAbs += a
+			kept++
+		}
+	}
+	if kept == 0 {
+		t.Fatal("threshold zeroed every value — bad test data")
+	}
+	if want := float32(keptAbs / float64(kept)); scale != want {
+		t.Fatalf("scale = %v, want mean kept magnitude %v", scale, want)
+	}
+
+	// All-zero row: scale 1, all zeros.
+	zero := make([]float32, 8)
+	if s := QuantizeTernaryRow(dst[:8], zero); s != 1 {
+		t.Fatalf("zero-row scale = %v", s)
+	}
+	for i := 0; i < 8; i++ {
+		if dst[i] != 0 {
+			t.Fatalf("zero-row dst[%d] = %d", i, dst[i])
+		}
+	}
+}

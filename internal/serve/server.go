@@ -234,6 +234,13 @@ func (s *Server) handlePartial(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
+	if sc.ps.Scales != nil {
+		// A compressed engine's sub-byte partials carry per-class scales the
+		// wire frame has no field for; such engines are full-range anyway —
+		// serve them through /predict.
+		http.Error(w, "serve: sub-byte partial scores are not wire-servable; use /predict", http.StatusNotImplemented)
+		return
+	}
 	served := version
 	if served == 0 {
 		served, _ = s.b.Versions()

@@ -1,0 +1,50 @@
+package tensor
+
+import "fmt"
+
+// GatherColBlocks returns a new tensor holding the kept column blocks of t,
+// concatenated in order: keep lists ascending block indices over t's
+// [0, Cols) grid of `block`-wide blocks (the last block may be ragged). This
+// is the dense-matrix counterpart of BipolarGen.GatherBlocks — the two agree
+// on which original column lands where, so a pruned engine's stored and
+// rematerialized projections stay bit-identical.
+func GatherColBlocks(t *Tensor, keep []int, block int) *Tensor {
+	if t.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: GatherColBlocks expects rank 2, got %v", t.Shape))
+	}
+	if block <= 0 {
+		panic("tensor: GatherColBlocks block must be positive")
+	}
+	rows, cols := t.Shape[0], t.Shape[1]
+	nb := (cols + block - 1) / block
+	var width int
+	prev := -1
+	for _, b := range keep {
+		if b <= prev || b >= nb {
+			panic(fmt.Sprintf("tensor: GatherColBlocks block %d not ascending in [0, %d)", b, nb))
+		}
+		prev = b
+		hi := (b + 1) * block
+		if hi > cols {
+			hi = cols
+		}
+		width += hi - b*block
+	}
+	if width == 0 {
+		panic("tensor: GatherColBlocks keeps no blocks")
+	}
+	out := New(rows, width)
+	for r := 0; r < rows; r++ {
+		src := t.Row(r)
+		dst := out.Row(r)
+		at := 0
+		for _, b := range keep {
+			lo, hi := b*block, (b+1)*block
+			if hi > cols {
+				hi = cols
+			}
+			at += copy(dst[at:], src[lo:hi])
+		}
+	}
+	return out
+}

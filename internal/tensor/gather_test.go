@@ -1,0 +1,60 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestGatherBlocksConsistency pins the gather contract: the gathered
+// generator, the gathered dense matrix, and the rematerialized panel GEMM all
+// reproduce exactly the kept columns of the parent, for aligned and ragged
+// final blocks and arbitrary kept subsets.
+func TestGatherBlocksConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	const block = 256
+	cases := []struct {
+		cols int
+		keep []int
+	}{
+		{cols: 1024, keep: []int{0, 1, 2, 3}},
+		{cols: 1024, keep: []int{1, 3}},
+		{cols: 1024, keep: []int{0}},
+		{cols: 1000, keep: []int{0, 3}}, // ragged final block kept
+		{cols: 1000, keep: []int{1, 2}}, // ragged final block dropped
+		{cols: 1000, keep: []int{3}},
+	}
+	for _, tc := range cases {
+		g := NewBipolarGen(1234, 7, tc.cols)
+		full := New(7, tc.cols)
+		g.FillInto(full)
+		want := GatherColBlocks(full, tc.keep, block)
+
+		gg := g.GatherBlocks(tc.keep, block)
+		if gg.Cols != want.Shape[1] {
+			t.Fatalf("cols=%d keep=%v: gathered gen cols %d, want %d", tc.cols, tc.keep, gg.Cols, want.Shape[1])
+		}
+		got := New(7, gg.Cols)
+		gg.FillInto(got)
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("cols=%d keep=%v: gathered gen differs from gathered dense at flat %d", tc.cols, tc.keep, i)
+			}
+		}
+
+		// Rematerialized panel GEMM over the gathered generator must match the
+		// serial GEMM over the gathered dense matrix bit-for-bit.
+		feats := New(3, 7)
+		for i := range feats.Data {
+			feats.Data[i] = rng.Float32()*2 - 1
+		}
+		wantOut := New(3, gg.Cols)
+		MatMulSerialInto(wantOut, feats, want, make([]float32, GemmScratch()))
+		gotOut := New(3, gg.Cols)
+		MatMulPanelsInto(gotOut, feats, RematPanels(gg), make([]float32, PanelScratch()))
+		for i := range wantOut.Data {
+			if gotOut.Data[i] != wantOut.Data[i] {
+				t.Fatalf("cols=%d keep=%v: remat GEMM differs at flat %d", tc.cols, tc.keep, i)
+			}
+		}
+	}
+}

@@ -1,5 +1,7 @@
 package tensor
 
+import "fmt"
+
 // Seeded bipolar generation. A BipolarGen defines a [Rows, Cols] ±1 matrix
 // purely as a function of a 64-bit seed: entry (r, c) is bit c%64 of a
 // splitmix64 counter stream evaluated at index r·⌈Cols/64⌉ + c/64. Because
@@ -18,6 +20,10 @@ type BipolarGen struct {
 	seed       uint64
 	wpr        int // 64-bit words per row of the FULL matrix: ⌈fullCols/64⌉
 	colOff     int // column offset into the full matrix (0 when unsliced)
+	// blockMap, when non-nil, gathers a pruned column subset: generated word
+	// wi is full-matrix word blockMap[wi] (see GatherBlocks). The map is
+	// word-granular, which is why pruning happens in 64-aligned blocks.
+	blockMap []int
 }
 
 // splitmixGamma is the Weyl-sequence increment of splitmix64.
@@ -53,10 +59,58 @@ func (g *BipolarGen) ColOff() int { return g.colOff }
 // its own columns from the same 8-byte seed — the basis of dimension-sharded
 // rematerialization. Slices of slices compose.
 func (g *BipolarGen) SliceCols(lo, hi int) *BipolarGen {
+	if lo == 0 && hi == g.Cols {
+		return g
+	}
+	if g.blockMap != nil {
+		panic("tensor: BipolarGen.SliceCols on a gathered generator")
+	}
 	if lo < 0 || hi > g.Cols || lo >= hi {
 		panic("tensor: BipolarGen.SliceCols range out of bounds")
 	}
 	return &BipolarGen{Rows: g.Rows, Cols: hi - lo, seed: g.seed, wpr: g.wpr, colOff: g.colOff + lo}
+}
+
+// GatherBlocks returns a generator for the concatenation of the kept column
+// blocks of g: keep lists ascending block indices over g's [0, Cols) grid of
+// `block`-wide blocks (block a multiple of 64, so every kept block starts on
+// a word boundary), and entry (r, c) of the result is bit-identical to g's
+// entry in the corresponding original column. Only the final original block
+// may be ragged, and ascending order keeps it last, so the gathered matrix's
+// one partial word is its last — exactly the invariant the panel kernels and
+// sign-packing already handle. This is what lets a dimension-pruned engine
+// keep rematerializing its surviving projection columns from the original
+// 8-byte seed plus the block list.
+func (g *BipolarGen) GatherBlocks(keep []int, block int) *BipolarGen {
+	if g.colOff != 0 || g.blockMap != nil {
+		panic("tensor: BipolarGen.GatherBlocks on a sliced or gathered generator")
+	}
+	if block <= 0 || block%64 != 0 {
+		panic("tensor: BipolarGen.GatherBlocks block must be a positive multiple of 64")
+	}
+	nb := (g.Cols + block - 1) / block
+	var cols int
+	var bm []int
+	prev := -1
+	for _, b := range keep {
+		if b <= prev || b >= nb {
+			panic(fmt.Sprintf("tensor: BipolarGen.GatherBlocks block %d not ascending in [0, %d)", b, nb))
+		}
+		prev = b
+		lo := b * block
+		hi := lo + block
+		if hi > g.Cols {
+			hi = g.Cols
+		}
+		cols += hi - lo
+		for w := lo >> 6; w < (hi+63)>>6; w++ {
+			bm = append(bm, w)
+		}
+	}
+	if cols == 0 {
+		panic("tensor: BipolarGen.GatherBlocks keeps no blocks")
+	}
+	return &BipolarGen{Rows: g.Rows, Cols: cols, seed: g.seed, wpr: g.wpr, blockMap: bm}
 }
 
 // rawWord is splitmix64's output function on the per-(row, word) counter of
@@ -77,6 +131,9 @@ func (g *BipolarGen) rawWord(r, wi int) uint64 {
 // evaluation; a slice whose offset is not word-aligned synthesizes the word
 // from the two straddled full-matrix words.
 func (g *BipolarGen) word(r, wi int) uint64 {
+	if g.blockMap != nil {
+		return g.rawWord(r, g.blockMap[wi])
+	}
 	if g.colOff == 0 {
 		return g.rawWord(r, wi)
 	}

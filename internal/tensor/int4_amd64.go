@@ -1,0 +1,9 @@
+package tensor
+
+// int4SignDotAsm is the AVX2 int4×bipolar row dot (see int4_amd64.s); gated
+// by useGemmAsm like the float micro-kernels. nw must be ≥ 1 with nw·32 nib
+// bytes and nw query words addressable. Bit-identical to int4SignDotGo: both
+// compute the same exact integer.
+//
+//go:noescape
+func int4SignDotAsm(nw int, nib *byte, q *uint64) int32

@@ -1,0 +1,115 @@
+#include "textflag.h"
+
+// Constants for int4SignDotAsm. VPSHUFB indexes within 128-bit lanes and
+// VPBROADCASTQ replicates the query word into both lanes, so the lo shuffle
+// spreads query bytes 0..3 (bits 0..31) and the hi shuffle bytes 4..7
+// (bits 32..63), eight copies each — one per bit-select byte.
+DATA int4ShufLo<>+0(SB)/8, $0x0000000000000000
+DATA int4ShufLo<>+8(SB)/8, $0x0101010101010101
+DATA int4ShufLo<>+16(SB)/8, $0x0202020202020202
+DATA int4ShufLo<>+24(SB)/8, $0x0303030303030303
+GLOBL int4ShufLo<>(SB), RODATA|NOPTR, $32
+
+DATA int4ShufHi<>+0(SB)/8, $0x0404040404040404
+DATA int4ShufHi<>+8(SB)/8, $0x0505050505050505
+DATA int4ShufHi<>+16(SB)/8, $0x0606060606060606
+DATA int4ShufHi<>+24(SB)/8, $0x0707070707070707
+GLOBL int4ShufHi<>(SB), RODATA|NOPTR, $32
+
+DATA int4BitSel<>+0(SB)/8, $0x8040201008040201
+DATA int4BitSel<>+8(SB)/8, $0x8040201008040201
+DATA int4BitSel<>+16(SB)/8, $0x8040201008040201
+DATA int4BitSel<>+24(SB)/8, $0x8040201008040201
+GLOBL int4BitSel<>(SB), RODATA|NOPTR, $32
+
+DATA int4Nib<>+0(SB)/8, $0x0F0F0F0F0F0F0F0F
+DATA int4Nib<>+8(SB)/8, $0x0F0F0F0F0F0F0F0F
+DATA int4Nib<>+16(SB)/8, $0x0F0F0F0F0F0F0F0F
+DATA int4Nib<>+24(SB)/8, $0x0F0F0F0F0F0F0F0F
+GLOBL int4Nib<>(SB), RODATA|NOPTR, $32
+
+DATA int4Eight<>+0(SB)/8, $0x0808080808080808
+DATA int4Eight<>+8(SB)/8, $0x0808080808080808
+DATA int4Eight<>+16(SB)/8, $0x0808080808080808
+DATA int4Eight<>+24(SB)/8, $0x0808080808080808
+GLOBL int4Eight<>(SB), RODATA|NOPTR, $32
+
+DATA int4Ones<>+0(SB)/8, $0x0001000100010001
+DATA int4Ones<>+8(SB)/8, $0x0001000100010001
+DATA int4Ones<>+16(SB)/8, $0x0001000100010001
+DATA int4Ones<>+24(SB)/8, $0x0001000100010001
+GLOBL int4Ones<>(SB), RODATA|NOPTR, $32
+
+// func int4SignDotAsm(nw int, nib *byte, q *uint64) int32
+//
+// One packed int4 row against one sign-packed bipolar query, 64 dimensions
+// per iteration: the query word is broadcast and expanded into two 32-byte
+// ±select masks (0xFF where the query dimension is −1), the 32 packed bytes
+// are split into the lo/hi nibble planes and re-biased to [−8, 7]... the
+// stored offset is +8 so values land in [−7, 7], and each plane is
+// conditionally negated with the xor-subtract identity (x ⊕ m) − m before
+// sign-extending into two int16 accumulators. Exact integer arithmetic
+// throughout; int16 lanes bound the row dimension to < 2^17 (each lane
+// absorbs ≤ 16 per group). Padding nibbles encode 0 and query tail bits are
+// zero, so ragged rows need no masking.
+TEXT ·int4SignDotAsm(SB), NOSPLIT, $0-28
+	MOVQ nw+0(FP), CX
+	MOVQ nib+8(FP), DI
+	MOVQ q+16(FP), SI
+
+	VMOVDQU int4ShufLo<>(SB), Y8
+	VMOVDQU int4ShufHi<>(SB), Y9
+	VMOVDQU int4BitSel<>(SB), Y10
+	VMOVDQU int4Nib<>(SB), Y11
+	VMOVDQU int4Eight<>(SB), Y3
+	VPXOR Y12, Y12, Y12 // lo-plane int16 accumulator
+	VPXOR Y13, Y13, Y13 // hi-plane int16 accumulator
+
+gloop:
+	VPBROADCASTQ (SI), Y4
+	VPSHUFB Y8, Y4, Y5
+	VPAND Y10, Y5, Y5
+	VPCMPEQB Y10, Y5, Y5 // maskLo: 0xFF where query bit 0..31 set
+	VPSHUFB Y9, Y4, Y6
+	VPAND Y10, Y6, Y6
+	VPCMPEQB Y10, Y6, Y6 // maskHi: 0xFF where query bit 32..63 set
+
+	VMOVDQU (DI), Y7
+	VPAND Y11, Y7, Y0 // lo nibbles
+	VPSUBB Y3, Y0, Y0 // − offset → [−7, 7]
+	VPSRLW $4, Y7, Y1
+	VPAND Y11, Y1, Y1 // hi nibbles
+	VPSUBB Y3, Y1, Y1
+
+	VPXOR Y5, Y0, Y0
+	VPSUBB Y5, Y0, Y0 // negate lo plane where the query is −1
+	VPXOR Y6, Y1, Y1
+	VPSUBB Y6, Y1, Y1 // negate hi plane
+
+	VPMOVSXBW X0, Y2
+	VPADDW Y2, Y12, Y12
+	VEXTRACTI128 $1, Y0, X2
+	VPMOVSXBW X2, Y2
+	VPADDW Y2, Y12, Y12
+	VPMOVSXBW X1, Y2
+	VPADDW Y2, Y13, Y13
+	VEXTRACTI128 $1, Y1, X2
+	VPMOVSXBW X2, Y2
+	VPADDW Y2, Y13, Y13
+
+	ADDQ $8, SI
+	ADDQ $32, DI
+	DECQ CX
+	JNE  gloop
+
+	VPADDW Y13, Y12, Y12
+	VMOVDQU int4Ones<>(SB), Y2
+	VPMADDWD Y2, Y12, Y0
+	VEXTRACTI128 $1, Y0, X1
+	VPADDD X1, X0, X0
+	VPHADDD X0, X0, X0
+	VPHADDD X0, X0, X0
+	VZEROUPPER
+	MOVQ X0, AX
+	MOVL AX, ret+24(FP)
+	RET

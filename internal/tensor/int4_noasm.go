@@ -1,0 +1,7 @@
+//go:build !amd64
+
+package tensor
+
+func int4SignDotAsm(nw int, nib *byte, q *uint64) int32 {
+	panic("tensor: int4SignDotAsm requires amd64")
+}

@@ -1,0 +1,136 @@
+package tensor
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+)
+
+// Sub-8-bit scoring kernels: the compressed serving engine's classifier
+// arithmetic. Both kernels score a BIPOLAR query (±1 per dimension) that the
+// fused tail has already sign-packed into uint64 words (bit set = −1, tail
+// bits of the last word zero = +1, matching PackSignsInto) against a class
+// row stored below int8:
+//
+//   - int4: weights w ∈ [−7, 7] packed two nibbles per byte in offset-binary
+//     (stored nibble = w+8). The dot Σ_d sign_d·w_d runs "unpacked in
+//     register": the Go kernel is a SWAR loop that masks the selected
+//     (negative-sign) nibbles of eight packed bytes at a time inside one
+//     uint64 and horizontal-adds them with a multiply, never materializing
+//     int8 values; the amd64 kernel expands the query word into ±1 byte
+//     masks with shuffles and sign-flips 64 weights per 32-byte load. Both
+//     are exact integer arithmetic, so they agree bit-for-bit with the naive
+//     nibble-decode reference (TestInt4SignDot*).
+//
+//   - ternary {−1, 0, +1}: sign words + zero-mask words, scored as
+//     nnz − 2·popcount((q ⊕ sign) & mask) — the PR 1 packed popcount path
+//     extended with a per-row sparsity mask.
+//
+// Per-row float32 scales (chosen by internal/quant) turn the integer dots
+// back into comparable class scores; the kernels themselves stay integer.
+
+// Int4 pack layout: dimensions are grouped 64 per query word; each group
+// occupies 32 bytes. Byte i of group g holds dimension g·64+i in its LOW
+// nibble and dimension g·64+32+i in its HIGH nibble (plane-separated, so the
+// amd64 kernel's lo/hi nibble vectors line up with contiguous query bits).
+// Nibbles are offset-binary (value+8); padding dimensions ≥ d encode 8
+// (value 0), so they contribute nothing regardless of the query's tail bits.
+
+// Int4BytesPerWord is the packed row bytes covering one 64-dimension query
+// word.
+const Int4BytesPerWord = 32
+
+// Int4Pack packs vals (int4 range [−7, 7], length d) into the kernel layout.
+// dst must hold ⌈d/64⌉·Int4BytesPerWord bytes.
+func Int4Pack(dst []byte, vals []int8) {
+	nw := (len(vals) + 63) / 64
+	if len(dst) < nw*Int4BytesPerWord {
+		panic(fmt.Sprintf("tensor: Int4Pack dst %d bytes, want %d", len(dst), nw*Int4BytesPerWord))
+	}
+	dst = dst[:nw*Int4BytesPerWord]
+	for i := range dst {
+		dst[i] = 0x88 // both nibbles encode value 0
+	}
+	for d, v := range vals {
+		if v < -7 || v > 7 {
+			panic(fmt.Sprintf("tensor: Int4Pack value %d at %d outside [-7, 7]", v, d))
+		}
+		nib := byte(v + 8)
+		b := (d>>6)*Int4BytesPerWord + d&31
+		if d&63 < 32 {
+			dst[b] = dst[b]&0xF0 | nib
+		} else {
+			dst[b] = dst[b]&0x0F | nib<<4
+		}
+	}
+}
+
+// int4Spread maps 8 query bits to a nibble-select mask: bit i set → nibble
+// 0x0F at byte i of the uint64.
+var int4Spread = func() (lut [256]uint64) {
+	for b := range lut {
+		var m uint64
+		for i := 0; i < 8; i++ {
+			if b>>i&1 == 1 {
+				m |= 0x0F << (8 * i)
+			}
+		}
+		lut[b] = m
+	}
+	return
+}()
+
+// Int4SignDot returns Σ_d sign_d · w_d for one packed int4 row against one
+// sign-packed bipolar query: nib holds len(q) groups of Int4BytesPerWord
+// bytes (see Int4Pack), q's tail bits past the row's true dimension are zero,
+// and rowSum is Σ_d w_d (precomputed once per row at pack time). The total
+// dimension must stay below 2^17 (the amd64 kernel accumulates in int16).
+func Int4SignDot(nib []byte, q []uint64, rowSum int32) int32 {
+	if len(q) == 0 {
+		return 0
+	}
+	if len(nib) < len(q)*Int4BytesPerWord {
+		panic(fmt.Sprintf("tensor: Int4SignDot nib %d bytes for %d words", len(nib), len(q)))
+	}
+	if useGemmAsm {
+		return int4SignDotAsm(len(q), &nib[0], &q[0])
+	}
+	return int4SignDotGo(nib, q, rowSum)
+}
+
+// int4SignDotGo is the portable SWAR kernel: dot = rowSum − 2·Σ_{set bits} w.
+// Each uint64 load holds 16 selected nibbles summed into 8 byte lanes (lane
+// value ≤ 2·15 = 30, byte total ≤ 240 — the multiply-shift horizontal add
+// needs < 256, so the collapse happens per load); the −8 offsets cancel
+// through 8·popcount(q).
+func int4SignDotGo(nib []byte, q []uint64, rowSum int32) int32 {
+	var selNib, pc int64
+	for g, qw := range q {
+		base := g * Int4BytesPerWord
+		for j := 0; j < 4; j++ {
+			u := binary.LittleEndian.Uint64(nib[base+8*j:])
+			mask := int4Spread[qw>>(8*j)&0xFF] | int4Spread[qw>>(32+8*j)&0xFF]<<4
+			sel := u & mask
+			bsum := sel&0x0F0F0F0F0F0F0F0F + sel>>4&0x0F0F0F0F0F0F0F0F
+			selNib += int64(bsum * 0x0101010101010101 >> 56)
+		}
+		pc += int64(bits.OnesCount64(qw))
+	}
+	// Σ_{set} w = Σ_{set} (nib − 8) = selNib − 8·popcount.
+	return rowSum - 2*int32(selNib-8*pc)
+}
+
+// TernarySignDot returns Σ_d sign_d · t_d for one ternary row against a
+// sign-packed bipolar query: t_d = ±1 where msk bit d is set (sgn bit set =
+// −1), 0 elsewhere; nnz is the row's popcount(msk), precomputed. Mask bits
+// past the true dimension must be zero (the query's tail bits need not be).
+func TernarySignDot(sgn, msk, q []uint64, nnz int32) int32 {
+	if len(sgn) < len(q) || len(msk) < len(q) {
+		panic(fmt.Sprintf("tensor: TernarySignDot row words %d/%d for %d query words", len(sgn), len(msk), len(q)))
+	}
+	ham := 0
+	for w, qw := range q {
+		ham += bits.OnesCount64((qw ^ sgn[w]) & msk[w])
+	}
+	return nnz - 2*int32(ham)
+}

@@ -1,0 +1,249 @@
+package tensor
+
+import (
+	"math/bits"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// naiveInt4SignDot decodes the packed nibbles and folds the sign-packed query
+// the slow, obvious way — the bit-exactness reference for both kernels.
+func naiveInt4SignDot(nib []byte, q []uint64, d int) int32 {
+	var dot int32
+	for i := 0; i < d; i++ {
+		b := nib[(i>>6)*Int4BytesPerWord+i&31]
+		var v int32
+		if i&63 < 32 {
+			v = int32(b&0x0F) - 8
+		} else {
+			v = int32(b>>4) - 8
+		}
+		sign := int32(1)
+		if q[i>>6]>>(uint(i)&63)&1 == 1 {
+			sign = -1
+		}
+		dot += sign * v
+	}
+	return dot
+}
+
+func randSubByteRow(rng *rand.Rand, d int) (vals []int8, q []uint64, rowSum int32) {
+	vals = make([]int8, d)
+	for i := range vals {
+		vals[i] = int8(rng.Intn(15) - 7)
+		rowSum += int32(vals[i])
+	}
+	nw := (d + 63) / 64
+	q = make([]uint64, nw)
+	for i := range q {
+		q[i] = rng.Uint64()
+	}
+	if d%64 != 0 {
+		q[nw-1] &= 1<<(uint(d)%64) - 1 // query tail bits are zero per contract
+	}
+	return vals, q, rowSum
+}
+
+func TestInt4SignDotMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	dims := []int{1, 31, 64, 65, 127, 128, 192, 250, 256, 1000, 3000}
+	for _, d := range dims {
+		for trial := 0; trial < 20; trial++ {
+			vals, q, rowSum := randSubByteRow(rng, d)
+			nib := make([]byte, len(q)*Int4BytesPerWord)
+			Int4Pack(nib, vals)
+			want := naiveInt4SignDot(nib, q, d)
+			if got := Int4SignDot(nib, q, rowSum); got != want {
+				t.Fatalf("d=%d trial=%d: Int4SignDot=%d naive=%d", d, trial, got, want)
+			}
+			if got := int4SignDotGo(nib, q, rowSum); got != want {
+				t.Fatalf("d=%d trial=%d: int4SignDotGo=%d naive=%d", d, trial, got, want)
+			}
+		}
+	}
+}
+
+func TestInt4SignDotAsmMatchesGo(t *testing.T) {
+	if !useGemmAsm {
+		t.Skip("no AVX2 kernel on this machine")
+	}
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		d := 1 + rng.Intn(4096)
+		vals, q, rowSum := randSubByteRow(rng, d)
+		nib := make([]byte, len(q)*Int4BytesPerWord)
+		Int4Pack(nib, vals)
+		want := int4SignDotGo(nib, q, rowSum)
+		if got := int4SignDotAsm(len(q), &nib[0], &q[0]); got != want {
+			t.Fatalf("d=%d trial=%d: asm=%d go=%d", d, trial, got, want)
+		}
+	}
+}
+
+func TestInt4SignDotExtremes(t *testing.T) {
+	// All-(+7) row vs all-(−1) query at a dimension large enough to stress the
+	// int16 accumulators well past one block (16·7 per lane per group would
+	// overflow at ~4681 groups; the documented bound is D < 2^17).
+	const d = 1 << 16
+	vals := make([]int8, d)
+	for i := range vals {
+		vals[i] = 7
+	}
+	q := make([]uint64, d/64)
+	for i := range q {
+		q[i] = ^uint64(0)
+	}
+	nib := make([]byte, len(q)*Int4BytesPerWord)
+	Int4Pack(nib, vals)
+	if got := Int4SignDot(nib, q, 7*d); got != -7*d {
+		t.Fatalf("all-max negative dot = %d, want %d", got, -7*d)
+	}
+	for i := range q {
+		q[i] = 0
+	}
+	if got := Int4SignDot(nib, q, 7*d); got != 7*d {
+		t.Fatalf("all-max positive dot = %d, want %d", got, 7*d)
+	}
+}
+
+func TestInt4PackRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for _, d := range []int{1, 63, 64, 100, 129} {
+		vals := make([]int8, d)
+		for i := range vals {
+			vals[i] = int8(rng.Intn(15) - 7)
+		}
+		nib := make([]byte, (d+63)/64*Int4BytesPerWord)
+		Int4Pack(nib, vals)
+		for i, v := range vals {
+			b := nib[(i>>6)*Int4BytesPerWord+i&31]
+			var got int8
+			if i&63 < 32 {
+				got = int8(b&0x0F) - 8
+			} else {
+				got = int8(b>>4) - 8
+			}
+			if got != v {
+				t.Fatalf("d=%d dim %d: decoded %d, want %d", d, i, got, v)
+			}
+		}
+		// Padding dims encode 0 so the tail contributes nothing.
+		for i := d; i < len(nib)*2; i++ {
+			b := nib[(i>>6)*Int4BytesPerWord+i&31]
+			var got int8
+			if i&63 < 32 {
+				got = int8(b&0x0F) - 8
+			} else {
+				got = int8(b>>4) - 8
+			}
+			if got != 0 {
+				t.Fatalf("d=%d padding dim %d decodes to %d, want 0", d, i, got)
+			}
+		}
+	}
+}
+
+func naiveTernarySignDot(sgn, msk, q []uint64, d int) int32 {
+	var dot int32
+	for i := 0; i < d; i++ {
+		w, b := i>>6, uint(i)&63
+		if msk[w]>>b&1 == 0 {
+			continue
+		}
+		v := int32(1)
+		if sgn[w]>>b&1 == 1 {
+			v = -1
+		}
+		if q[w]>>b&1 == 1 {
+			v = -v
+		}
+		dot += v
+	}
+	return dot
+}
+
+func TestTernarySignDotMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, d := range []int{1, 64, 100, 256, 1000, 3000} {
+		for trial := 0; trial < 20; trial++ {
+			nw := (d + 63) / 64
+			sgn := make([]uint64, nw)
+			msk := make([]uint64, nw)
+			q := make([]uint64, nw)
+			var nnz int32
+			for i := range sgn {
+				sgn[i] = rng.Uint64()
+				msk[i] = rng.Uint64() & rng.Uint64() // ~25% dense
+				q[i] = rng.Uint64()
+			}
+			if d%64 != 0 {
+				msk[nw-1] &= 1<<(uint(d)%64) - 1 // mask tail must be zero
+			}
+			for i := range msk {
+				nnz += int32(bits.OnesCount64(msk[i]))
+			}
+			want := naiveTernarySignDot(sgn, msk, q, d)
+			if got := TernarySignDot(sgn, msk, q, nnz); got != want {
+				t.Fatalf("d=%d trial=%d: TernarySignDot=%d naive=%d", d, trial, got, want)
+			}
+		}
+	}
+}
+
+// TestSubByteDotsParallel re-runs the same rows from many goroutines: the
+// kernels are pure reads over shared packed rows, so every result must match
+// the serial answer (exercised under -race by make check).
+func TestSubByteDotsParallel(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	const d, rows = 2048, 16
+	type row struct {
+		nib      []byte
+		sgn, msk []uint64
+		rowSum   int32
+		nnz      int32
+	}
+	rs := make([]row, rows)
+	q := make([]uint64, d/64)
+	for i := range q {
+		q[i] = rng.Uint64()
+	}
+	wantI4 := make([]int32, rows)
+	wantT := make([]int32, rows)
+	for r := range rs {
+		vals, _, rowSum := randSubByteRow(rng, d)
+		nib := make([]byte, d/64*Int4BytesPerWord)
+		Int4Pack(nib, vals)
+		sgn := make([]uint64, d/64)
+		msk := make([]uint64, d/64)
+		var nnz int32
+		for i := range sgn {
+			sgn[i] = rng.Uint64()
+			msk[i] = rng.Uint64() | rng.Uint64()
+			nnz += int32(bits.OnesCount64(msk[i]))
+		}
+		rs[r] = row{nib: nib, sgn: sgn, msk: msk, rowSum: rowSum, nnz: nnz}
+		wantI4[r] = Int4SignDot(nib, q, rowSum)
+		wantT[r] = TernarySignDot(sgn, msk, q, nnz)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 50; rep++ {
+				for r := range rs {
+					if got := Int4SignDot(rs[r].nib, q, rs[r].rowSum); got != wantI4[r] {
+						t.Errorf("parallel Int4SignDot row %d: %d != %d", r, got, wantI4[r])
+						return
+					}
+					if got := TernarySignDot(rs[r].sgn, rs[r].msk, q, rs[r].nnz); got != wantT[r] {
+						t.Errorf("parallel TernarySignDot row %d: %d != %d", r, got, wantT[r])
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
