@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race alloc bench perf bench-train bench-serve perf-serve bench-quant perf-quant bench-tail perf-tail bench-router perf-router bench-compress perf-compress
+.PHONY: check vet build test race alloc bench perf bench-train bench-serve perf-serve bench-quant perf-quant bench-tail perf-tail bench-router perf-router bench-compress perf-compress bench-latency perf-latency
 
 # The full gate: what CI (and any PR) must keep green.
 check: vet build test race alloc
@@ -9,7 +9,9 @@ check: vet build test race alloc
 # steady state (AllocsPerRun == 0 for both classifier kernels and for every
 # tail strategy — fused, remat, folded and staged; see
 # TestEngineZeroAlloc / TestEngineZeroAllocTailModes — and for the compressed
-# int4/ternary predict path, TestEngineZeroAllocCompressed, which rides the
+# int4/ternary predict path, TestEngineZeroAllocCompressed, plus the batch-1
+# latency shape across every tail mode × kernel and the implicit-GEMM conv
+# path, TestEngineZeroAllocBatch1*; all ride the
 # same -run prefix), and so must the
 # router's fan-out hot path (frame encode, partial decode, score merge; see
 # TestRouterZeroAlloc).
@@ -96,3 +98,14 @@ bench-compress:
 # Regenerate the committed compression baseline.
 perf-compress:
 	$(GO) run ./cmd/nshd-bench -perf-compress BENCH_PR8.json
+
+# Re-run the batch-1 serving-latency benchmarks (implicit-GEMM conv,
+# prepacked projection strips, vectorized popcount scoring; p50/p99 per tail
+# mode × classifier kernel plus per-stage rows) and diff against the
+# committed BENCH_PR9.json baseline.
+bench-latency:
+	$(GO) run ./cmd/nshd-bench -perf-latency /tmp/nshd_bench_latency.json -perf-latency-baseline BENCH_PR9.json
+
+# Regenerate the committed batch-1 latency baseline.
+perf-latency:
+	$(GO) run ./cmd/nshd-bench -perf-latency BENCH_PR9.json

@@ -26,6 +26,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers debug handlers on DefaultServeMux, served only via -pprof
 	"os"
 	"os/signal"
 	"strings"
@@ -45,8 +46,17 @@ func main() {
 		eject   = flag.Int("eject-after", 3, "consecutive failures before a replica is ejected")
 		cooloff = flag.Duration("eject-cooloff", 2*time.Second, "how long an ejected replica is deprioritized")
 		hedge   = flag.Duration("hedge", 0, "hedge a slow shard attempt onto another replica after this delay (0 disables)")
+		pprofA  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); disabled when empty")
 	)
 	flag.Parse()
+	if *pprofA != "" {
+		go func(addr string) {
+			log.Printf("pprof: listening on %s", addr)
+			if err := http.ListenAndServe(addr, nil); err != nil {
+				log.Printf("pprof: %v", err)
+			}
+		}(*pprofA)
+	}
 	if *shards == "" {
 		log.Fatal("-shards is required, e.g. -shards http://127.0.0.1:9000,http://127.0.0.1:9001")
 	}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers debug handlers on DefaultServeMux, served only via -pprof
 	"os"
 	"os/signal"
 	"syscall"
@@ -43,8 +44,10 @@ func main() {
 		queueCap = flag.Int("queue", 0, "admission queue capacity in requests (0 = 4×max-batch)")
 		timeout  = flag.Duration("timeout", 10*time.Second, "per-request timeout (0 disables)")
 		shardArg = flag.String("shard", "", "serve dimension shard i of S as \"i/S\" (e.g. 0/4); empty serves the full model")
+		pprofArg = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); disabled when empty")
 	)
 	flag.Parse()
+	startPprof(*pprofArg)
 
 	if (*model == "") == !*demo {
 		log.Fatal("exactly one of -model or -demo is required")
@@ -174,4 +177,19 @@ func demoPipeline() (*core.Pipeline, error) {
 	p.HD.InitBundle(signed, train.Labels)
 	fmt.Fprintln(os.Stderr, "demo model: mobilenetv2 cut=1, bundled class hypervectors (not retrained)")
 	return p, nil
+}
+
+// startPprof serves net/http/pprof's DefaultServeMux handlers on a separate
+// listener, keeping the debug surface off the service port. No-op when addr
+// is empty (the default).
+func startPprof(addr string) {
+	if addr == "" {
+		return
+	}
+	go func() {
+		log.Printf("pprof: listening on %s", addr)
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			log.Printf("pprof: %v", err)
+		}
+	}()
 }

@@ -113,19 +113,24 @@ func (flattenStage) Run(x *tensor.Tensor, ar *tensor.Arena) *tensor.Tensor {
 }
 
 // projectStage runs a binary random projection (the LSH reduction or Φ_P),
-// keeping only the signed output.
+// keeping only the signed output. The operand is frozen at Compile, so it is
+// prepacked once into GEMM panel form: per-call products skip the panel
+// packing pass entirely (at batch 1 that pass dominates the projection GEMM)
+// and need no panel scratch.
 type projectStage struct {
-	name string
-	pr   *hdc.Projection
+	name   string
+	pr     *hdc.Projection
+	panels *tensor.ProjPanels
+}
+
+func newProjectStage(name string, pr *hdc.Projection) projectStage {
+	return projectStage{name, pr, pr.PrepackedPanels()}
 }
 
 func (s projectStage) Name() string { return s.name }
 func (s projectStage) Run(x *tensor.Tensor, ar *tensor.Arena) *tensor.Tensor {
 	out := ar.Alloc(x.Shape[0], s.pr.D)
-	m := ar.Mark()
-	scratch := ar.Floats(tensor.GemmScratch())
-	s.pr.EncodeBatchInto(x, out, out, scratch)
-	ar.Release(m)
+	s.pr.EncodeBatchPanelsInto(x, out, out, s.panels)
 	return out
 }
 
@@ -258,13 +263,13 @@ func compileResolved(p *core.Pipeline, lo, hi int, o compileOptions) (*Engine, e
 		case p.Manifold != nil:
 			e.stages = append(e.stages, manifoldStage{p.Manifold})
 		case p.LSH != nil:
-			e.stages = append(e.stages, flattenStage{}, projectStage{"lsh", p.LSH})
+			e.stages = append(e.stages, flattenStage{}, newProjectStage("lsh", p.LSH))
 		default:
 			e.stages = append(e.stages, flattenStage{})
 		}
 	}
 	if o.stagedTail {
-		e.stages = append(e.stages, projectStage{"project", p.Proj.Slice(lo, hi)})
+		e.stages = append(e.stages, newProjectStage("project", p.Proj.Slice(lo, hi)))
 		t := &stagedTail{d: hi - lo, lo: lo, fullD: p.Cfg.D}
 		if sub := subScorer(p, &o); sub != nil {
 			t.sub = sub
@@ -619,7 +624,9 @@ func stageWeightBytes(st Stage) int64 {
 	case manifoldStage:
 		return paramBytes(s.ml.Params())
 	case projectStage:
-		return s.pr.MemoryBytes(false)
+		// The engine-resident operand is the prepacked panel copy, not the
+		// pipeline's dense matrix.
+		return s.panels.MemoryBytes()
 	case int8Stage:
 		var total int64
 		for _, sg := range s.segs {

@@ -458,7 +458,7 @@ func (e *Engine) buildInt8Stages(p *core.Pipeline, o *compileOptions) error {
 	case p.Manifold != nil:
 		e.stages = append(e.stages, int8Stage{name: "manifold", segs: buildSegments(units[ne:], qp[ne:], &st)})
 	case p.LSH != nil:
-		e.stages = append(e.stages, flattenStage{}, projectStage{"lsh", p.LSH})
+		e.stages = append(e.stages, flattenStage{}, newProjectStage("lsh", p.LSH))
 	default:
 		e.stages = append(e.stages, flattenStage{})
 	}

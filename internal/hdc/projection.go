@@ -197,6 +197,26 @@ func (pr *Projection) EncodeBatchInto(features, raw, signed *tensor.Tensor, scra
 	tensor.SignInto(signed, raw)
 }
 
+// PrepackedPanels returns P converted once into the blocked GEMM's panel
+// form. Products against the result skip the per-call panel packing pass —
+// at batch 1 that pass dominates the whole projection GEMM — and need no
+// scratch. Results are bit-identical to EncodeBatchInto (the panel kernel
+// runs the serial GEMM's exact schedule).
+func (pr *Projection) PrepackedPanels() *tensor.ProjPanels {
+	return tensor.PrepackPanels(pr.P)
+}
+
+// EncodeBatchPanelsInto is EncodeBatchInto against panels prepacked from
+// this projection's P (see PrepackedPanels). Strictly serial, zero
+// allocations, zero scratch; bit-identical to EncodeBatchInto.
+func (pr *Projection) EncodeBatchPanelsInto(features, raw, signed *tensor.Tensor, pp *tensor.ProjPanels) {
+	if features.Rank() != 2 || features.Shape[1] != pr.F {
+		panic(fmt.Sprintf("hdc: EncodeBatchPanelsInto expects [N %d], got %v", pr.F, features.Shape))
+	}
+	tensor.MatMulPanelsInto(raw, features, pp, nil)
+	tensor.SignInto(signed, raw)
+}
+
 // EncodeBatchRematInto is EncodeBatchInto with the projection matrix
 // rematerialized from the seed inside the GEMM's panel step: P is never
 // read (or needed). Results are bit-identical to EncodeBatchInto — the

@@ -2,7 +2,6 @@ package hdlearn
 
 import (
 	"fmt"
-	"math/bits"
 
 	"nshd/internal/hdc"
 	"nshd/internal/tensor"
@@ -41,15 +40,14 @@ func (m *Model) SignQuantized() *Model {
 }
 
 // predictWords returns the argmax class of one packed query (ties broken
-// toward the lowest class index, matching the float path).
+// toward the lowest class index, matching the float path). Hamming distances
+// run through the vectorized XOR-popcount kernel; the count is an exact
+// integer, so predictions are identical to the scalar loop.
 func (pm *PackedModel) predictWords(q []uint64) int {
 	best, at := -pm.D-1, 0
 	for k := 0; k < pm.K; k++ {
 		row := pm.words[k*pm.wpr : (k+1)*pm.wpr]
-		ham := 0
-		for w, rw := range row {
-			ham += bits.OnesCount64(q[w] ^ rw)
-		}
+		ham := tensor.XorPopcount(row, q)
 		if dot := pm.D - 2*ham; dot > best {
 			best, at = dot, k
 		}
@@ -99,10 +97,7 @@ func (pm *PackedModel) DotsInto(out []int32, q []uint64) {
 	}
 	for k := 0; k < pm.K; k++ {
 		row := pm.words[k*pm.wpr : (k+1)*pm.wpr]
-		ham := 0
-		for w, rw := range row {
-			ham += bits.OnesCount64(q[w] ^ rw)
-		}
+		ham := tensor.XorPopcount(row, q)
 		out[k] = int32(pm.D - 2*ham)
 	}
 }

@@ -29,6 +29,14 @@ type InferenceLayer interface {
 	ForwardInfer(x *tensor.Tensor, ar *tensor.Arena) *tensor.Tensor
 }
 
+// convImplicitMinFloats gates Conv2D's implicit-GEMM inference path by the
+// size (in float32 elements) of the column matrix it avoids materializing.
+// Below it, one flat Im2Col pass over an L2-resident matrix costs less than
+// per-tile generation bookkeeping; above it, the materialized matrix spills
+// past L2 and the implicit path wins on traffic alone. Var, not const, so
+// tests can force either path on small shapes.
+var convImplicitMinFloats = 32 * 1024
+
 // InferSupported reports whether every layer reachable from l implements the
 // inference contract, descending into containers.
 func InferSupported(l Layer) error {
@@ -106,25 +114,41 @@ func (c *Conv2D) ForwardInfer(x *tensor.Tensor, ar *tensor.Arena) *tensor.Tensor
 	// so the GEMM reads the input segment directly. Same values, same layout,
 	// same kernel: bit-identical to the copying path.
 	pointwise := c.KH == 1 && c.KW == 1 && c.Stride == 1 && c.Pad == 0
+	// Large non-pointwise layers go through the implicit-GEMM path: column
+	// tiles are generated inside the blocked GEMM instead of materializing
+	// the full [kdim, OutH·OutW] matrix. Bit-identical to im2col + GEMM (see
+	// tensor.ConvMulSerialInto); the gate keeps tiny layers — where one
+	// flat im2col pass is cheaper than per-tile generation bookkeeping — on
+	// the materialized path, which also stays the testing reference.
+	implicit := !pointwise && kdim*outH*outW >= convImplicitMinFloats
 	sampleIn := c.InC * h * w
 	var cols *tensor.Tensor
-	if pointwise {
+	var scratch []float32
+	switch {
+	case pointwise:
 		cols = ar.Wrap(x.Data[:sampleIn], kdim, outH*outW)
-	} else {
+		scratch = ar.Floats(tensor.GemmScratch())
+	case implicit:
+		scratch = ar.Floats(tensor.ConvGemmScratch())
+	default:
 		cols = ar.Alloc(kdim, outH*outW)
+		scratch = ar.Floats(tensor.GemmScratch())
 	}
-	scratch := ar.Floats(tensor.GemmScratch())
 	sampleOut := c.OutC * outH * outW
 	dst := ar.Wrap(y.Data[:sampleOut], c.OutC, outH*outW)
 	for i := 0; i < n; i++ {
 		seg := y.Data[i*sampleOut : (i+1)*sampleOut]
 		dst.Data = seg
-		if pointwise {
+		switch {
+		case pointwise:
 			cols.Data = x.Data[i*sampleIn : (i+1)*sampleIn]
-		} else {
+			tensor.MatMulSerialInto(dst, wmat, cols, scratch)
+		case implicit:
+			tensor.ConvMulSerialInto(dst, wmat, g, x.Data[i*sampleIn:(i+1)*sampleIn], scratch)
+		default:
 			tensor.Im2Col(g, x.Data[i*sampleIn:(i+1)*sampleIn], cols)
+			tensor.MatMulSerialInto(dst, wmat, cols, scratch)
 		}
-		tensor.MatMulSerialInto(dst, wmat, cols, scratch)
 		if c.useBias {
 			for oc := 0; oc < c.OutC; oc++ {
 				b := c.Bias.W.Data[oc]
@@ -262,6 +286,31 @@ func (m *MaxPool2D) ForwardInfer(x *tensor.Tensor, ar *tensor.Arena) *tensor.Ten
 		for ch := 0; ch < c; ch++ {
 			inBase := (i*c + ch) * h * w
 			outBase := (i*c + ch) * outH * outW
+			if m.K == 2 {
+				// The common 2×2 window, unrolled over two sliced input rows.
+				// Taps are compared in the same kh-major, kw-minor,
+				// strictly-greater order as the generic loop, so ties resolve
+				// to the same element and results are bit-identical.
+				for oh := 0; oh < outH; oh++ {
+					r0 := x.Data[inBase+2*oh*w : inBase+2*oh*w+w]
+					r1 := x.Data[inBase+(2*oh+1)*w : inBase+(2*oh+1)*w+w]
+					out := y.Data[outBase+oh*outW : outBase+(oh+1)*outW]
+					for ow := range out {
+						best := r0[2*ow]
+						if v := r0[2*ow+1]; v > best {
+							best = v
+						}
+						if v := r1[2*ow]; v > best {
+							best = v
+						}
+						if v := r1[2*ow+1]; v > best {
+							best = v
+						}
+						out[ow] = best
+					}
+				}
+				continue
+			}
 			for oh := 0; oh < outH; oh++ {
 				for ow := 0; ow < outW; ow++ {
 					best := float32(0)
@@ -355,13 +404,10 @@ func (l *Linear) ForwardInfer(x *tensor.Tensor, ar *tensor.Arena) *tensor.Tensor
 	return y
 }
 
-// ForwardInfer implements InferenceLayer, clamping in place.
+// ForwardInfer implements InferenceLayer, clamping in place through the
+// vectorized kernel (bit-identical to the scalar training sweep).
 func (r *ReLU) ForwardInfer(x *tensor.Tensor, ar *tensor.Arena) *tensor.Tensor {
-	for i, v := range x.Data {
-		if v <= 0 {
-			x.Data[i] = 0
-		}
-	}
+	tensor.ReLUInPlace(x.Data)
 	return x
 }
 

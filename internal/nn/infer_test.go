@@ -80,6 +80,34 @@ func TestForwardInferMatchesEvalForward(t *testing.T) {
 	}
 }
 
+// TestForwardInferImplicitConvMatches forces the implicit-GEMM conv gate
+// open on the small test model and pins the whole pass bit-identical to the
+// eval Forward path (which stays on materialized im2col).
+func TestForwardInferImplicitConvMatches(t *testing.T) {
+	saved := convImplicitMinFloats
+	convImplicitMinFloats = 0
+	defer func() { convImplicitMinFloats = saved }()
+
+	rng := tensor.NewRNG(17)
+	model := inferTestModel(rng)
+	randomizeEval(rng, model)
+
+	x := tensor.New(4, 3, 16, 16)
+	rng.FillNormal(x, 0, 1)
+	want := model.Forward(x, false)
+
+	ar := tensor.NewArena()
+	in := ar.Alloc(x.Shape...)
+	copy(in.Data, x.Data)
+	got := model.ForwardInfer(in, ar)
+
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("implicit ForwardInfer[%d]=%v, Forward(eval)=%v", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
 func TestForwardInferZeroAllocWhenFrozen(t *testing.T) {
 	rng := tensor.NewRNG(7)
 	model := inferTestModel(rng)

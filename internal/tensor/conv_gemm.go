@@ -1,0 +1,244 @@
+package tensor
+
+import "fmt"
+
+// Implicit-GEMM convolution: dst = wmat(OutC × C·KH·KW) @ im2col(g, x)
+// without ever materializing the [C·KH·KW, OutH·OutW] column matrix. The
+// blocked GEMM already walks B in KC×NC tiles; on the asm path each tile's
+// 16-wide strips are generated from the image DIRECTLY in packed panel
+// layout — the fused im2col→pack the materialized path spends most of a
+// batch-1 conv on (write cols, read cols, write panel) collapses to a single
+// generate-into-panel write. The ragged column tail (< 16 columns) is
+// generated densely and consumed by the portable kernel, as is the whole
+// product on targets without the asm micro-kernel.
+//
+// Bit-exactness contract: generated values are copies of exactly the
+// elements Im2Col would produce, and the kernel runs gemmRangeScratch's
+// schedule (same KC/NC blocking, same micro-kernels, same row/column-tail
+// kernels in the same order), so the output is bit-identical to
+// MatMulSerialInto(dst, wmat, im2col(g, x)). TestConvMulMatchesIm2Col pins
+// this across odd shapes, strides, and pads.
+
+// ConvGemmScratch returns the float32 scratch length ConvMulSerialInto
+// needs: a packed panel plus a dense column-tail tile on the asm path, one
+// full dense tile on the portable path.
+func ConvGemmScratch() int {
+	if useGemmAsm {
+		return gemmKC*gemmNC + gemmKC*gemmNR
+	}
+	return gemmKC * gemmNC
+}
+
+// ConvMulSerialInto computes dst = wmat @ im2col(g, x) for one image x
+// (length ≥ InC·InH·InW), with wmat [OutC, InC·KH·KW] and dst
+// [OutC, OutH·OutW]. Strictly serial, zero heap allocations; scratch needs
+// ConvGemmScratch() floats.
+func ConvMulSerialInto(dst, wmat *Tensor, g ConvGeom, x []float32, scratch []float32) {
+	kdim := g.InC * g.KH * g.KW
+	nOut := g.OutH() * g.OutW()
+	if wmat.Rank() != 2 || wmat.Shape[1] != kdim {
+		panic(fmt.Sprintf("tensor: ConvMul weight shape %v, want [*, %d]", wmat.Shape, kdim))
+	}
+	m := wmat.Shape[0]
+	if dst.Rank() != 2 || dst.Shape[0] != m || dst.Shape[1] != nOut {
+		panic(fmt.Sprintf("tensor: ConvMul dst shape %v, want [%d %d]", dst.Shape, m, nOut))
+	}
+	if len(scratch) < ConvGemmScratch() {
+		panic(fmt.Sprintf("tensor: ConvMul scratch %d < ConvGemmScratch %d", len(scratch), ConvGemmScratch()))
+	}
+	a := wmat.Data
+	clear(dst.Data[:m*nOut])
+	for jb := 0; jb < nOut; jb += gemmNC {
+		je := jb + gemmNC
+		if je > nOut {
+			je = nOut
+		}
+		w := je - jb
+		for pb := 0; pb < kdim; pb += gemmKC {
+			pe := pb + gemmKC
+			if pe > kdim {
+				pe = kdim
+			}
+			kc := pe - pb
+			if useGemmAsm {
+				nFull := w / gemmNR * gemmNR
+				if nFull > 0 {
+					panel := scratch[:gemmKC*gemmNC]
+					convPackStrips(g, x, panel, pb, pe, jb, nFull)
+					i := 0
+					for ; i+gemmMR <= m; i += gemmMR {
+						for js := 0; js < nFull; js += gemmNR {
+							strip := panel[js*kc:]
+							gemm4x16(kc,
+								&a[i*kdim+pb], &a[(i+1)*kdim+pb], &a[(i+2)*kdim+pb], &a[(i+3)*kdim+pb],
+								&strip[0],
+								&dst.Data[i*nOut+jb+js], &dst.Data[(i+1)*nOut+jb+js],
+								&dst.Data[(i+2)*nOut+jb+js], &dst.Data[(i+3)*nOut+jb+js])
+						}
+					}
+					for ; i < m; i++ {
+						gemm1x16s(kc, nFull/gemmNR, &a[i*kdim+pb], &panel[0], &dst.Data[i*nOut+jb])
+					}
+				}
+				if nFull < w {
+					tw := w - nFull
+					tile := scratch[gemmKC*gemmNC : gemmKC*gemmNC+kc*tw]
+					im2colTile(g, x, tile, tw, pb, pe, jb+nFull, je)
+					goPanelPart(dst.Data, a, tile, nOut, kdim, tw, m, pb, pe, pb, jb+nFull, 0, tw)
+				}
+			} else {
+				tile := scratch[:kc*w]
+				im2colTile(g, x, tile, w, pb, pe, jb, je)
+				goPanelPart(dst.Data, a, tile, nOut, kdim, w, m, pb, pe, pb, jb, 0, w)
+			}
+		}
+	}
+}
+
+// convPackStrips generates im2col rows [pb, pe) × columns [jb, jb+nFull) —
+// a whole number of 16-column strips — straight into panel in packPanel16's
+// strip-major, p-major layout. Values match Im2Col exactly: zeros at padding
+// positions, copies of x elsewhere. This is the fused im2col→pack: the
+// column matrix underneath is never materialized.
+func convPackStrips(g ConvGeom, x, panel []float32, pb, pe, jb, nFull int) {
+	outW := g.OutW()
+	kc := pe - pb
+	khw := g.KH * g.KW
+	// Per-strip output-row segments: local column spans [segLo, segHi) that
+	// fall on output row segOh. A strip has at most 16 of them (outW = 1).
+	var segLo, segHi, segOh [gemmNR]int
+	for js := 0; js < nFull; js += gemmNR {
+		j0 := jb + js
+		nseg := 0
+		for lo := j0; lo < j0+gemmNR; {
+			oh := lo / outW
+			hi := (oh + 1) * outW
+			if hi > j0+gemmNR {
+				hi = j0 + gemmNR
+			}
+			segLo[nseg], segHi[nseg], segOh[nseg] = lo-j0, hi-j0, oh
+			nseg++
+			lo = hi
+		}
+		strip := panel[js*kc:]
+		// (c, kh, kw) tracks p incrementally — no divisions in the p loop.
+		c := pb / khw
+		r := pb % khw
+		kh := r / g.KW
+		kw := r % g.KW
+		for p := pb; p < pe; p++ {
+			chanBase := c * g.InH * g.InW
+			row := strip[(p-pb)*gemmNR : (p-pb)*gemmNR+gemmNR]
+			for si := 0; si < nseg; si++ {
+				lo, hi, oh := segLo[si], segHi[si], segOh[si]
+				seg := row[lo:hi]
+				ih := oh*g.StrideH - g.PadH + kh
+				if ih < 0 || ih >= g.InH {
+					clear(seg)
+				} else if srcBase := chanBase + ih*g.InW; g.StrideW == 1 {
+					// In-bounds iw = ow − PadW + kw on [owLo, owHi), clipped
+					// to this segment's ow window [j0+lo−base, j0+hi−base).
+					owLo := max(0, g.PadW-kw)
+					owHi := min(outW, g.InW+g.PadW-kw)
+					base := oh * outW
+					l := min(max(owLo, j0+lo-base), j0+hi-base)
+					h := max(min(owHi, j0+hi-base), l)
+					clear(row[lo : base+l-j0])
+					if h > l {
+						s := srcBase + l - g.PadW + kw
+						copy(row[base+l-j0:base+h-j0], x[s:s+h-l])
+					}
+					clear(row[base+h-j0 : hi])
+				} else {
+					ow0 := j0 + lo - oh*outW
+					for ii := range seg {
+						iw := (ow0+ii)*g.StrideW - g.PadW + kw
+						if iw < 0 || iw >= g.InW {
+							seg[ii] = 0
+						} else {
+							seg[ii] = x[srcBase+iw]
+						}
+					}
+				}
+			}
+			kw++
+			if kw == g.KW {
+				kw = 0
+				kh++
+				if kh == g.KH {
+					kh = 0
+					c++
+				}
+			}
+		}
+	}
+}
+
+// im2colTile generates rows [pb, pe) × columns [jb, je) of the im2col matrix
+// into tile (row-major, leading dimension ld = je−jb). Row p corresponds to
+// (c, kh, kw) = (p / (KH·KW), (p / KW) mod KH, p mod KW); column j to output
+// location (oh, ow) = (j / OutW, j mod OutW). Values match Im2Col exactly:
+// zeros at padding positions, copies of x elsewhere.
+func im2colTile(g ConvGeom, x []float32, tile []float32, ld, pb, pe, jb, je int) {
+	outW := g.OutW()
+	khw := g.KH * g.KW
+	c := pb / khw
+	r := pb % khw
+	kh := r / g.KW
+	kw := r % g.KW
+	for p := pb; p < pe; p++ {
+		chanBase := c * g.InH * g.InW
+		row := tile[(p-pb)*ld : (p-pb)*ld+ld]
+		for j0 := jb; j0 < je; {
+			oh := j0 / outW
+			j1 := (oh + 1) * outW
+			if j1 > je {
+				j1 = je
+			}
+			seg := row[j0-jb : j1-jb]
+			ih := oh*g.StrideH - g.PadH + kh
+			if ih < 0 || ih >= g.InH {
+				clear(seg)
+				j0 = j1
+				continue
+			}
+			srcBase := chanBase + ih*g.InW
+			if g.StrideW == 1 {
+				// In-bounds iw = ow − PadW + kw on [owLo, owHi), clipped to
+				// this segment's [j0−oh·outW, j1−oh·outW) window.
+				owLo := max(0, g.PadW-kw)
+				owHi := min(outW, g.InW+g.PadW-kw)
+				base := oh * outW
+				lo := min(max(owLo, j0-base), j1-base)
+				hi := max(min(owHi, j1-base), lo)
+				clear(row[j0-jb : base+lo-jb])
+				if hi > lo {
+					s := srcBase + lo - g.PadW + kw
+					copy(row[base+lo-jb:base+hi-jb], x[s:s+hi-lo])
+				}
+				clear(row[base+hi-jb : j1-jb])
+				j0 = j1
+				continue
+			}
+			for ji := range seg {
+				ow := j0 - oh*outW + ji
+				iw := ow*g.StrideW - g.PadW + kw
+				if iw < 0 || iw >= g.InW {
+					seg[ji] = 0
+				} else {
+					seg[ji] = x[srcBase+iw]
+				}
+			}
+			j0 = j1
+		}
+		kw++
+		if kw == g.KW {
+			kw = 0
+			kh++
+			if kh == g.KH {
+				kh = 0
+				c++
+			}
+		}
+	}
+}

@@ -266,7 +266,8 @@ func gemmRangeScratch(dst, a, b, buf []float32, n, k, r0, r1, c0, c1 int) {
 
 // gemmAsmPart computes rows [r0,r1) × cols [jb,je) of the K-block [pb,pe)
 // using the AVX2 micro-kernel over a packed panel for all full 4×16 tiles,
-// falling back to the scalar kernel for row/column tails.
+// the 1×16 strip kernel for leftover rows, and the scalar kernel for the
+// ragged column tail.
 func gemmAsmPart(dst, a, b, buf []float32, n, k, r0, r1, jb, je, pb, pe int) {
 	kc := pe - pb
 	nFull := (je - jb) / gemmNR * gemmNR
@@ -282,8 +283,13 @@ func gemmAsmPart(dst, a, b, buf []float32, n, k, r0, r1, jb, je, pb, pe int) {
 					&dst[i*n+jb+js], &dst[(i+1)*n+jb+js], &dst[(i+2)*n+jb+js], &dst[(i+3)*n+jb+js])
 			}
 		}
-		if i < r1 {
-			gemmGoPart(dst, a, b, n, k, i, r1, jb, jb+nFull, pb, pe)
+		// Leftover rows (and the whole of a skinny M < 4 product, e.g.
+		// batch-1 serving GEMMs) run through the 1×16 strip kernel over the
+		// already-packed panel instead of the scalar tail, which both reuses
+		// the pack work and keeps their accumulation order identical to rows
+		// inside a full 4-row group.
+		for ; i < r1; i++ {
+			gemm1x16s(kc, nFull/gemmNR, &a[i*k+pb], &buf[0], &dst[i*n+jb])
 		}
 	}
 	if jb+nFull < je {

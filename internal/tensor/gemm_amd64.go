@@ -44,11 +44,28 @@ func xgetbv0() (eax, edx uint32)
 //go:noescape
 func gemm4x16(kc int, a0, a1, a2, a3, bp, o0, o1, o2, o3 *float32)
 
+// gemm1x16s accumulates one output row across ns consecutive 16-wide packed
+// strips: o[16s+j] += Σ_p a[p] * bp[s·16·kc + 16p + j]. The per-element
+// accumulation order (single accumulator, p ascending, fused multiply-add)
+// matches gemm4x16 exactly, so leftover rows of a blocked GEMM computed with
+// this kernel are bit-identical to rows inside a full 4-row group. kc and ns
+// must be ≥ 1; o must have ns·16 addressable elements.
+//
+//go:noescape
+func gemm1x16s(kc, ns int, a, bp, o *float32)
+
 // dot8 returns the inner product of x[0:n] and y[0:n]; n must be a positive
 // multiple of 8.
 //
 //go:noescape
 func dot8(n int, x, y *float32) float32
+
+// reluAsm clamps x[0:n] to max(v, 0) in place with mask semantics identical
+// to Go's `if v <= 0 { v = 0 }` (NaN passes through, -0 becomes +0). n must
+// be a positive multiple of 8.
+//
+//go:noescape
+func reluAsm(n int, p *float32)
 
 // packSignsAsm writes nwords uint64 sign masks: bit i of word w is set iff
 // src[64w+i] < 0 (VCMPPS with the LT predicate, so -0/NaN pack as 0 exactly

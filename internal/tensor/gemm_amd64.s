@@ -89,6 +89,49 @@ kloop:
 	VZEROUPPER
 	RET
 
+// func gemm1x16s(kc, ns int, a, bp, o *float32)
+//
+// Skinny-M micro-kernel: one output row across ns consecutive 16-wide packed
+// strips. Each strip holds a 2-YMM accumulator pair across its whole K loop
+// (one broadcast + two fused multiply-adds per K step), added into the output
+// once at the end — the same single-accumulator, p-ascending order gemm4x16
+// gives each of its rows, so a leftover row computes bit-identically to the
+// rows of a full 4-row group. Strips are contiguous (strip s starts at
+// bp + s·kc·16), so SI streams straight through the panel.
+TEXT ·gemm1x16s(SB), NOSPLIT, $0-40
+	MOVQ kc+0(FP), BX
+	MOVQ ns+8(FP), DX
+	MOVQ a+16(FP), R9
+	MOVQ bp+24(FP), SI
+	MOVQ o+32(FP), DI
+
+sloop:
+	MOVQ R9, R8
+	MOVQ BX, CX
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+
+kloop:
+	VBROADCASTSS (R8), Y2
+	VMOVUPS (SI), Y3
+	VFMADD231PS Y3, Y2, Y0
+	VMOVUPS 32(SI), Y4
+	VFMADD231PS Y4, Y2, Y1
+	ADDQ $64, SI
+	ADDQ $4, R8
+	DECQ CX
+	JNE  kloop
+
+	VADDPS (DI), Y0, Y0
+	VMOVUPS Y0, (DI)
+	VADDPS 32(DI), Y1, Y1
+	VMOVUPS Y1, 32(DI)
+	ADDQ $64, DI
+	DECQ DX
+	JNE  sloop
+	VZEROUPPER
+	RET
+
 // func dot8(n int, x, y *float32) float32
 //
 // Inner product over n elements (n a positive multiple of 8), using four
@@ -144,6 +187,60 @@ reduce:
 	VHADDPS X0, X0, X0
 	VZEROUPPER
 	MOVSS X0, ret+24(FP)
+	RET
+
+// func reluAsm(n int, p *float32)
+//
+// In-place ReLU over n floats (n a positive multiple of 8). Uses a compare
+// mask rather than VMAXPS so the result is bit-identical to Go's
+// `if v <= 0 { v = 0 }` on every input: predicate 6 (NLE_US) is true for
+// v > 0 and for NaN, so NaN payloads pass through and -0 becomes +0 exactly
+// like the scalar comparison.
+TEXT ·reluAsm(SB), NOSPLIT, $0-16
+	MOVQ n+0(FP), CX
+	MOVQ p+8(FP), SI
+	VXORPS Y0, Y0, Y0
+
+	MOVQ CX, BX
+	ANDQ $-32, BX
+	JEQ  tail8
+
+loop32:
+	VMOVUPS (SI), Y1
+	VCMPPS  $6, Y0, Y1, Y2
+	VANDPS  Y2, Y1, Y1
+	VMOVUPS Y1, (SI)
+	VMOVUPS 32(SI), Y3
+	VCMPPS  $6, Y0, Y3, Y4
+	VANDPS  Y4, Y3, Y3
+	VMOVUPS Y3, 32(SI)
+	VMOVUPS 64(SI), Y1
+	VCMPPS  $6, Y0, Y1, Y2
+	VANDPS  Y2, Y1, Y1
+	VMOVUPS Y1, 64(SI)
+	VMOVUPS 96(SI), Y3
+	VCMPPS  $6, Y0, Y3, Y4
+	VANDPS  Y4, Y3, Y3
+	VMOVUPS Y3, 96(SI)
+	ADDQ    $128, SI
+	SUBQ    $32, BX
+	JNE     loop32
+
+tail8:
+	ANDQ $24, CX
+	JEQ  done
+
+loop8:
+	VMOVUPS (SI), Y1
+	VCMPPS  $6, Y0, Y1, Y2
+	VANDPS  Y2, Y1, Y1
+	VMOVUPS Y1, (SI)
+	ADDQ    $32, SI
+	SUBQ    $8, CX
+	JNE     loop8
+
+done:
+	VZEROUPPER
 	RET
 
 // func packSignsAsm(nwords int, src *float32, dst *uint64)

@@ -9,8 +9,16 @@ func gemm4x16(kc int, a0, a1, a2, a3, bp, o0, o1, o2, o3 *float32) {
 	panic("tensor: gemm4x16 requires amd64")
 }
 
+func gemm1x16s(kc, ns int, a, bp, o *float32) {
+	panic("tensor: gemm1x16s requires amd64")
+}
+
 func dot8(n int, x, y *float32) float32 {
 	panic("tensor: dot8 requires amd64")
+}
+
+func reluAsm(n int, p *float32) {
+	panic("tensor: reluAsm requires amd64")
 }
 
 func packSignsAsm(nwords int, src *float32, dst *uint64) {

@@ -176,8 +176,9 @@ func checkPanelsArgs(a *Tensor, pp *ProjPanels, scratch []float32) (m, k int) {
 // block accumulates columns [c0, c0+w) of a @ B into dst, whose element
 // (i, j) lives at dst[i*ldd + dcol + j]. dst must be pre-cleared. It mirrors
 // gemmRangeScratch's schedule for one NC block: K blocks ascending; within
-// each, the asm micro-kernel over 16-wide strips for full 4-row groups, the
-// portable kernel for row and column tails.
+// each, the 4×16 asm micro-kernel over 16-wide strips for full 4-row groups,
+// the 1×16 strip kernel for leftover rows, and the portable kernel for the
+// ragged column tail.
 func (pp *ProjPanels) block(dst []float32, ldd, dcol int, a []float32, m, k, c0, w int, scratch []float32) {
 	if m == 0 || k == 0 {
 		return
@@ -215,7 +216,12 @@ func (pp *ProjPanels) block(dst []float32, ldd, dcol int, a []float32, m, k, c0,
 						&dst[i*ldd+dcol+js], &dst[(i+1)*ldd+dcol+js], &dst[(i+2)*ldd+dcol+js], &dst[(i+3)*ldd+dcol+js])
 				}
 			}
-			stripRowTail(dst, a, strip, ldd, dcol, k, i, m, w16, pb, pe, kc)
+			// Leftover rows — all rows, at batch 1 — run the 1×16 strip
+			// kernel over the same panel, in the same per-element order as
+			// gemm4x16, instead of a scalar sweep.
+			for ; i < m; i++ {
+				gemm1x16s(kc, w16/gemmNR, &a[i*k+pb], &strip[0], &dst[i*ldd+dcol])
+			}
 		}
 		if w16 < w {
 			tw := w - w16
@@ -237,27 +243,6 @@ func (pp *ProjPanels) block(dst []float32, ldd, dcol int, a []float32, m, k, c0,
 				bt, ldb, bj = pp.tail, pp.n-n16, c0+w16-n16
 			}
 			goPanelPart(dst, a, bt, ldd, k, ldb, m, pb, pe, brow0, dcol+w16, bj, tw)
-		}
-	}
-}
-
-// stripRowTail is the portable kernel for leftover rows [r0, r1) of a strip
-// panel: it reads the packed strips directly (no dense matrix exists on the
-// remat path), accumulating each element over p in the same ascending order
-// as gemmGoPart, so results stay bit-identical to the dense row-tail path.
-func stripRowTail(dst, a, strip []float32, ldd, dcol, k, r0, r1, w16, pb, pe, kc int) {
-	for i := r0; i < r1; i++ {
-		o := dst[i*ldd+dcol:]
-		for p := pb; p < pe; p++ {
-			av := a[i*k+p]
-			base := (p - pb) * gemmNR
-			for js := 0; js < w16; js += gemmNR {
-				s := strip[js*kc+base : js*kc+base+gemmNR : js*kc+base+gemmNR]
-				oo := o[js : js+gemmNR : js+gemmNR]
-				for b, sv := range s {
-					oo[b] += av * sv
-				}
-			}
 		}
 	}
 }

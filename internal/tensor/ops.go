@@ -306,6 +306,26 @@ func SignInto(dst, src *Tensor) {
 	}
 }
 
+// ReLUInPlace clamps every element of x to max(v, 0) with exactly the
+// semantics of `if v <= 0 { v = 0 }`: NaN passes through, -0 becomes +0. On
+// amd64 with AVX the bulk runs in a masked vector kernel (bit-identical by
+// construction — see reluAsm); the scalar loop handles the tail and other
+// targets.
+func ReLUInPlace(x []float32) {
+	i := 0
+	if useGemmAsm {
+		if wide := len(x) / 8 * 8; wide > 0 {
+			reluAsm(wide, &x[0])
+			i = wide
+		}
+	}
+	for ; i < len(x); i++ {
+		if x[i] <= 0 {
+			x[i] = 0
+		}
+	}
+}
+
 // ArgmaxRowsInto writes the argmax of each row of a 2-D tensor into out
 // (length = rows), with the same first-wins tie rule as ArgmaxRows.
 func ArgmaxRowsInto(out []int, t *Tensor) {

@@ -1,0 +1,43 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestReLUInPlaceMatchesScalar pins the vector kernel bit-identical to the
+// scalar `if v <= 0 { v = 0 }` sweep, including NaN passthrough, -0 → +0,
+// and every tail length around the 8- and 32-wide unroll boundaries.
+func TestReLUInPlaceMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	specials := []float32{0, float32(math.Copysign(0, -1)), float32(math.NaN()),
+		float32(math.Inf(1)), float32(math.Inf(-1)), -1e-45, 1e-45}
+	for n := 0; n <= 70; n++ {
+		x := make([]float32, n)
+		for i := range x {
+			if rng.Intn(4) == 0 {
+				x[i] = specials[rng.Intn(len(specials))]
+			} else {
+				x[i] = rng.Float32()*2 - 1
+			}
+		}
+		want := make([]float32, n)
+		for i, v := range x {
+			if v <= 0 {
+				want[i] = 0
+			} else {
+				want[i] = v
+			}
+		}
+		got := make([]float32, n)
+		copy(got, x)
+		ReLUInPlace(got)
+		for i := range want {
+			if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+				t.Fatalf("n=%d: ReLUInPlace[%d] = %x, want %x (input %v)",
+					n, i, math.Float32bits(got[i]), math.Float32bits(want[i]), x[i])
+			}
+		}
+	}
+}

@@ -11,6 +11,13 @@ import "sync"
 // reclaimed by the GC.
 var floatPool = sync.Pool{New: func() any { return new([]float32) }}
 
+// poolMaxFloats caps the capacity of slabs the pool retains (64 MiB of
+// float32s). One huge one-off request — a debug full-batch im2col, an
+// oversized eval — would otherwise park its slab in the pool, where the GC
+// can keep it alive across cycles and every later Get hands the giant buffer
+// to small requests. Outliers above the cap are simply left for the GC.
+const poolMaxFloats = 1 << 24
+
 // GetFloats returns a float32 scratch buffer of length n with UNDEFINED
 // contents, recycled across calls. Return it with PutFloats when done. A
 // pooled buffer whose capacity is too small is discarded (the GC reclaims
@@ -27,7 +34,7 @@ func GetFloats(n int) []float32 {
 // PutFloats returns a buffer obtained from GetFloats to the pool. The caller
 // must not use buf afterwards.
 func PutFloats(buf []float32) {
-	if cap(buf) == 0 {
+	if cap(buf) == 0 || cap(buf) > poolMaxFloats {
 		return
 	}
 	buf = buf[:cap(buf)]

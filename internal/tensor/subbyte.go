@@ -128,9 +128,6 @@ func TernarySignDot(sgn, msk, q []uint64, nnz int32) int32 {
 	if len(sgn) < len(q) || len(msk) < len(q) {
 		panic(fmt.Sprintf("tensor: TernarySignDot row words %d/%d for %d query words", len(sgn), len(msk), len(q)))
 	}
-	ham := 0
-	for w, qw := range q {
-		ham += bits.OnesCount64((qw ^ sgn[w]) & msk[w])
-	}
+	ham := XorMaskPopcount(q, sgn, msk)
 	return nnz - 2*int32(ham)
 }
