@@ -1,9 +1,21 @@
 GO ?= go
 
-.PHONY: check vet build test race alloc bench perf bench-train bench-serve perf-serve bench-quant perf-quant bench-tail perf-tail bench-router perf-router bench-compress perf-compress bench-latency perf-latency
+.PHONY: check vet build test race alloc staticcheck bench perf bench-train bench-serve perf-serve bench-quant perf-quant bench-tail perf-tail bench-router perf-router bench-compress perf-compress bench-latency perf-latency bench-fuse perf-fuse
 
 # The full gate: what CI (and any PR) must keep green.
-check: vet build test race alloc
+check: vet staticcheck build test race alloc
+
+# Static analysis beyond go vet. The toolchain is not vendored and CI
+# containers install nothing, so the target degrades to a skip notice when
+# the binary is absent; developers with it on PATH get the full run. Pin
+# honnef.co/go/tools/cmd/staticcheck@2025.1 when installing locally so
+# finding sets are reproducible.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck: binary not on PATH; skipping (pin honnef.co/go/tools/cmd/staticcheck@2025.1 to enable)"; \
+	fi
 
 # Allocation-regression gate: the serving engine must stay heap-free in
 # steady state (AllocsPerRun == 0 for both classifier kernels and for every
@@ -109,3 +121,14 @@ bench-latency:
 # Regenerate the committed batch-1 latency baseline.
 perf-latency:
 	$(GO) run ./cmd/nshd-bench -perf-latency BENCH_PR9.json
+
+# Re-run the fused-vs-unfused extraction benchmarks (cache-resident fused
+# conv→BN→ReLU→pool blocks; batch-1 e2e and extract-stage p50, float/packed/
+# int8) and diff against the committed pre-fusion BENCH_PR9.json numbers.
+bench-fuse:
+	$(GO) run ./cmd/nshd-bench -perf-fuse /tmp/nshd_bench_fuse.json -perf-fuse-baseline BENCH_PR9.json
+
+# Regenerate the committed fused-extraction baseline (diffed against the
+# PR9 pre-fusion rows so the speedup is recorded in the file).
+perf-fuse:
+	$(GO) run ./cmd/nshd-bench -perf-fuse BENCH_PR10.json -perf-fuse-baseline BENCH_PR9.json

@@ -54,6 +54,8 @@ func main() {
 		cmpBase   = flag.String("perf-compress-baseline", "", "with -perf-compress: print deltas against this committed baseline JSON")
 		perfLat   = flag.String("perf-latency", "", "run the batch-1 serving-latency benchmarks, write JSON to this file, and exit")
 		latBase   = flag.String("perf-latency-baseline", "", "with -perf-latency: embed and print deltas against this baseline JSON")
+		perfFuse  = flag.String("perf-fuse", "", "run the fused-vs-unfused extraction benchmarks, write JSON to this file, and exit")
+		fuseBase  = flag.String("perf-fuse-baseline", "", "with -perf-fuse: embed and print deltas against this baseline JSON")
 		perfRtr   = flag.String("perf-router", "", "run the sharded-router scaling benchmarks, write JSON to this file, and exit")
 		rtrBase   = flag.String("perf-router-baseline", "", "with -perf-router: print deltas against this committed baseline JSON")
 		rtrWorker = flag.String("router-worker", "", "internal: run as a perf-router shard worker (\"i/S\")")
@@ -112,6 +114,13 @@ func main() {
 	}
 	if *perfLat != "" {
 		if err := runPerfLatency(*perfLat, *latBase); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *perfFuse != "" {
+		if err := runPerfFuse(*perfFuse, *fuseBase); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -1,0 +1,175 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"nshd/internal/dataset"
+	"nshd/internal/engine"
+	"nshd/internal/tensor"
+)
+
+// runPerfFuse measures what the cache-resident fused extraction blocks buy on
+// the committed serving config (vgg16 cut 8, D=3000): batch-1 end-to-end
+// latency and the extract-stage share, fused vs the layer-by-layer extractor,
+// on both classifier kernels and both numeric precisions. The `latency/...`
+// rows reuse the BENCH_PR9 naming so -perf-fuse-baseline diffs directly
+// against the committed pre-fusion numbers; the `fuse/...` rows carry the
+// same-build fused-vs-unfused extract comparison with its speedup.
+func runPerfFuse(path, baselinePath string) error {
+	train, test := dataset.SynthCIFAR(dataset.SynthConfig{
+		Classes: 10, Train: 64, Test: 128, Size: 32, Noise: 0.2, Seed: 71,
+	})
+	var entries []latEntry
+	for _, c := range []struct {
+		packed bool
+		int8   bool
+	}{
+		{false, false},
+		{true, false},
+		{false, true},
+	} {
+		rows, err := perfFuseEngine("vgg16", 8, c.packed, c.int8, train, test)
+		if err != nil {
+			return err
+		}
+		entries = append(entries, rows...)
+	}
+	if baselinePath != "" {
+		if err := embedLatencyBaseline(entries, baselinePath); err != nil {
+			return err
+		}
+	}
+	raw, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d rows to %s\n", len(entries), path)
+	return nil
+}
+
+// fuseStage is the TimeStages rep count (min-of): higher than latStage
+// because the fused-vs-unfused margin is a few percent and the shared CPU's
+// scheduler noise needs more samples to cut through.
+const fuseStage = 256
+
+func perfFuseEngine(model string, cut int, packed, asInt8 bool, train, test *dataset.Dataset) ([]latEntry, error) {
+	p, err := benchPipeline(model, cut, packed, train)
+	if err != nil {
+		return nil, err
+	}
+	kernel := "float"
+	if packed {
+		kernel = "packed"
+	}
+	prec := ""
+	var common []engine.Option
+	if asInt8 {
+		prec = "int8/"
+		common = append(common, engine.Int8, engine.WithCalibration(train.Images))
+	}
+
+	fusedE, err := engine.Compile(p, common...)
+	if err != nil {
+		return nil, err
+	}
+	unfusedE, err := engine.Compile(p, append(append([]engine.Option{}, common...), engine.WithUnfusedExtract())...)
+	if err != nil {
+		return nil, err
+	}
+
+	// Same-run agreement guard: fused and unfused must compute the same
+	// function before their latencies mean anything (the engine tests pin
+	// this bit-exactly; this re-checks the benchmarked build).
+	pf, err := fusedE.Predict(test.Images)
+	if err != nil {
+		return nil, err
+	}
+	pu, err := unfusedE.Predict(test.Images)
+	if err != nil {
+		return nil, err
+	}
+	for i := range pf {
+		if pf[i] != pu[i] {
+			return nil, fmt.Errorf("perf-fuse: %s%s fused disagrees with unfused at sample %d", prec, kernel, i)
+		}
+	}
+
+	sample := test.Images.Len() / test.Len()
+	img := tensor.FromSlice(test.Images.Data[:sample], 1,
+		test.Images.Shape[1], test.Images.Shape[2], test.Images.Shape[3])
+	preds := make([]int, 1)
+	measure := func(e *engine.Engine) (p50, p99, extract float64, err error) {
+		lats := make([]float64, 0, latReps)
+		for r := 0; r < latWarmup+latReps; r++ {
+			i := r % test.Len()
+			img.Data = test.Images.Data[i*sample : (i+1)*sample]
+			t0 := time.Now()
+			if err := e.PredictInto(img, preds); err != nil {
+				return 0, 0, 0, err
+			}
+			if r >= latWarmup {
+				lats = append(lats, float64(time.Since(t0).Nanoseconds())/1e3)
+			}
+		}
+		sort.Float64s(lats)
+		rows, err := e.TimeStages(img, fuseStage)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		for _, st := range rows {
+			if st.Name == "extract" {
+				extract = st.Seconds * 1e6
+			}
+		}
+		return lats[len(lats)/2], lats[len(lats)*99/100], extract, nil
+	}
+
+	fp50, fp99, fext, err := measure(fusedE)
+	if err != nil {
+		return nil, err
+	}
+	up50, up99, uext, err := measure(unfusedE)
+	if err != nil {
+		return nil, err
+	}
+
+	var entries []latEntry
+	add := func(e latEntry) {
+		entries = append(entries, e)
+		fmt.Fprintf(os.Stderr, "%-56s p50 %9.1fµs", e.Name, e.P50Us)
+		if e.P99Us > 0 {
+			fmt.Fprintf(os.Stderr, "   p99 %9.1fµs", e.P99Us)
+		}
+		if e.Speedup > 0 {
+			fmt.Fprintf(os.Stderr, "   ×%.2f", e.Speedup)
+		}
+		fmt.Fprintln(os.Stderr)
+	}
+	if !asInt8 {
+		// Float rows keep the BENCH_PR9 names (default compile = fused tail,
+		// now with fused extract) so the baseline diff lines up.
+		add(latEntry{Name: fmt.Sprintf("latency/%s/cut%d/%s/fused/batch1", model, cut, kernel),
+			P50Us: fp50, P99Us: fp99, AgreeExact: true})
+		add(latEntry{Name: fmt.Sprintf("latency/%s/cut%d/%s/fused/stage/extract", model, cut, kernel),
+			P50Us: fext})
+	} else {
+		add(latEntry{Name: fmt.Sprintf("fuse/%s/cut%d/%s%s/fused/batch1", model, cut, prec, kernel),
+			P50Us: fp50, P99Us: fp99, AgreeExact: true})
+		add(latEntry{Name: fmt.Sprintf("fuse/%s/cut%d/%s%s/fused/stage/extract", model, cut, prec, kernel),
+			P50Us: fext})
+	}
+	add(latEntry{Name: fmt.Sprintf("fuse/%s/cut%d/%s%s/unfused/batch1", model, cut, prec, kernel),
+		P50Us: up50, P99Us: up99, AgreeExact: true})
+	add(latEntry{Name: fmt.Sprintf("fuse/%s/cut%d/%s%s/unfused/stage/extract", model, cut, prec, kernel),
+		P50Us: uext})
+	add(latEntry{Name: fmt.Sprintf("fuse/%s/cut%d/%s%s/extract-fused-vs-unfused", model, cut, prec, kernel),
+		P50Us: fext, BaseP50Us: uext, Speedup: uext / fext})
+	return entries, nil
+}

@@ -8,8 +8,6 @@ import (
 	"sort"
 	"time"
 
-	"nshd/internal/cnn"
-	"nshd/internal/core"
 	"nshd/internal/dataset"
 	"nshd/internal/engine"
 	"nshd/internal/tensor"
@@ -79,23 +77,10 @@ func runPerfLatency(path, baselinePath string) error {
 }
 
 func perfLatencyEngine(model string, cut int, packed bool, train, test *dataset.Dataset) ([]latEntry, error) {
-	zoo, err := cnn.Build(model, tensor.NewRNG(72), 10)
+	p, err := benchPipeline(model, cut, packed, train)
 	if err != nil {
 		return nil, err
 	}
-	cfg := core.DefaultConfig(cut, 10)
-	cfg.Seed = 73
-	cfg.D = 3000
-	cfg.FHat = 100
-	cfg.BatchSize = 32
-	cfg.PackedInference = packed
-	p, err := core.New(zoo, cfg)
-	if err != nil {
-		return nil, err
-	}
-	feats := p.ExtractFeatures(train.Images)
-	_, _, signed := p.Symbolize(feats, false)
-	p.HD.InitBundle(signed, train.Labels)
 
 	modes := []struct {
 		name string

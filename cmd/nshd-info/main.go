@@ -22,12 +22,13 @@ func main() {
 	packed := flag.Bool("packed", true, "with -pipeline: compile the packed popcount classifier")
 	precision := flag.String("precision", "float32", "with -pipeline: engine precision mode (float32 or int8)")
 	remat := flag.Bool("remat", false, "with -pipeline: rematerialize the projection from its seed (O(1) encoder bytes)")
+	fuse := flag.String("fuse", "auto", "with -pipeline: extractor fusion mode (auto, on, off)")
 	compress := flag.Float64("compress", 0, "with -pipeline: run the post-training compression search with this max accuracy drop (points) and report the chosen plan")
 	calib := flag.Int("calib", 128, "with -compress: synthetic calibration sample count")
 	flag.Parse()
 
 	if *pipeline != "" {
-		if err := servingFacts(*pipeline, *packed, *precision, *remat, *compress, *calib); err != nil {
+		if err := servingFacts(*pipeline, *packed, *precision, *remat, *fuse, *compress, *calib); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -56,7 +57,7 @@ func main() {
 // operator needs to deploy it behind nshd-serve: input/batch shape, memory
 // per replica, precision mode with quantized-layer coverage, and batcher
 // sizing derived from the compiled chunk size.
-func servingFacts(path string, packed bool, precision string, remat bool, compress float64, calib int) error {
+func servingFacts(path string, packed bool, precision string, remat bool, fuse string, compress float64, calib int) error {
 	p, err := nshd.LoadPipeline(path)
 	if err != nil {
 		return err
@@ -74,6 +75,15 @@ func servingFacts(path string, packed bool, precision string, remat bool, compre
 	}
 	if remat {
 		opts = append(opts, nshd.WithRemat())
+	}
+	switch fuse {
+	case "auto":
+	case "on":
+		opts = append(opts, nshd.WithFusedExtract())
+	case "off":
+		opts = append(opts, nshd.WithUnfusedExtract())
+	default:
+		return fmt.Errorf("unknown fuse mode %q (have: auto, on, off)", fuse)
 	}
 	eng, err := nshd.Compile(p, opts...)
 	if err != nil {
@@ -97,6 +107,18 @@ func servingFacts(path string, packed bool, precision string, remat bool, compre
 	}
 	fmt.Printf("  %-22s %d bytes/worker\n", "arena footprint", eng.ArenaBytes())
 	fmt.Printf("  %-22s %v\n", "stages", eng.Stages())
+	// Measured batch-1 stage latency with per-layer / per-fused-block detail:
+	// one synthetic zero sample (compute cost is pixel-independent), min of 5
+	// repetitions per stage.
+	if times, err := eng.TimeStages(nshd.NewTensor(1, in[0], in[1], in[2]), 5); err == nil {
+		fmt.Printf("  %-22s batch-1, min of 5 reps:\n", "stage latency")
+		for _, st := range times {
+			fmt.Printf("  %-22s %10.1fus  %s\n", "", st.Seconds*1e6, st.Name)
+			for _, sub := range st.Sub {
+				fmt.Printf("  %-22s %10.1fus      %s\n", "", sub.Seconds*1e6, sub.Name)
+			}
+		}
+	}
 	fmt.Printf("  %-22s %v\n", "precision", eng.Precision())
 	if covered, total := eng.Int8Coverage(); total > 0 {
 		fmt.Printf("  %-22s %d/%d quantizable layer groups in int8\n", "int8 coverage", covered, total)

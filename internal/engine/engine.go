@@ -255,7 +255,14 @@ func compileResolved(p *core.Pipeline, lo, hi int, o compileOptions) (*Engine, e
 			return nil, err
 		}
 	} else {
-		e.stages = append(e.stages, extractStage{p.Extractor})
+		ex := p.Extractor
+		if o.fuse != fuseOff {
+			// Rewrite fusible conv→BN→ReLU→pool runs into tiled fused blocks
+			// (bit-identical; see nn.FuseInference). Layers are shared, so
+			// weight accounting and later training are unaffected.
+			ex = nn.FuseInference(ex, in[0], in[1], in[2], o.fuse == fuseForce)
+		}
+		e.stages = append(e.stages, extractStage{ex})
 		switch {
 		case p.Manifold != nil && fold:
 			// The folded tail runs pool+flatten itself and multiplies by
@@ -660,6 +667,8 @@ func int8LayerBytes(l nn.Int8Layer) int64 {
 		return int64(len(v.W)) + int64(len(v.Bias32))*4 + int64(len(v.Scales))*4
 	case *nn.Int8Linear:
 		return int64(len(v.W)) + int64(len(v.Bias32))*4 + int64(len(v.Scales))*4
+	case *nn.Int8FusedBlock:
+		return v.WeightBytes()
 	}
 	return 0
 }

@@ -1,0 +1,271 @@
+package engine_test
+
+import (
+	"strings"
+	"testing"
+
+	"nshd/internal/core"
+	"nshd/internal/engine"
+	"nshd/internal/tensor"
+)
+
+// tailModes enumerates the four serving-tail strategies the fused extractor
+// must compose with.
+func tailModes() []struct {
+	name string
+	opts []engine.Option
+} {
+	return []struct {
+		name string
+		opts []engine.Option
+	}{
+		{"fused", nil},
+		{"remat", []engine.Option{engine.WithRemat()}},
+		{"folded", []engine.Option{engine.WithFoldedTail()}},
+		{"staged", []engine.Option{engine.WithStagedTail()}},
+	}
+}
+
+// TestEngineFusedExtractBitExact is the engine-level acceptance property for
+// the cache-resident extraction blocks: with the fused extractor forced on,
+// predictions, query hypervectors, AND raw partial scores must be
+// bit-identical to the unfused engine across every tail mode and both
+// classifier kernels. The extractor's tiling must be invisible end to end.
+func TestEngineFusedExtractBitExact(t *testing.T) {
+	for _, kern := range []struct {
+		name   string
+		packed bool
+	}{{"float", false}, {"packed", true}} {
+		p, test := buildPipeline(t, func(c *core.Config) { c.PackedInference = kern.packed })
+		for _, mode := range tailModes() {
+			t.Run(kern.name+"/"+mode.name, func(t *testing.T) {
+				base, err := engine.Compile(p, append([]engine.Option{engine.WithUnfusedExtract()}, mode.opts...)...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fz, err := engine.Compile(p, append([]engine.Option{engine.WithFusedExtract()}, mode.opts...)...)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				want, err := base.Predict(test.Images)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := fz.Predict(test.Images)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("sample %d: fused pred %d, unfused %d", i, got[i], want[i])
+					}
+				}
+
+				hw, err := base.QueryHVs(test.Images)
+				if err != nil {
+					t.Fatal(err)
+				}
+				hg, err := fz.QueryHVs(test.Images)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range hw.Data {
+					if hg.Data[i] != hw.Data[i] {
+						t.Fatalf("query hypervector element %d differs: fused %g, unfused %g",
+							i, hg.Data[i], hw.Data[i])
+					}
+				}
+
+				pw := base.NewPartials(test.Len())
+				if err := base.PartialInto(test.Images, pw); err != nil {
+					t.Fatal(err)
+				}
+				pg := fz.NewPartials(test.Len())
+				if err := fz.PartialInto(test.Images, pg); err != nil {
+					t.Fatal(err)
+				}
+				if len(pg.Ints) != len(pw.Ints) || len(pg.Floats) != len(pw.Floats) {
+					t.Fatalf("partial shapes differ: ints %d/%d floats %d/%d",
+						len(pg.Ints), len(pw.Ints), len(pg.Floats), len(pw.Floats))
+				}
+				for i := range pw.Ints {
+					if pg.Ints[i] != pw.Ints[i] {
+						t.Fatalf("raw int score %d differs: fused %d, unfused %d", i, pg.Ints[i], pw.Ints[i])
+					}
+				}
+				for i := range pw.Floats {
+					if pg.Floats[i] != pw.Floats[i] {
+						t.Fatalf("raw float score %d differs: fused %g, unfused %g", i, pg.Floats[i], pw.Floats[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestEngineFusedExtractTimeStages pins the per-step timing breakdown: the
+// forced-fused engine reports fused blocks as sub-stage rows under extract,
+// and the sub rows always accompany the extract stage entry.
+func TestEngineFusedExtractTimeStages(t *testing.T) {
+	p, test := buildPipeline(t, func(c *core.Config) {})
+	e, err := engine.Compile(p, engine.WithFusedExtract())
+	if err != nil {
+		t.Fatal(err)
+	}
+	times, err := e.TimeStages(test.Images, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != len(e.Stages()) {
+		t.Fatalf("TimeStages returned %d rows for %d stages", len(times), len(e.Stages()))
+	}
+	if times[0].Name != "extract" || len(times[0].Sub) == 0 {
+		t.Fatalf("extract stage has no sub-step rows: %+v", times[0])
+	}
+	sawFused := false
+	for _, sub := range times[0].Sub {
+		if strings.HasPrefix(sub.Name, "fused{") {
+			sawFused = true
+		}
+		if sub.Seconds < 0 {
+			t.Fatalf("negative sub-step time: %+v", sub)
+		}
+	}
+	if !sawFused {
+		t.Fatalf("no fused block in extract sub-steps: %+v", times[0].Sub)
+	}
+}
+
+// TestEngineInt8FusedExtractBitExact mirrors the float property on the
+// quantized datapath: the tiled int8 fused blocks must reproduce the
+// layer-by-layer int8 engine exactly — same predictions, same signed query
+// hypervectors, same raw scores — on both classifier kernels.
+func TestEngineInt8FusedExtractBitExact(t *testing.T) {
+	for _, kern := range []struct {
+		name   string
+		packed bool
+	}{{"float", false}, {"packed", true}} {
+		t.Run(kern.name, func(t *testing.T) {
+			p, train, test := buildInt8Pipeline(t, func(c *core.Config) { c.PackedInference = kern.packed })
+			base, err := engine.Compile(p, engine.Int8,
+				engine.WithCalibration(train.Images), engine.WithUnfusedExtract())
+			if err != nil {
+				t.Fatal(err)
+			}
+			fz, err := engine.Compile(p, engine.Int8,
+				engine.WithCalibration(train.Images), engine.WithFusedExtract())
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			want, err := base.Predict(test.Images)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := fz.Predict(test.Images)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("sample %d: fused int8 pred %d, unfused %d", i, got[i], want[i])
+				}
+			}
+
+			hw, err := base.QueryHVs(test.Images)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hg, err := fz.QueryHVs(test.Images)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range hw.Data {
+				if hg.Data[i] != hw.Data[i] {
+					t.Fatalf("int8 query hypervector element %d differs", i)
+				}
+			}
+
+			pw := base.NewPartials(test.Len())
+			if err := base.PartialInto(test.Images, pw); err != nil {
+				t.Fatal(err)
+			}
+			pg := fz.NewPartials(test.Len())
+			if err := fz.PartialInto(test.Images, pg); err != nil {
+				t.Fatal(err)
+			}
+			for i := range pw.Ints {
+				if pg.Ints[i] != pw.Ints[i] {
+					t.Fatalf("raw int8 int score %d differs", i)
+				}
+			}
+			for i := range pw.Floats {
+				if pg.Floats[i] != pw.Floats[i] {
+					t.Fatalf("raw int8 float score %d differs", i)
+				}
+			}
+		})
+	}
+}
+
+// TestEngineZeroAllocBatch1FusedExtract extends the batch-1 allocation gate
+// (name prefix keeps it inside `make alloc`) to the fused extractor: a forced
+// fused compile must stay heap-free in steady state across every tail mode
+// and both classifier kernels, exercising the tile-buffer freelist reuse.
+func TestEngineZeroAllocBatch1FusedExtract(t *testing.T) {
+	for _, kern := range []struct {
+		name   string
+		packed bool
+	}{{"float", false}, {"packed", true}} {
+		for _, mode := range tailModes() {
+			t.Run(kern.name+"/"+mode.name, func(t *testing.T) {
+				p, test := buildPipeline(t, func(c *core.Config) { c.PackedInference = kern.packed })
+				e, err := engine.Compile(p, append([]engine.Option{engine.WithFusedExtract()}, mode.opts...)...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sample := test.Images.Len() / test.Len()
+				img := tensor.FromSlice(test.Images.Data[:sample], 1,
+					test.Images.Shape[1], test.Images.Shape[2], test.Images.Shape[3])
+				preds := make([]int, 1)
+				if err := e.PredictInto(img, preds); err != nil {
+					t.Fatal(err)
+				}
+				if a := testing.AllocsPerRun(100, func() {
+					if err := e.PredictInto(img, preds); err != nil {
+						t.Fatal(err)
+					}
+				}); a != 0 {
+					t.Fatalf("%s/%s fused batch-1 PredictInto allocated %.1f times per run",
+						kern.name, mode.name, a)
+				}
+			})
+		}
+	}
+}
+
+// TestEngineZeroAllocBatch1Int8Fused is the quantized twin: batch-1 inference
+// through forced int8 fused blocks must not touch the heap in steady state.
+func TestEngineZeroAllocBatch1Int8Fused(t *testing.T) {
+	p, train, test := buildInt8Pipeline(t, func(c *core.Config) {})
+	e, err := engine.Compile(p, engine.Int8,
+		engine.WithCalibration(train.Images), engine.WithFusedExtract())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample := test.Images.Len() / test.Len()
+	img := tensor.FromSlice(test.Images.Data[:sample], 1,
+		test.Images.Shape[1], test.Images.Shape[2], test.Images.Shape[3])
+	preds := make([]int, 1)
+	if err := e.PredictInto(img, preds); err != nil {
+		t.Fatal(err)
+	}
+	if a := testing.AllocsPerRun(100, func() {
+		if err := e.PredictInto(img, preds); err != nil {
+			t.Fatal(err)
+		}
+	}); a != 0 {
+		t.Fatalf("int8 fused batch-1 PredictInto allocated %.1f times per run", a)
+	}
+}

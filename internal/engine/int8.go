@@ -48,12 +48,24 @@ func (p Precision) String() string {
 // callers write Compile(p, engine.Int8, engine.WithCalibration(imgs)).
 type Option interface{ applyOption(*compileOptions) }
 
+// fuseMode selects how Compile treats fusible extractor runs (see
+// nn.FuseInference): the default auto mode fuses when the block clears the
+// size gate, WithFusedExtract forces fusion, WithUnfusedExtract disables it.
+type fuseMode int
+
+const (
+	fuseAuto fuseMode = iota
+	fuseForce
+	fuseOff
+)
+
 type compileOptions struct {
 	precision  Precision
 	calib      *tensor.Tensor
 	stagedTail bool
 	remat      bool
 	foldTail   bool
+	fuse       fuseMode
 	// plan compresses the pipeline before compiling (see compress.go): nil,
 	// or a dimension-pruning + low-rank + sub-byte-precision plan produced by
 	// Engine.Compress or NewCompressPlan.
@@ -73,6 +85,20 @@ func (f optionFunc) applyOption(o *compileOptions) { f(o) }
 // engine.
 func WithCalibration(images *tensor.Tensor) Option {
 	return optionFunc(func(o *compileOptions) { o.calib = images })
+}
+
+// WithFusedExtract forces the extractor's fusible conv→BN→ReLU→pool runs
+// into tiled fused blocks regardless of the size gate. The default (no
+// option) fuses automatically when the run is large enough to pay; results
+// are bit-identical either way.
+func WithFusedExtract() Option {
+	return optionFunc(func(o *compileOptions) { o.fuse = fuseForce })
+}
+
+// WithUnfusedExtract keeps the extractor layer-by-layer — the testing
+// reference path and an escape hatch.
+func WithUnfusedExtract() Option {
+	return optionFunc(func(o *compileOptions) { o.fuse = fuseOff })
 }
 
 // ---------------------------------------------------------------------------
@@ -453,7 +479,11 @@ func (e *Engine) buildInt8Stages(p *core.Pipeline, o *compileOptions) error {
 	for _, u := range units {
 		st.total += len(u.leaves)
 	}
-	e.stages = append(e.stages, int8Stage{name: "extract", segs: buildSegments(units[:ne], qp[:ne+1], &st)})
+	segs := buildSegments(units[:ne], qp[:ne+1], &st)
+	if o.fuse != fuseOff {
+		fuseInt8Segments(segs, e.inShape, o.fuse == fuseForce)
+	}
+	e.stages = append(e.stages, int8Stage{name: "extract", segs: segs})
 	switch {
 	case p.Manifold != nil:
 		e.stages = append(e.stages, int8Stage{name: "manifold", segs: buildSegments(units[ne:], qp[ne:], &st)})
@@ -464,6 +494,30 @@ func (e *Engine) buildInt8Stages(p *core.Pipeline, o *compileOptions) error {
 	}
 	e.int8Covered, e.int8Total, e.int8Names = st.covered, st.total, st.names
 	return nil
+}
+
+// fuseInt8Segments rewrites fusible conv[+pool] runs inside each int8
+// segment into tiled Int8FusedBlocks (bit-exact; see nn.FuseInt8), tracking
+// the per-sample shape across segments. Tracking stops — leaving later
+// segments unfused — once the shape leaves [C, H, W] territory, where no
+// further convs can appear anyway.
+func fuseInt8Segments(segs []segRunner, inShape [3]int, force bool) {
+	shape := []int{inShape[0], inShape[1], inShape[2]}
+	for i := range segs {
+		if len(shape) != 3 {
+			return
+		}
+		switch v := segs[i].(type) {
+		case floatSeg:
+			shape = v.s.OutShape(shape)
+		case int8Seg:
+			v.layers = nn.FuseInt8(v.layers, shape[0], shape[1], shape[2], force)
+			segs[i] = v
+			shape = nn.Int8ChainShape(v.layers, shape)
+		default:
+			return
+		}
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -479,10 +533,56 @@ func (e *Engine) Int8Coverage() (covered, total int) { return e.int8Covered, e.i
 // Int8Layers describes the quantized layers, in execution order.
 func (e *Engine) Int8Layers() []string { return append([]string(nil), e.int8Names...) }
 
-// StageTime is one stage's measured wall time for a chunk.
+// StageTime is one stage's measured wall time for a chunk. Stages that can
+// attribute time internally (the extractor's layers and fused blocks, a
+// quantized stage's segments) report the split in Sub.
 type StageTime struct {
 	Name    string
 	Seconds float64
+	Sub     []StageTime `json:",omitempty"`
+}
+
+// timedStage is implemented by stages that can break their Run time into
+// sub-steps. runTimed must execute the exact Run schedule.
+type timedStage interface {
+	runTimed(x *tensor.Tensor, ar *tensor.Arena, sub *[]StageTime) *tensor.Tensor
+}
+
+func (s extractStage) runTimed(x *tensor.Tensor, ar *tensor.Arena, sub *[]StageTime) *tensor.Tensor {
+	return s.ex.ForwardInferTimed(x, ar, func(name string, seconds float64) {
+		*sub = append(*sub, StageTime{Name: name, Seconds: seconds})
+	})
+}
+
+func (s int8Stage) runTimed(x *tensor.Tensor, ar *tensor.Arena, sub *[]StageTime) *tensor.Tensor {
+	for _, sg := range s.segs {
+		t0 := time.Now()
+		x = sg.run(x, ar)
+		d := time.Since(t0).Seconds()
+		name := "float"
+		if i8, ok := sg.(int8Seg); ok {
+			name = "int8"
+			if len(i8.layers) == 1 {
+				name = fmt.Sprint(i8.layers[0])
+			}
+		}
+		*sub = append(*sub, StageTime{Name: name, Seconds: d})
+	}
+	return x
+}
+
+// mergeMinSub folds one rep's sub-step times into the accumulated minimum,
+// index-aligned (every rep runs the identical schedule).
+func mergeMinSub(dst *[]StageTime, sub []StageTime, first bool) {
+	if first || len(*dst) != len(sub) {
+		*dst = sub
+		return
+	}
+	for i := range sub {
+		if sub[i].Seconds < (*dst)[i].Seconds {
+			(*dst)[i].Seconds = sub[i].Seconds
+		}
+	}
 }
 
 // TimeStages runs up to one chunk of images through the stage chain reps
@@ -512,11 +612,18 @@ func (e *Engine) TimeStages(images *tensor.Tensor, reps int) ([]StageTime, error
 		x := ar.Alloc(n, e.inShape[0], e.inShape[1], e.inShape[2])
 		copy(x.Data, images.Data[:n*e.sampleLen])
 		for i, stg := range e.stages {
+			var sub []StageTime
 			t0 := time.Now()
-			x = stg.Run(x, ar)
-			if d := time.Since(t0).Seconds(); r == 0 || d < out[i].Seconds {
-				out[i] = StageTime{Name: stg.Name(), Seconds: d}
+			if ts, ok := stg.(timedStage); ok {
+				x = ts.runTimed(x, ar, &sub)
+			} else {
+				x = stg.Run(x, ar)
 			}
+			d := time.Since(t0).Seconds()
+			if r == 0 || d < out[i].Seconds {
+				out[i].Name, out[i].Seconds = stg.Name(), d
+			}
+			mergeMinSub(&out[i].Sub, sub, r == 0)
 		}
 		t0 := time.Now()
 		e.tail.run(x, preds, ar)

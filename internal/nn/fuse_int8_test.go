@@ -1,0 +1,135 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"nshd/internal/tensor"
+)
+
+// randomInt8FuseChain builds a random quantization-chained Int8Conv2D[+pool]
+// run (optionally flatten-terminated), returning the layers, the input shape
+// and the input quantization parameters.
+func randomInt8FuseChain(rng *rand.Rand) ([]Int8Layer, []int, float32, uint8) {
+	c := 1 + rng.Intn(4)
+	h := 6 + rng.Intn(12)
+	w := 6 + rng.Intn(12)
+	in := []int{c, h, w}
+	inScale := 0.02 + rng.Float32()*0.1
+	inZero := uint8(rng.Intn(256))
+	scale, zero := inScale, inZero
+	var layers []Int8Layer
+	nUnits := 1 + rng.Intn(3)
+	for u := 0; u < nUnits; u++ {
+		k := 1 + rng.Intn(3)
+		stride := 1 + rng.Intn(2)
+		pad := rng.Intn(2)
+		outC := 1 + rng.Intn(12)
+		g := tensor.ConvGeom{InC: c, InH: h, InW: w, KH: k, KW: k,
+			StrideH: stride, StrideW: stride, PadH: pad, PadW: pad}
+		if g.Validate() != nil {
+			k, stride, pad = 1, 1, 0
+			g = tensor.ConvGeom{InC: c, InH: h, InW: w, KH: 1, KW: 1, StrideH: 1, StrideW: 1}
+		}
+		kdim := c * k * k
+		wq := make([]int8, outC*kdim)
+		for i := range wq {
+			wq[i] = int8(rng.Intn(255) - 127)
+		}
+		bias := make([]int32, outC)
+		scales := make([]float32, outC)
+		for i := range bias {
+			bias[i] = int32(rng.Intn(2048) - 1024)
+			scales[i] = 0.001 + rng.Float32()*0.01
+		}
+		outScale := 0.02 + rng.Float32()*0.1
+		outZero := uint8(rng.Intn(256))
+		q := Int8Quant{InScale: scale, InZero: zero, OutScale: outScale, OutZero: outZero,
+			ClampLo: 0, ClampHi: 255}
+		if rng.Intn(2) == 0 { // folded ReLU-style clamp
+			q.ClampLo = outZero
+		}
+		layers = append(layers, NewInt8Conv2D(c, outC, k, k, stride, pad, wq, bias, scales, q))
+		c, h, w = outC, g.OutH(), g.OutW()
+		scale, zero = outScale, outZero
+		if pk := 2 + rng.Intn(2); rng.Intn(2) == 0 && h/pk > 0 && w/pk > 0 {
+			layers = append(layers, &Int8MaxPool2D{K: pk})
+			h, w = h/pk, w/pk
+		}
+	}
+	if rng.Intn(2) == 0 {
+		layers = append(layers, Int8Flatten{})
+	}
+	return layers, in, inScale, inZero
+}
+
+func runInt8Chain(ls []Int8Layer, x *tensor.QTensor, ar *tensor.Arena) *tensor.QTensor {
+	for _, l := range ls {
+		x = l.ForwardInt8(x, ar)
+	}
+	return x
+}
+
+// TestInt8FusedBlockMatchesUnfused pins the tiled int8 executor bit-identical
+// to the layer-by-layer int8 pass across randomized chains and forced tiny
+// tile heights.
+func TestInt8FusedBlockMatchesUnfused(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 40; trial++ {
+		layers, in, scale, zero := randomInt8FuseChain(rng)
+		fused := FuseInt8(layers, in[0], in[1], in[2], true)
+		if len(fused) == len(layers) && len(layers) > 1 {
+			t.Fatalf("trial %d: force-fuse did not rewrite the chain", trial)
+		}
+		hasBlock := false
+		for _, l := range fused {
+			if _, ok := l.(*Int8FusedBlock); ok {
+				hasBlock = true
+			}
+		}
+		if !hasBlock {
+			t.Fatalf("trial %d: no Int8FusedBlock in fused chain", trial)
+		}
+
+		saved := fuseForceTileRows
+		fuseForceTileRows = 1 + rng.Intn(3)
+		tiny := FuseInt8(layers, in[0], in[1], in[2], true)
+		fuseForceTileRows = saved
+
+		n := 1 + rng.Intn(2)
+		x := make([]uint8, n*in[0]*in[1]*in[2])
+		rng.Read(x)
+		ar := tensor.NewArena()
+		xa := ar.WrapU8(append([]uint8(nil), x...), scale, zero, n, in[0], in[1], in[2])
+		want := runInt8Chain(layers, xa, ar)
+
+		for name, chain := range map[string][]Int8Layer{"whole-map": fused, "tiny-tiles": tiny} {
+			ar2 := tensor.NewArena()
+			xb := ar2.WrapU8(append([]uint8(nil), x...), scale, zero, n, in[0], in[1], in[2])
+			got := runInt8Chain(chain, xb, ar2)
+			if !sameInts(got.Shape, want.Shape) {
+				t.Fatalf("trial %d %s: shape %v, want %v", trial, name, got.Shape, want.Shape)
+			}
+			if got.Scale != want.Scale || got.Zero != want.Zero {
+				t.Fatalf("trial %d %s: quant (%g,%d), want (%g,%d)", trial, name, got.Scale, got.Zero, want.Scale, want.Zero)
+			}
+			for i := range want.Data {
+				if got.Data[i] != want.Data[i] {
+					t.Fatalf("trial %d %s: fused[%d]=%d, unfused=%d", trial, name, i, got.Data[i], want.Data[i])
+				}
+			}
+		}
+	}
+}
+
+func sameInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,214 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"nshd/internal/tensor"
+)
+
+// randomFuseChain builds a random conv[+bn][+act][+pool] chain (optionally
+// flatten-terminated) that stays spatially valid from a random input shape,
+// with randomized weights and running statistics. Returns the model and the
+// input shape.
+func randomFuseChain(rng *rand.Rand, trng *tensor.RNG) (*Sequential, []int) {
+	c := 1 + rng.Intn(4)
+	h := 6 + rng.Intn(12)
+	w := 6 + rng.Intn(12)
+	in := []int{c, h, w}
+	var layers []Layer
+	nUnits := 1 + rng.Intn(3)
+	for u := 0; u < nUnits; u++ {
+		k := 1 + rng.Intn(3)
+		stride := 1 + rng.Intn(2)
+		pad := rng.Intn(2)
+		outC := 1 + rng.Intn(24)
+		conv := NewConv2D(trng, c, outC, k, stride, pad, rng.Intn(2) == 0)
+		g := conv.geom(h, w)
+		if g.Validate() != nil {
+			conv = NewConv2D(trng, c, outC, 1, 1, 0, true)
+			g = conv.geom(h, w)
+		}
+		layers = append(layers, conv)
+		c, h, w = outC, g.OutH(), g.OutW()
+		if rng.Intn(2) == 0 {
+			bn := NewBatchNorm2D(c)
+			trng.FillNormal(bn.Gamma.W, 1, 0.3)
+			trng.FillNormal(bn.Beta.W, 0, 0.5)
+			trng.FillNormal(bn.RunMean, 0, 0.5)
+			trng.FillUniform(bn.RunVar, 0.2, 2.0)
+			layers = append(layers, bn)
+		}
+		switch rng.Intn(3) {
+		case 0:
+			layers = append(layers, NewReLU())
+		case 1:
+			layers = append(layers, NewReLU6())
+		}
+		if pk := 2 + rng.Intn(2); rng.Intn(2) == 0 && h/pk > 0 && w/pk > 0 {
+			layers = append(layers, NewMaxPool2D(pk))
+			h, w = h/pk, w/pk
+		}
+	}
+	if rng.Intn(2) == 0 {
+		layers = append(layers, NewFlatten())
+	}
+	return NewSequential("chain", layers...), in
+}
+
+// runBitCompare runs model unfused and fused on the same input and fails on
+// the first differing output bit.
+func runBitCompare(t *testing.T, model, fused *Sequential, in []int, n int, trng *tensor.RNG, tag string) {
+	t.Helper()
+	x := tensor.New(append([]int{n}, in...)...)
+	trng.FillNormal(x, 0, 1)
+
+	ar := tensor.NewArena()
+	xa := ar.Alloc(x.Shape...)
+	copy(xa.Data, x.Data)
+	want := model.ForwardInfer(xa, ar)
+
+	ar2 := tensor.NewArena()
+	xb := ar2.Alloc(x.Shape...)
+	copy(xb.Data, x.Data)
+	got := fused.ForwardInfer(xb, ar2)
+
+	if !got.SameShape(want) {
+		t.Fatalf("%s: fused shape %v, want %v", tag, got.Shape, want.Shape)
+	}
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("%s: fused[%d]=%v, unfused=%v", tag, i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// TestFusedBlockMatchesUnfused pins the tiled fused executor bit-identical
+// to the layer-by-layer inference pass across randomized chains (kernel,
+// stride, pad, BN, activation, pool, flatten) and randomized forced tile
+// heights — including single-row tiles, where every halo is taller than the
+// tile, and ragged bottom tiles.
+func TestFusedBlockMatchesUnfused(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	trng := tensor.NewRNG(43)
+	for trial := 0; trial < 40; trial++ {
+		model, in := randomFuseChain(rng, trng)
+		fused := FuseInference(model, in[0], in[1], in[2], true)
+		if fused == model {
+			t.Fatalf("trial %d: force-fuse did not rewrite %v", trial, model.Label)
+		}
+		hasBlock := false
+		for _, l := range fused.Layers {
+			if _, ok := l.(*FusedBlock); ok {
+				hasBlock = true
+			}
+		}
+		if !hasBlock {
+			t.Fatalf("trial %d: no FusedBlock in fused model", trial)
+		}
+		n := 1 + rng.Intn(2)
+		runBitCompare(t, model, fused, in, n, trng, "whole-map tiles")
+
+		// Re-fuse with a forced tiny tile height to exercise the multi-tile
+		// schedule with halos larger than the tile.
+		saved := fuseForceTileRows
+		fuseForceTileRows = 1 + rng.Intn(3)
+		tiny := FuseInference(model, in[0], in[1], in[2], true)
+		fuseForceTileRows = saved
+		runBitCompare(t, model, tiny, in, n, trng, "forced tiny tiles")
+	}
+}
+
+// TestFusedBlockPartitionsBitEqual pins the partitioned executor (several
+// fuseParts splitting the sample×tile grid, each with its own buffers)
+// bit-identical to the single-partition serial schedule.
+func TestFusedBlockPartitionsBitEqual(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	trng := tensor.NewRNG(53)
+	for trial := 0; trial < 10; trial++ {
+		model, in := randomFuseChain(rng, trng)
+		saved := fuseForceTileRows
+		fuseForceTileRows = 2
+		serial := FuseInference(model, in[0], in[1], in[2], true)
+		split := FuseInference(model, in[0], in[1], in[2], true)
+		fuseForceTileRows = saved
+		for _, l := range split.Layers {
+			if blk, ok := l.(*FusedBlock); ok {
+				blk.nParts = 1 + rng.Intn(4) // before any run is built
+			}
+		}
+		runBitCompare(t, serial, split, in, 3, trng, "partitioned")
+	}
+}
+
+// TestFuseInferenceGate checks the default size gate: a tiny chain stays
+// unfused without force, and fusing shares (not copies) the parameters.
+func TestFuseInferenceGate(t *testing.T) {
+	trng := tensor.NewRNG(59)
+	conv := NewConv2D(trng, 3, 4, 3, 1, 1, true)
+	model := NewSequential("tiny", conv, NewReLU(), NewMaxPool2D(2), NewFlatten())
+	if got := FuseInference(model, 3, 8, 8, false); got != model {
+		t.Fatalf("tiny chain fused under default gate")
+	}
+	fused := FuseInference(model, 3, 8, 8, true)
+	if fused == model {
+		t.Fatalf("force did not fuse")
+	}
+	if len(fused.Layers) != 1 {
+		t.Fatalf("fused model has %d layers, want 1 (block absorbs flatten)", len(fused.Layers))
+	}
+	blk, ok := fused.Layers[0].(*FusedBlock)
+	if !ok {
+		t.Fatalf("fused layer is %T, want *FusedBlock", fused.Layers[0])
+	}
+	ps := blk.Params()
+	if len(ps) != 2 || ps[0] != conv.Weight || ps[1] != conv.Bias {
+		t.Fatalf("fused block must share the original parameters")
+	}
+	wantShape := model.OutShape([]int{3, 8, 8})
+	gotShape := blk.OutShape([]int{3, 8, 8})
+	if len(gotShape) != 1 || gotShape[0] != wantShape[0] {
+		t.Fatalf("OutShape = %v, want %v", gotShape, wantShape)
+	}
+	if blk.Stats([]int{3, 8, 8}) != model.Stats([]int{3, 8, 8}) {
+		t.Fatalf("fused Stats differ from unfused")
+	}
+}
+
+// TestFusedBlockZeroAllocSteadyState pins the fused inference pass at zero
+// heap allocations once the arena is frozen.
+func TestFusedBlockZeroAllocSteadyState(t *testing.T) {
+	trng := tensor.NewRNG(61)
+	model := NewSequential("z",
+		NewConv2D(trng, 3, 8, 3, 1, 1, false),
+		NewBatchNorm2D(8),
+		NewReLU(),
+		NewMaxPool2D(2),
+		NewConv2D(trng, 8, 12, 3, 1, 1, true),
+		NewReLU(),
+		NewFlatten(),
+	)
+	saved := fuseForceTileRows
+	fuseForceTileRows = 3
+	fused := FuseInference(model, 3, 16, 16, true)
+	fuseForceTileRows = saved
+
+	x := tensor.New(2, 3, 16, 16)
+	trng.FillNormal(x, 0, 1)
+	ar := tensor.NewArena()
+	for i := 0; i < 3; i++ { // grow the arena and the run freelist
+		xa := ar.Alloc(x.Shape...)
+		copy(xa.Data, x.Data)
+		fused.ForwardInfer(xa, ar)
+		ar.Reset()
+	}
+	ar.Freeze()
+	if a := testing.AllocsPerRun(50, func() {
+		xa := ar.Alloc(x.Shape...)
+		copy(xa.Data, x.Data)
+		fused.ForwardInfer(xa, ar)
+		ar.Reset()
+	}); a != 0 {
+		t.Fatalf("fused ForwardInfer allocated %.1f times per run", a)
+	}
+}

@@ -3,6 +3,7 @@ package nn
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"nshd/internal/tensor"
 )
@@ -65,29 +66,58 @@ func InferSupported(l Layer) error {
 
 // ForwardInfer runs all layers in order through the inference contract.
 func (s *Sequential) ForwardInfer(x *tensor.Tensor, ar *tensor.Arena) *tensor.Tensor {
+	return s.forwardInferSteps(x, ar, nil)
+}
+
+// ForwardInferTimed is ForwardInfer with a per-step observer: record is
+// called after each executed step with its display name and wall time. A
+// step is one layer, or one fused BN+activation pair — the identical
+// schedule ForwardInfer runs, so timing never changes results.
+func (s *Sequential) ForwardInferTimed(x *tensor.Tensor, ar *tensor.Arena, record func(name string, seconds float64)) *tensor.Tensor {
+	return s.forwardInferSteps(x, ar, record)
+}
+
+// forwardInferSteps is the single stepped implementation behind ForwardInfer
+// and ForwardInferTimed.
+func (s *Sequential) forwardInferSteps(x *tensor.Tensor, ar *tensor.Arena, record func(string, float64)) *tensor.Tensor {
 	for i := 0; i < len(s.Layers); i++ {
+		var t0 time.Time
+		if record != nil {
+			t0 = time.Now()
+		}
+		step := s.Layers[i]
+		suffix := ""
 		// Peephole fusion: an elementwise activation directly after a
 		// BatchNorm2D folds into the normalization sweep. Both passes are
 		// memory-bound, so fusing halves their activation traffic; the
 		// arithmetic and comparisons are applied per element exactly as the
 		// separate passes would, keeping results bit-identical.
-		if bn, ok := s.Layers[i].(*BatchNorm2D); ok && i+1 < len(s.Layers) {
+		if bn, ok := step.(*BatchNorm2D); ok && i+1 < len(s.Layers) {
 			switch s.Layers[i+1].(type) {
 			case *ReLU6:
 				x = bn.forwardInferAct(x, actReLU6)
 				i++
-				continue
+				suffix = "+relu6"
 			case *ReLU:
 				x = bn.forwardInferAct(x, actReLU)
 				i++
-				continue
+				suffix = "+relu"
+			default:
+				x = bn.forwardInferAct(x, actNone)
 			}
+		} else {
+			il, ok := step.(InferenceLayer)
+			if !ok {
+				panic(fmt.Sprintf("nn: layer %s has no inference path", step.Name()))
+			}
+			x = il.ForwardInfer(x, ar)
 		}
-		il, ok := s.Layers[i].(InferenceLayer)
-		if !ok {
-			panic(fmt.Sprintf("nn: layer %s has no inference path", s.Layers[i].Name()))
+		if record != nil {
+			// Stop the clock before building the display name: Name() is a
+			// string construction the layer's compute didn't pay for.
+			d := time.Since(t0)
+			record(step.Name()+suffix, d.Seconds())
 		}
-		x = il.ForwardInfer(x, ar)
 	}
 	return x
 }

@@ -1,0 +1,68 @@
+package parallel
+
+// Call is a reusable fan-out of a fixed set of tasks over a prebound kernel.
+// Where ForGrain allocates a fresh callState per invocation, a Call is built
+// once (at engine compile time) and its Run method costs only channel
+// operations — no allocation — which keeps per-sample tile dispatch inside
+// the serving engine's zero-alloc envelope.
+//
+// Run blocks until every task has completed, helping drain the pool queue
+// while it waits (the same no-deadlock invariant as ForGrain: a blocked
+// waiter is always also a consumer). A Call is reusable but NOT reentrant:
+// concurrent Runs of the same Call race on its completion state. Callers
+// that need concurrency hold one Call per concurrent execution (the fused
+// blocks keep them in a freelist alongside their tile buffers).
+type Call struct {
+	st    callState
+	tasks []task
+}
+
+// NewCall builds a fan-out of n tasks; task i invokes kernel(i, i+1). The
+// kernel typically indexes a slice of per-task work descriptors rebound
+// before each Run.
+func NewCall(n int, kernel func(lo, hi int)) *Call {
+	c := &Call{st: callState{finished: make(chan struct{}, 1)}}
+	c.tasks = make([]task, n)
+	for i := range c.tasks {
+		c.tasks[i] = task{lo: i, hi: i + 1, kernel: kernel, call: &c.st}
+	}
+	return c
+}
+
+// Run executes all tasks, inline when the pool has a single worker (serial
+// and parallel execution are then trivially identical), otherwise dispatched
+// to the pool with the caller participating. Zero heap allocations.
+func (c *Call) Run() {
+	n := len(c.tasks)
+	if n == 0 {
+		return
+	}
+	ensurePool()
+	if nworkers <= 1 || n == 1 {
+		for i := range c.tasks {
+			t := &c.tasks[i]
+			t.kernel(t.lo, t.hi)
+		}
+		return
+	}
+	c.st.remaining.Store(int64(n))
+	for i := 0; i < n-1; i++ {
+		select {
+		case tasks <- c.tasks[i]:
+		default:
+			// Queue full (deep nesting or heavy load): run inline rather
+			// than block, preserving the no-deadlock invariant.
+			runTask(c.tasks[i])
+		}
+	}
+	// The caller always participates instead of just blocking.
+	runTask(c.tasks[n-1])
+	for {
+		select {
+		case <-c.st.finished:
+			return
+		case t := <-tasks:
+			runTask(t)
+		}
+	}
+}

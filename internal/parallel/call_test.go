@@ -1,0 +1,56 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestCallRunsAllTasks checks a Call executes every task exactly once per
+// Run, across repeated reuse of the same Call.
+func TestCallRunsAllTasks(t *testing.T) {
+	const n = 23
+	var hits [n]atomic.Int64
+	c := NewCall(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			hits[i].Add(1)
+		}
+	})
+	const runs = 50
+	for r := 0; r < runs; r++ {
+		c.Run()
+	}
+	for i := range hits {
+		if got := hits[i].Load(); got != runs {
+			t.Fatalf("task %d ran %d times, want %d", i, got, runs)
+		}
+	}
+}
+
+// TestCallZeroAlloc pins Run's steady-state allocation count at zero.
+func TestCallZeroAlloc(t *testing.T) {
+	var sum atomic.Int64
+	c := NewCall(8, func(lo, hi int) { sum.Add(int64(lo)) })
+	c.Run()
+	if a := testing.AllocsPerRun(100, c.Run); a != 0 {
+		t.Fatalf("Call.Run allocated %.1f times per run", a)
+	}
+}
+
+// TestCallNested checks Calls still complete when issued from inside pool
+// workers already running a ForGrain fan-out (help-draining must keep both
+// levels moving).
+func TestCallNested(t *testing.T) {
+	var total atomic.Int64
+	inner := make([]*Call, Workers()+1)
+	for i := range inner {
+		inner[i] = NewCall(4, func(lo, hi int) { total.Add(1) })
+	}
+	ForGrain(len(inner), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			inner[i].Run()
+		}
+	})
+	if got := total.Load(); got != int64(len(inner)*4) {
+		t.Fatalf("nested Calls ran %d tasks, want %d", got, len(inner)*4)
+	}
+}

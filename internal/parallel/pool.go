@@ -24,7 +24,9 @@ type task struct {
 	call   *callState
 }
 
-// callState tracks completion of one For call's tasks.
+// callState tracks completion of one For call's tasks. finished is a
+// capacity-1 channel that receives one token when the last task completes —
+// a token, not a close, so a Call can reuse the same state across runs.
 type callState struct {
 	remaining atomic.Int64
 	finished  chan struct{}
@@ -57,7 +59,7 @@ func ensurePool() {
 func runTask(t task) {
 	t.kernel(t.lo, t.hi)
 	if t.call.remaining.Add(-1) == 0 {
-		close(t.call.finished)
+		t.call.finished <- struct{}{}
 	}
 }
 
@@ -99,7 +101,7 @@ func ForGrain(n, grain int, kernel func(lo, hi int)) {
 	}
 	chunk := (n + chunks - 1) / chunks
 	numTasks := (n + chunk - 1) / chunk
-	st := &callState{finished: make(chan struct{})}
+	st := &callState{finished: make(chan struct{}, 1)}
 	st.remaining.Store(int64(numTasks))
 	lo := 0
 	for ti := 0; ti < numTasks; ti++ {

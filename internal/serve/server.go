@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"nshd/internal/engine"
+	"nshd/internal/tensor"
 )
 
 // Server exposes a Batcher over HTTP:
@@ -40,6 +41,11 @@ type Server struct {
 	// floats, partial scores) so the sharded data plane allocates nothing
 	// per request in steady state.
 	scratch sync.Pool
+	// stage-timing cache for /metrics: one measured breakdown per compiled
+	// engine, so hot-swaps re-measure and steady-state polls stay free.
+	stMu    sync.Mutex
+	stEng   *engine.Engine
+	stTimes []engine.StageTime
 }
 
 // partialScratch is one pooled /partial request's working set.
@@ -332,9 +338,14 @@ type engineFacts struct {
 	ArenaBytes   int64    `json:"arena_bytes"`
 	ModelBytes   int64    `json:"model_bytes"`
 	Stages       []string `json:"stages"`
-	MaxBatch     int      `json:"max_batch"`
-	MaxDelayUs   int64    `json:"max_delay_us"`
-	QueueCap     int      `json:"queue_cap"`
+	// StageTimes is the measured batch-1 wall-time breakdown per pipeline
+	// stage, with per-layer / per-fused-block sub-steps where the stage can
+	// attribute them (see engine.Engine.TimeStages). Measured once per
+	// compiled engine on a synthetic sample and cached.
+	StageTimes []engine.StageTime `json:"stage_times,omitempty"`
+	MaxBatch   int                `json:"max_batch"`
+	MaxDelayUs int64              `json:"max_delay_us"`
+	QueueCap   int                `json:"queue_cap"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -354,6 +365,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			ArenaBytes:   e.ArenaBytes(),
 			ModelBytes:   e.ModelBytes(),
 			Stages:       e.Stages(),
+			StageTimes:   s.stageTimes(e),
 			MaxBatch:     s.b.opts.MaxBatch,
 			MaxDelayUs:   s.b.opts.MaxDelay.Microseconds(),
 			QueueCap:     s.b.opts.QueueCap,
@@ -363,4 +375,23 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(resp)
+}
+
+// stageTimes returns the cached per-stage timing breakdown for e, measuring
+// it on first request (and again after an engine hot-swap) against one
+// synthetic zero sample — batch 1 is the latency-critical serving shape, and
+// compute cost does not depend on pixel values.
+func (s *Server) stageTimes(e *engine.Engine) []engine.StageTime {
+	s.stMu.Lock()
+	defer s.stMu.Unlock()
+	if s.stEng == e {
+		return s.stTimes
+	}
+	in := e.InShape()
+	ts, err := e.TimeStages(tensor.New(1, in[0], in[1], in[2]), 3)
+	if err != nil {
+		return nil
+	}
+	s.stEng, s.stTimes = e, ts
+	return ts
 }

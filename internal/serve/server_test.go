@@ -152,6 +152,18 @@ func TestServerHealthAndMetrics(t *testing.T) {
 	if m.Engine.MaxBatch != 8 || m.Engine.QueueCap != 64 {
 		t.Fatalf("batcher facts wrong: %+v", m.Engine)
 	}
+	if len(m.Engine.StageTimes) != len(m.Engine.Stages) {
+		t.Fatalf("stage timings %d rows for %d stages: %+v", len(m.Engine.StageTimes),
+			len(m.Engine.Stages), m.Engine.StageTimes)
+	}
+	for _, st := range m.Engine.StageTimes {
+		if st.Name == "" || st.Seconds <= 0 {
+			t.Fatalf("bad stage timing row: %+v", st)
+		}
+	}
+	if len(m.Engine.StageTimes[0].Sub) == 0 {
+		t.Fatalf("extract stage timing has no sub-steps: %+v", m.Engine.StageTimes[0])
+	}
 
 	// After Close, health flips to draining.
 	b.Close()

@@ -85,7 +85,7 @@ func TestIm2ColTileMatchesIm2Col(t *testing.T) {
 		for i := range sub {
 			sub[i] = -999
 		}
-		im2colTile(g, x, sub, ld, pb, pe, jb, je)
+		im2colTile(g, x, 0, g.InH, sub, ld, pb, pe, jb, je)
 		for p := pb; p < pe; p++ {
 			for j := jb; j < je; j++ {
 				if got, want := sub[(p-pb)*ld+j-jb], cols.Data[p*nOut+j]; got != want {

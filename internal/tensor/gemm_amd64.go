@@ -67,6 +67,14 @@ func dot8(n int, x, y *float32) float32
 //go:noescape
 func reluAsm(n int, p *float32)
 
+// addScalarReluAsm sets p[i] = max(p[i]+b, 0) in place for i in [0, n): the
+// conv bias add and the ReLU clamp fused into one sweep, bit-identical to
+// the scalar `v += b; if v <= 0 { v = 0 }`. n must be a positive multiple
+// of 8.
+//
+//go:noescape
+func addScalarReluAsm(n int, p *float32, b float32)
+
 // packSignsAsm writes nwords uint64 sign masks: bit i of word w is set iff
 // src[64w+i] < 0 (VCMPPS with the LT predicate, so -0/NaN pack as 0 exactly
 // like the Go comparison). nwords must be ≥ 1.

@@ -243,6 +243,67 @@ done:
 	VZEROUPPER
 	RET
 
+// func addScalarReluAsm(n int, p *float32, b float32)
+//
+// In-place p[i] = max(p[i]+b, 0) over n floats (n a positive multiple of 8):
+// the bias-add epilogue and the ReLU clamp in one sweep. The clamp reuses
+// reluAsm's compare-mask construction (predicate 6, NLE_US) so the result is
+// bit-identical to the scalar `v += b; if v <= 0 { v = 0 }` — the VADDPS sum
+// is the IEEE sum the scalar add produces, NaN sums pass through, and a -0
+// sum becomes +0.
+TEXT ·addScalarReluAsm(SB), NOSPLIT, $0-20
+	MOVQ n+0(FP), CX
+	MOVQ p+8(FP), SI
+	VBROADCASTSS b+16(FP), Y5
+	VXORPS Y0, Y0, Y0
+
+	MOVQ CX, BX
+	ANDQ $-32, BX
+	JEQ  artail8
+
+arloop32:
+	VMOVUPS (SI), Y1
+	VADDPS  Y5, Y1, Y1
+	VCMPPS  $6, Y0, Y1, Y2
+	VANDPS  Y2, Y1, Y1
+	VMOVUPS Y1, (SI)
+	VMOVUPS 32(SI), Y3
+	VADDPS  Y5, Y3, Y3
+	VCMPPS  $6, Y0, Y3, Y4
+	VANDPS  Y4, Y3, Y3
+	VMOVUPS Y3, 32(SI)
+	VMOVUPS 64(SI), Y1
+	VADDPS  Y5, Y1, Y1
+	VCMPPS  $6, Y0, Y1, Y2
+	VANDPS  Y2, Y1, Y1
+	VMOVUPS Y1, 64(SI)
+	VMOVUPS 96(SI), Y3
+	VADDPS  Y5, Y3, Y3
+	VCMPPS  $6, Y0, Y3, Y4
+	VANDPS  Y4, Y3, Y3
+	VMOVUPS Y3, 96(SI)
+	ADDQ    $128, SI
+	SUBQ    $32, BX
+	JNE     arloop32
+
+artail8:
+	ANDQ $24, CX
+	JEQ  ardone
+
+arloop8:
+	VMOVUPS (SI), Y1
+	VADDPS  Y5, Y1, Y1
+	VCMPPS  $6, Y0, Y1, Y2
+	VANDPS  Y2, Y1, Y1
+	VMOVUPS Y1, (SI)
+	ADDQ    $32, SI
+	SUBQ    $8, CX
+	JNE     arloop8
+
+ardone:
+	VZEROUPPER
+	RET
+
 // func packSignsAsm(nwords int, src *float32, dst *uint64)
 //
 // Per output word: 8 groups of 8 floats, each compared against zero with

@@ -21,6 +21,10 @@ func reluAsm(n int, p *float32) {
 	panic("tensor: reluAsm requires amd64")
 }
 
+func addScalarReluAsm(n int, p *float32, b float32) {
+	panic("tensor: addScalarReluAsm requires amd64")
+}
+
 func packSignsAsm(nwords int, src *float32, dst *uint64) {
 	panic("tensor: packSignsAsm requires amd64")
 }

@@ -326,6 +326,29 @@ func ReLUInPlace(x []float32) {
 	}
 }
 
+// AddScalarReLUInPlace adds b to every element of x and clamps the sum to
+// max(v, 0), in one sweep, with exactly the per-element arithmetic of the
+// separate passes `x[i] += b` then ReLUInPlace: the IEEE sum first, then the
+// `if v <= 0 { v = 0 }` comparison (NaN sums pass through, -0 becomes +0).
+// The fused extraction blocks use it as the conv bias + ReLU epilogue so the
+// tile is swept once instead of twice.
+func AddScalarReLUInPlace(x []float32, b float32) {
+	i := 0
+	if useGemmAsm {
+		if wide := len(x) / 8 * 8; wide > 0 {
+			addScalarReluAsm(wide, &x[0], b)
+			i = wide
+		}
+	}
+	for ; i < len(x); i++ {
+		v := x[i] + b
+		if v <= 0 {
+			v = 0
+		}
+		x[i] = v
+	}
+}
+
 // ArgmaxRowsInto writes the argmax of each row of a 2-D tensor into out
 // (length = rows), with the same first-wins tie rule as ArgmaxRows.
 func ArgmaxRowsInto(out []int, t *Tensor) {

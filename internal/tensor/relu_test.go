@@ -41,3 +41,44 @@ func TestReLUInPlaceMatchesScalar(t *testing.T) {
 		}
 	}
 }
+
+// TestAddScalarReLUInPlaceMatchesScalar pins the fused bias+ReLU sweep
+// bit-identical to the two separate passes (`v += b` then the `v <= 0`
+// clamp) over the same special values and unroll-boundary tail lengths,
+// across a spread of biases including NaN and infinities.
+func TestAddScalarReLUInPlaceMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	specials := []float32{0, float32(math.Copysign(0, -1)), float32(math.NaN()),
+		float32(math.Inf(1)), float32(math.Inf(-1)), -1e-45, 1e-45}
+	biases := []float32{0, 0.25, -0.25, float32(math.Copysign(0, -1)),
+		float32(math.NaN()), float32(math.Inf(1)), float32(math.Inf(-1))}
+	for n := 0; n <= 70; n++ {
+		for _, b := range biases {
+			x := make([]float32, n)
+			for i := range x {
+				if rng.Intn(4) == 0 {
+					x[i] = specials[rng.Intn(len(specials))]
+				} else {
+					x[i] = rng.Float32()*2 - 1
+				}
+			}
+			want := make([]float32, n)
+			for i, v := range x {
+				y := v + b
+				if y <= 0 {
+					y = 0
+				}
+				want[i] = y
+			}
+			got := make([]float32, n)
+			copy(got, x)
+			AddScalarReLUInPlace(got, b)
+			for i := range want {
+				if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+					t.Fatalf("n=%d b=%v: AddScalarReLUInPlace[%d] = %x, want %x (input %v)",
+						n, b, i, math.Float32bits(got[i]), math.Float32bits(want[i]), x[i])
+				}
+			}
+		}
+	}
+}

@@ -120,9 +120,25 @@ func WithRemat() Option { return engine.WithRemat() }
 // against G = Wᵀ·P); predictions are argmax-identical to staged.
 func WithFoldedTail() Option { return engine.WithFoldedTail() }
 
+// WithFusedExtract forces the cache-resident fused extraction blocks on:
+// conv→BN→activation→pool chains execute per output tile so inter-layer
+// feature maps stay in cache, bit-identical to the layer-by-layer extractor.
+// The default (no option) fuses automatically when a chain is large enough
+// to pay for the tiling bookkeeping.
+func WithFusedExtract() Option { return engine.WithFusedExtract() }
+
+// WithUnfusedExtract disables extractor fusion, keeping the layer-by-layer
+// reference path — the baseline fused engines are benchmarked against.
+func WithUnfusedExtract() Option { return engine.WithUnfusedExtract() }
+
 // StageBytes is one itemized component of an engine's resident serving
 // weights (see Engine.BytesBreakdown).
 type StageBytes = engine.StageBytes
+
+// StageTime is one pipeline stage's measured wall time for a batch, with
+// per-layer / per-fused-block sub-steps where the stage can attribute them
+// (see Engine.TimeStages).
+type StageTime = engine.StageTime
 
 // Compile freezes a trained pipeline into a serving Engine.
 func Compile(p *Pipeline, opts ...Option) (*Engine, error) { return engine.Compile(p, opts...) }
